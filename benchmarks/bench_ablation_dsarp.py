@@ -1,0 +1,30 @@
+"""Ablation: additivity of DARP and SARPpb in DSARP (Section 6.1).
+
+The paper observes that combining DARP with SARPpb (DSARP) yields additive
+benefit: DSARP performs at least as well as the better of its two
+components, with the gap widening at high density.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.experiments import dsarp_additivity
+
+from conftest import run_once
+
+
+def test_dsarp_additivity(benchmark, record_result):
+    result = run_once(benchmark, dsarp_additivity)
+    rows = [[name, f"{value:+.2f}"] for name, value in result.items()]
+    text = format_table(
+        ["Mechanism", "WS improvement over REFab (%)"],
+        rows,
+        title="DSARP additivity ablation (32 Gb)",
+    )
+    record_result("ablation_dsarp_additivity", text)
+
+    # Every component improves over REFab at 32 Gb.
+    assert result["darp"] > 0
+    assert result["sarppb"] > 0
+    # The combination is at least as good as DARP alone (within noise) and
+    # improves on REFab by more than either component degrades.
+    assert result["dsarp"] >= result["darp"] - 1.0
+    assert result["dsarp"] > 0

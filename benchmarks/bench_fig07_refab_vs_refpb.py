@@ -1,0 +1,22 @@
+"""Figure 7: performance loss due to REFab and REFpb versus the ideal.
+
+The paper shows per-bank refresh recovering part of all-bank refresh's loss
+at every density, while still leaving a significant gap at 32 Gb.
+"""
+
+from repro.analysis.figures import format_figure7
+from repro.sim.experiments import figure7_refab_vs_refpb_loss
+
+from conftest import run_once
+
+
+def test_figure7_refab_vs_refpb_loss(benchmark, record_result):
+    result = run_once(benchmark, figure7_refab_vs_refpb_loss)
+    record_result("figure07_refab_vs_refpb", format_figure7(result))
+
+    for density, losses in result.items():
+        # Per-bank refresh always loses less than all-bank refresh.
+        assert losses["refpb"] < losses["refab"]
+    # Both penalties grow with density.
+    assert result[32]["refab"] > result[8]["refab"]
+    assert result[32]["refpb"] >= result[8]["refpb"]

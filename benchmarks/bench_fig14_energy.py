@@ -1,0 +1,27 @@
+"""Figure 14: energy per memory access for every refresh mechanism.
+
+The paper reports DSARP reducing energy per access versus REFab by
+3.0 % / 5.2 % / 9.0 % at 8 / 16 / 32 Gb, mostly by amortizing background
+energy over a shorter execution.
+"""
+
+from repro.analysis.figures import format_figure14
+from repro.sim.experiments import figure14_energy_per_access
+
+from conftest import run_once
+
+
+def test_figure14_energy_per_access(benchmark, record_result):
+    result = run_once(benchmark, figure14_energy_per_access)
+    record_result("figure14_energy", format_figure14(result))
+
+    for density, energies in result.items():
+        # Refresh costs energy: the ideal no-refresh system is cheapest.
+        assert energies["none"] <= energies["refab"]
+        # DSARP reduces energy per access relative to all-bank refresh.
+        assert energies["dsarp"] < energies["refab"]
+    # The energy penalty of REFab grows with density, so DSARP's relative
+    # saving grows too (paper: 3.0 % -> 9.0 %).
+    saving_8 = 1 - result[8]["dsarp"] / result[8]["refab"]
+    saving_32 = 1 - result[32]["dsarp"] / result[32]["refab"]
+    assert saving_32 > saving_8

@@ -1,0 +1,24 @@
+"""Table 4: sensitivity of SARPpb's benefit to tFAW / tRRD.
+
+The paper reports SARPpb's improvement over REFpb growing as tFAW shrinks
+(from 10.3 % at tFAW = 30 cycles to 14.0 % at tFAW = 5 cycles), because a
+looser activation budget lets more accesses proceed in parallel with
+refreshes.
+"""
+
+from repro.analysis.tables import format_table4
+from repro.sim.experiments import table4_tfaw_sensitivity
+
+from conftest import run_once
+
+
+def test_table4_tfaw_sensitivity(benchmark, record_result):
+    result = run_once(benchmark, table4_tfaw_sensitivity)
+    record_result("table4_tfaw", format_table4(result))
+
+    tfaws = sorted(result)
+    # SARPpb improves over REFpb at the default tFAW of 20 cycles.
+    assert result[20] > 0
+    # Tightening tFAW (larger values) never increases SARPpb's benefit
+    # beyond what the loosest setting achieves.
+    assert max(result.values()) >= result[tfaws[-1]]

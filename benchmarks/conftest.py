@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+heavy lifting (the simulations) is measured once per benchmark via
+``benchmark.pedantic(..., rounds=1, iterations=1)``; the underlying
+:class:`~repro.sim.runner.ExperimentRunner` is shared across all benchmark
+files in the pytest session, so common baseline simulations (REFab, the
+alone runs, ...) are only performed once.
+
+Each benchmark writes its formatted output to ``results/<name>.txt`` so the
+regenerated tables can be inspected and compared against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a benchmark's formatted output to the results directory."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

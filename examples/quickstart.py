@@ -1,0 +1,54 @@
+"""Quickstart: compare refresh mechanisms on one workload.
+
+Builds the paper's 8-core DDR3-1333 system (Table 1) at 32 Gb density,
+runs one memory-intensive workload under all-bank refresh (the DDR3
+baseline), per-bank refresh, DSARP (the paper's combined mechanism) and an
+ideal no-refresh system, and prints the weighted speedup and energy per
+access of each.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import RefreshMechanism, make_workload_category
+from repro.sim.runner import ExperimentRunner
+from repro.config.presets import paper_system
+
+MECHANISMS = (
+    RefreshMechanism.REFAB,
+    RefreshMechanism.REFPB,
+    RefreshMechanism.DARP,
+    RefreshMechanism.SARPPB,
+    RefreshMechanism.DSARP,
+    RefreshMechanism.NONE,
+)
+
+
+def main() -> None:
+    # A short window keeps the example fast; increase cycles for more stable
+    # numbers (the benchmark harness uses 26 000 cycles by default).
+    runner = ExperimentRunner(cycles=12000, warmup=1500)
+    workload = make_workload_category(category=100, index=0, num_cores=8)
+    config = paper_system(density_gb=32)
+
+    print(f"Workload: {workload.name}")
+    print("  " + ", ".join(b.name for b in workload.benchmarks))
+    print(f"DRAM: {config.dram.density_gb} Gb, tRFCab = "
+          f"{config.dram.timings.ns(config.dram.timings.tRFCab):.0f} ns\n")
+
+    comparison = runner.compare(workload, config, MECHANISMS)
+    baseline = comparison.results["refab"].weighted_speedup
+
+    header = f"{'mechanism':10s} {'weighted speedup':>17s} {'vs REFab':>9s} {'energy/access':>14s}"
+    print(header)
+    print("-" * len(header))
+    for mechanism in MECHANISMS:
+        result = comparison.results[mechanism.value]
+        ws = result.weighted_speedup
+        print(
+            f"{mechanism.value:10s} {ws:17.3f} {100 * (ws / baseline - 1):+8.1f}% "
+            f"{result.energy_per_access_nj:11.1f} nJ"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is configured through pyproject.toml; this file only exists so
+``pip install -e . --no-use-pep517`` works in fully offline environments
+where the PEP 517 editable build backend (which needs ``wheel``) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

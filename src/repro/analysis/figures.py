@@ -1,0 +1,154 @@
+"""Plain-text rendering of figure data series.
+
+Each ``format_figureN`` function accepts the corresponding experiment
+function's return value (see :mod:`repro.sim.experiments`) and renders the
+same series the paper plots, as a text table suitable for terminal output
+or for pasting into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+
+
+def format_figure5(points) -> str:
+    """Figure 5: refresh latency (tRFCab) trend vs density."""
+    rows = []
+    for point in points:
+        present = f"{point.present_ns:.0f}" if point.present_ns is not None else "-"
+        rows.append(
+            [
+                point.density_gb,
+                present,
+                f"{point.projection1_ns:.0f}",
+                f"{point.projection2_ns:.0f}",
+            ]
+        )
+    return format_table(
+        ["Density (Gb)", "Present (ns)", "Projection 1 (ns)", "Projection 2 (ns)"],
+        rows,
+        title="Figure 5: refresh latency (tRFCab) trend",
+    )
+
+
+def format_figure6(result: dict) -> str:
+    """Figure 6: % performance loss of REFab vs the ideal, by category."""
+    densities = sorted(next(iter(result.values())).keys())
+    rows = []
+    for category in sorted(k for k in result if k >= 0):
+        rows.append(
+            [f"{category}%"] + [f"{result[category][d]:.1f}" for d in densities]
+        )
+    rows.append(["Mean"] + [f"{result[-1][d]:.1f}" for d in densities])
+    return format_table(
+        ["Intensive share"] + [f"{d}Gb loss (%)" for d in densities],
+        rows,
+        title="Figure 6: performance loss due to REFab",
+    )
+
+
+def format_figure7(result: dict) -> str:
+    """Figure 7: % performance loss of REFab and REFpb vs the ideal."""
+    rows = []
+    for density in sorted(result):
+        rows.append(
+            [
+                f"{density}Gb",
+                f"{result[density]['refab']:.1f}",
+                f"{result[density]['refpb']:.1f}",
+            ]
+        )
+    return format_table(
+        ["Density", "REFab loss (%)", "REFpb loss (%)"],
+        rows,
+        title="Figure 7: performance loss due to REFab and REFpb",
+    )
+
+
+def format_figure12(sweep: dict) -> str:
+    """Figure 12: per-workload WS normalized to REFab."""
+    blocks = []
+    for density in sorted(sweep):
+        per_workload = sweep[density]
+        mechanisms = sorted(next(iter(per_workload.values())).keys())
+        rows = []
+        for name in sorted(per_workload):
+            rows.append(
+                [name] + [f"{per_workload[name][m]:.3f}" for m in mechanisms]
+            )
+        blocks.append(
+            format_table(
+                ["Workload"] + mechanisms,
+                rows,
+                title=f"Figure 12 ({density}Gb): WS normalized to REFab",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def format_figure13(result: dict) -> str:
+    """Figure 13: average WS improvement over REFab for all mechanisms."""
+    mechanisms = list(next(iter(result.values())).keys())
+    rows = []
+    for density in sorted(result):
+        rows.append(
+            [f"{density}Gb"] + [f"{result[density][m]:+.1f}" for m in mechanisms]
+        )
+    return format_table(
+        ["Density"] + mechanisms,
+        rows,
+        title="Figure 13: average WS improvement over REFab (%)",
+    )
+
+
+def format_figure14(result: dict) -> str:
+    """Figure 14: energy per access for all mechanisms."""
+    mechanisms = list(next(iter(result.values())).keys())
+    rows = []
+    for density in sorted(result):
+        rows.append(
+            [f"{density}Gb"] + [f"{result[density][m]:.1f}" for m in mechanisms]
+        )
+    return format_table(
+        ["Density"] + mechanisms,
+        rows,
+        title="Figure 14: energy per access (nJ)",
+    )
+
+
+def format_figure15(result: dict) -> str:
+    """Figure 15: DSARP gains over REFab / REFpb by memory intensity."""
+    categories = sorted(result)
+    densities = sorted(next(iter(result.values())).keys())
+    rows = []
+    for category in categories:
+        for density in densities:
+            entry = result[category][density]
+            rows.append(
+                [
+                    f"{category}%",
+                    f"{density}Gb",
+                    f"{entry['vs_refab']:+.1f}",
+                    f"{entry['vs_refpb']:+.1f}",
+                ]
+            )
+    return format_table(
+        ["Intensive share", "Density", "vs REFab (%)", "vs REFpb (%)"],
+        rows,
+        title="Figure 15: DSARP improvement by memory intensity",
+    )
+
+
+def format_figure16(result: dict) -> str:
+    """Figure 16: WS normalized to REFab for FGR / AR / DSARP."""
+    mechanisms = list(next(iter(result.values())).keys())
+    rows = []
+    for density in sorted(result):
+        rows.append(
+            [f"{density}Gb"] + [f"{result[density][m]:.3f}" for m in mechanisms]
+        )
+    return format_table(
+        ["Density"] + mechanisms,
+        rows,
+        title="Figure 16: WS normalized to REFab (FGR / AR / DSARP)",
+    )

@@ -1,0 +1,127 @@
+"""Plain-text table rendering of experiment results.
+
+Each ``format_tableN`` function accepts the corresponding experiment
+function's return value (see :mod:`repro.sim.experiments`) and renders it
+with the same rows/columns as the paper's table, so the benchmark harness
+output can be compared side-by-side with the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(headers[i])) for i in range(columns)]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(headers[i]).ljust(widths[i]) for i in range(columns))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_table2(summary: dict) -> str:
+    """Table 2: max / gmean WS improvement over REFpb and REFab."""
+    rows = []
+    for density in sorted(summary):
+        for mechanism in ("darp", "sarppb", "dsarp"):
+            entry = summary[density][mechanism]
+            rows.append(
+                [
+                    f"{density}Gb",
+                    mechanism.upper(),
+                    f"{entry['max_refpb']:.1f}",
+                    f"{entry['max_refab']:.1f}",
+                    f"{entry['gmean_refpb']:.1f}",
+                    f"{entry['gmean_refab']:.1f}",
+                ]
+            )
+    return format_table(
+        ["Density", "Mechanism", "Max% vs REFpb", "Max% vs REFab",
+         "Gmean% vs REFpb", "Gmean% vs REFab"],
+        rows,
+        title="Table 2: WS improvement of DARP/SARPpb/DSARP",
+    )
+
+
+def format_table3(result: dict) -> str:
+    """Table 3: DSARP effect on multi-core system metrics."""
+    rows = []
+    for cores in sorted(result):
+        entry = result[cores]
+        rows.append(
+            [
+                cores,
+                f"{entry['weighted_speedup_improvement']:.1f}",
+                f"{entry['harmonic_speedup_improvement']:.1f}",
+                f"{entry['maximum_slowdown_reduction']:.1f}",
+                f"{entry['energy_per_access_reduction']:.1f}",
+            ]
+        )
+    return format_table(
+        ["Cores", "WS improv. (%)", "HS improv. (%)",
+         "Max-slowdown red. (%)", "Energy/access red. (%)"],
+        rows,
+        title="Table 3: DSARP vs REFab across core counts",
+    )
+
+
+def format_table4(result: dict) -> str:
+    """Table 4: SARPpb improvement over REFpb as tFAW/tRRD vary."""
+    tfaws = sorted(result)
+    rows = [
+        ["tFAW/tRRD (cycles)"] + [f"{t}/{max(1, t // 5)}" for t in tfaws],
+        ["WS improvement (%)"] + [f"{result[t]:.1f}" for t in tfaws],
+    ]
+    return format_table(
+        ["metric"] + [str(t) for t in tfaws],
+        rows,
+        title="Table 4: SARPpb over REFpb vs tFAW",
+    )
+
+
+def format_table5(result: dict) -> str:
+    """Table 5: SARPpb improvement over REFpb as subarrays per bank vary."""
+    counts = sorted(result)
+    rows = [["WS improvement (%)"] + [f"{result[c]:.1f}" for c in counts]]
+    return format_table(
+        ["Subarrays-per-bank"] + [str(c) for c in counts],
+        rows,
+        title="Table 5: effect of subarrays per bank",
+    )
+
+
+def format_table6(result: dict) -> str:
+    """Table 6: DSARP improvement at 64 ms retention."""
+    rows = []
+    for density in sorted(result):
+        entry = result[density]
+        rows.append(
+            [
+                f"{density}Gb",
+                f"{entry['max_refpb']:.1f}",
+                f"{entry['max_refab']:.1f}",
+                f"{entry['gmean_refpb']:.1f}",
+                f"{entry['gmean_refab']:.1f}",
+            ]
+        )
+    return format_table(
+        ["Density", "Max% vs REFpb", "Max% vs REFab",
+         "Gmean% vs REFpb", "Gmean% vs REFab"],
+        rows,
+        title="Table 6: DSARP improvement with 64 ms retention",
+    )

@@ -1,0 +1,42 @@
+"""Configuration objects for the DRAM refresh-parallelization simulator.
+
+The configuration layer mirrors Table 1 of Chang et al. (HPCA 2014): a
+DDR3-1333 DRAM system with 2 channels, 2 ranks per channel, 8 banks per rank
+and 8 subarrays per bank, driven by an 8-core, 4 GHz processor with a 512 KB
+per-core last-level cache slice and an FR-FCFS memory controller that drains
+writes in batches.
+"""
+
+from repro.config.dram_config import (
+    DRAMOrganization,
+    DRAMTimings,
+    DRAMConfig,
+    REFRESH_LATENCY_NS,
+    projected_trfc_ns,
+)
+from repro.config.controller_config import ControllerConfig
+from repro.config.cpu_config import CPUConfig, CacheConfig
+from repro.config.refresh_config import RefreshConfig, RefreshMechanism
+from repro.config.system import SystemConfig
+from repro.config.presets import (
+    paper_system,
+    baseline_densities,
+    mechanism_names,
+)
+
+__all__ = [
+    "DRAMOrganization",
+    "DRAMTimings",
+    "DRAMConfig",
+    "REFRESH_LATENCY_NS",
+    "projected_trfc_ns",
+    "ControllerConfig",
+    "CPUConfig",
+    "CacheConfig",
+    "RefreshConfig",
+    "RefreshMechanism",
+    "SystemConfig",
+    "paper_system",
+    "baseline_densities",
+    "mechanism_names",
+]

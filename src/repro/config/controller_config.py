@@ -1,0 +1,46 @@
+"""Memory-controller configuration (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Per-channel memory controller parameters.
+
+    The paper's controller uses 64-entry read and write request queues, an
+    FR-FCFS scheduling policy, a closed-row page policy, and batches writes:
+    the channel enters writeback mode when the write queue fills beyond a
+    high watermark and drains until it falls to the low watermark (32).
+    """
+
+    read_queue_entries: int = 64
+    write_queue_entries: int = 64
+    #: Write-queue occupancy that triggers writeback (drain) mode.
+    write_high_watermark: int = 48
+    #: Write-queue occupancy at which writeback mode ends (Table 1: 32).
+    write_low_watermark: int = 32
+    #: Closed-row policy: precharge as soon as no queued request hits the row.
+    closed_row: bool = True
+    #: Maximum candidate commands examined by FR-FCFS per cycle.
+    scheduling_window: int = 16
+
+    def __post_init__(self) -> None:
+        if self.write_low_watermark >= self.write_high_watermark:
+            raise ValueError(
+                "write_low_watermark must be below write_high_watermark "
+                f"(got {self.write_low_watermark} >= {self.write_high_watermark})"
+            )
+        if self.write_high_watermark > self.write_queue_entries:
+            raise ValueError("write_high_watermark exceeds write queue size")
+
+    def fingerprint(self) -> tuple:
+        """Hashable summary used by the experiment run-cache."""
+        return (
+            self.read_queue_entries,
+            self.write_queue_entries,
+            self.write_high_watermark,
+            self.write_low_watermark,
+            self.closed_row,
+        )

@@ -1,0 +1,123 @@
+"""Refresh-mechanism configuration.
+
+The mechanisms evaluated by the paper (Section 6) are:
+
+* ``NONE``    — ideal baseline with refresh eliminated ("No REF"),
+* ``REFAB``   — all-bank (rank-level) refresh, the DDR3 baseline,
+* ``REFPB``   — per-bank refresh with the LPDDR round-robin order,
+* ``ELASTIC`` — elastic refresh (Stuecheli et al., MICRO 2010),
+* ``DARP``    — out-of-order per-bank refresh + write-refresh parallelization,
+* ``SARPAB``  — subarray access-refresh parallelization on all-bank refresh,
+* ``SARPPB``  — subarray access-refresh parallelization on per-bank refresh,
+* ``DSARP``   — DARP combined with SARPpb,
+* ``FGR2X`` / ``FGR4X`` — DDR4 fine-granularity refresh,
+* ``AR``      — adaptive refresh (Mukundan et al., ISCA 2013).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RefreshMechanism(str, enum.Enum):
+    """Identifiers for every refresh mechanism evaluated in the paper."""
+
+    NONE = "none"
+    REFAB = "refab"
+    REFPB = "refpb"
+    ELASTIC = "elastic"
+    DARP = "darp"
+    SARPAB = "sarpab"
+    SARPPB = "sarppb"
+    DSARP = "dsarp"
+    FGR2X = "fgr2x"
+    FGR4X = "fgr4x"
+    AR = "ar"
+
+    @property
+    def uses_per_bank_refresh(self) -> bool:
+        """True if the mechanism issues per-bank (REFpb) commands."""
+        return self in {
+            RefreshMechanism.REFPB,
+            RefreshMechanism.DARP,
+            RefreshMechanism.SARPPB,
+            RefreshMechanism.DSARP,
+        }
+
+    @property
+    def uses_sarp(self) -> bool:
+        """True if the mechanism allows accesses to a refreshing bank."""
+        return self in {
+            RefreshMechanism.SARPAB,
+            RefreshMechanism.SARPPB,
+            RefreshMechanism.DSARP,
+        }
+
+    @property
+    def uses_darp_scheduling(self) -> bool:
+        """True if the mechanism uses DARP's out-of-order refresh scheduling."""
+        return self in {RefreshMechanism.DARP, RefreshMechanism.DSARP}
+
+    @property
+    def fgr_mode(self) -> int:
+        """DDR4 fine-granularity-refresh factor implied by the mechanism."""
+        if self is RefreshMechanism.FGR2X:
+            return 2
+        if self is RefreshMechanism.FGR4X:
+            return 4
+        return 1
+
+
+@dataclass(frozen=True)
+class RefreshConfig:
+    """Options for the refresh mechanism under evaluation."""
+
+    mechanism: RefreshMechanism = RefreshMechanism.REFAB
+    #: JEDEC allows up to eight refresh commands to be postponed.
+    max_postpone: int = 8
+    #: JEDEC also allows up to eight refresh commands to be pulled in
+    #: (issued early).  The default here is zero: pulling refreshes in ahead
+    #: of schedule does not change steady-state refresh work, but in the
+    #: finite simulation windows this harness uses it would add refresh
+    #: work inside the measured window that a real long-running system
+    #: would amortize over future intervals, unfairly penalizing DARP.
+    #: DARP's scheduling freedom (refreshing *owed* refreshes out of order
+    #: and during writeback mode) is unaffected; set this to 8 to model the
+    #: full JEDEC allowance.
+    max_pullin: int = 0
+    #: DARP ablation switches (Section 6.1.2): disable one component.
+    enable_out_of_order: bool = True
+    enable_write_refresh_parallelization: bool = True
+    #: Initial refresh backlog (per rank for elastic refresh, per bank for
+    #: DARP), modelling the steady state reached after running for many
+    #: refresh intervals under load.  Without it a short simulation window
+    #: would let postponing policies push most of their refresh work past
+    #: the end of the window, overstating their benefit.
+    steady_state_backlog: int = 7
+    #: Elastic refresh: number of idle-period samples in the moving average.
+    elastic_history: int = 32
+    #: Adaptive refresh: queue-pressure threshold for switching to 4x mode.
+    ar_pressure_threshold: int = 4
+    #: Seed for the random idle-bank selection in DARP (Figure 8, step 3).
+    scheduler_seed: int = 1
+
+    @classmethod
+    def for_mechanism(cls, mechanism: RefreshMechanism | str, **kwargs) -> "RefreshConfig":
+        """Build a refresh configuration from a mechanism name."""
+        if isinstance(mechanism, str):
+            mechanism = RefreshMechanism(mechanism)
+        return cls(mechanism=mechanism, **kwargs)
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.mechanism.value,
+            self.max_postpone,
+            self.max_pullin,
+            self.enable_out_of_order,
+            self.enable_write_refresh_parallelization,
+            self.steady_state_backlog,
+            self.elastic_history,
+            self.ar_pressure_threshold,
+            self.scheduler_seed,
+        )

@@ -1,0 +1,67 @@
+"""Top-level system configuration combining all subsystem configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config.controller_config import ControllerConfig
+from repro.config.cpu_config import CacheConfig, CPUConfig
+from repro.config.dram_config import DRAMConfig
+from repro.config.refresh_config import RefreshConfig, RefreshMechanism
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of the simulated system.
+
+    A :class:`SystemConfig` fully determines a simulation apart from the
+    workload: DRAM density and timings, memory controller parameters, core
+    and cache parameters, and the refresh mechanism under evaluation.
+    """
+
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    refresh: RefreshConfig = field(default_factory=RefreshConfig)
+
+    def with_mechanism(self, mechanism: RefreshMechanism | str, **kwargs) -> "SystemConfig":
+        """Return a copy configured for a different refresh mechanism.
+
+        FGR mechanisms also change the DRAM refresh timings (tREFI / tRFC),
+        so the DRAM configuration is rebuilt accordingly.
+        """
+        refresh = RefreshConfig.for_mechanism(mechanism, **kwargs)
+        dram = self.dram
+        if refresh.mechanism.fgr_mode != self.dram.fgr_mode:
+            dram = DRAMConfig.for_density(
+                self.dram.density_gb,
+                retention_ms=self.dram.retention_ms,
+                organization=self.dram.organization,
+                fgr_mode=refresh.mechanism.fgr_mode,
+            )
+        return replace(self, refresh=refresh, dram=dram)
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        """Return a copy with a different core count (Table 3 sweep)."""
+        return replace(self, cpu=replace(self.cpu, num_cores=num_cores))
+
+    def with_density(self, density_gb: int) -> "SystemConfig":
+        """Return a copy for a different DRAM density, keeping other knobs."""
+        dram = DRAMConfig.for_density(
+            density_gb,
+            retention_ms=self.dram.retention_ms,
+            organization=self.dram.organization,
+            fgr_mode=self.dram.fgr_mode,
+        )
+        return replace(self, dram=dram)
+
+    def fingerprint(self) -> tuple:
+        """Hashable summary of everything that affects simulation results."""
+        return (
+            self.dram.fingerprint(),
+            self.controller.fingerprint(),
+            self.cpu.fingerprint(),
+            self.cache.fingerprint(),
+            self.refresh.fingerprint(),
+        )

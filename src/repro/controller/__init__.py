@@ -1,0 +1,29 @@
+"""Memory controller: request queues, FR-FCFS scheduling and write batching.
+
+One :class:`ChannelController` exists per DRAM channel.  Each DRAM cycle it
+issues at most one command, chosen with the following priority (mirroring
+the DARP scheduling algorithm of Figure 8):
+
+1. a *mandatory* refresh command from the refresh policy (a refresh that can
+   no longer be postponed, or a policy-initiated proactive refresh),
+2. a demand command selected by FR-FCFS (column hits first, then the oldest
+   activate/precharge), restricted to writes while the channel is in
+   writeback (write-drain) mode,
+3. an *opportunistic* refresh command from the refresh policy (a postponed
+   or pulled-in refresh to an idle bank).
+"""
+
+from repro.controller.request import MemRequest
+from repro.controller.queues import RequestQueues
+from repro.controller.write_drain import WriteDrainState
+from repro.controller.frfcfs import FRFCFSScheduler
+from repro.controller.memory_controller import ChannelController, MemorySystem
+
+__all__ = [
+    "MemRequest",
+    "RequestQueues",
+    "WriteDrainState",
+    "FRFCFSScheduler",
+    "ChannelController",
+    "MemorySystem",
+]

@@ -1,0 +1,149 @@
+"""FR-FCFS (first-ready, first-come-first-served) command scheduling.
+
+Each cycle the scheduler proposes at most one demand command for its
+channel.  Column commands that hit an open row are preferred over row
+commands (activates/precharges); ties are broken by request age.  The
+candidate set is the read queues outside writeback mode and the write
+queues while the channel drains writes.
+
+The scheduler consults the refresh policy's ``blocks_demand`` hook so that
+a mandatory (non-postponable) refresh can quiesce its target rank or bank,
+and it skips activates whose target subarray is currently being refreshed
+(the SARP subarray-conflict check), recording the conflict for statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.request import MemRequest
+from repro.dram.commands import Command, CommandType
+
+
+class FRFCFSScheduler:
+    """FR-FCFS scheduler bound to one :class:`ChannelController`."""
+
+    def __init__(self, controller):
+        self.controller = controller
+
+    # -- public API ---------------------------------------------------------
+    def select(self, cycle: int) -> Optional[tuple[Command, Optional[MemRequest]]]:
+        """Choose the demand command to issue this cycle, if any."""
+        ctl = self.controller
+        queues = ctl.queues
+        serve_writes = ctl.drain.should_serve_writes(
+            queues.write_count, queues.read_count
+        )
+        selection = self._select_from(cycle, writes=serve_writes)
+        if selection is not None:
+            return selection
+        # While not draining, writes are only served if there are no reads at
+        # all (handled above).  While draining, reads are never served: the
+        # paper's writeback mode blocks reads on the whole channel.
+        return None
+
+    # -- candidate generation -------------------------------------------------
+    def _select_from(
+        self, cycle: int, writes: bool
+    ) -> Optional[tuple[Command, Optional[MemRequest]]]:
+        ctl = self.controller
+        queues = ctl.queues
+        device = ctl.device
+        policy = ctl.refresh_policy
+        channel = ctl.channel_id
+        queue_map = queues.writes if writes else queues.reads
+
+        hit_candidates: list[tuple[int, int, MemRequest]] = []
+        row_candidates: list[tuple[int, int, MemRequest]] = []
+        for bank_key, queue in queue_map.items():
+            if not queue:
+                continue
+            rank_i, bank_i = bank_key
+            if policy.blocks_demand(cycle, rank_i, bank_i):
+                continue
+            bank = device.bank(channel, rank_i, bank_i)
+            if bank.open_row is not None:
+                for req in queue:
+                    if req.row == bank.open_row:
+                        hit_candidates.append((req.arrival_cycle, req.request_id, req))
+                        break
+                else:
+                    # Open row does not serve any queued request: precharge.
+                    oldest = queue[0]
+                    row_candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
+            else:
+                oldest = queue[0]
+                row_candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
+
+        window = ctl.config.controller.scheduling_window
+
+        # First-ready: column commands for open-row hits, oldest first.
+        hit_candidates.sort()
+        for _, _, req in hit_candidates[:window]:
+            command = self._column_command(req, writes)
+            if device.can_issue(command, cycle):
+                return command, req
+
+        # Then row commands (activate or precharge), oldest first.
+        row_candidates.sort()
+        for _, _, req in row_candidates[:window]:
+            rank_i, bank_i = req.bank_key
+            bank = device.bank(channel, rank_i, bank_i)
+            if bank.open_row is None:
+                command = Command(
+                    kind=CommandType.ACT,
+                    channel=channel,
+                    rank=rank_i,
+                    bank=bank_i,
+                    row=req.row,
+                    request=req,
+                )
+                if device.can_issue(command, cycle):
+                    return command, None
+                if bank.refresh_conflicts_with(cycle, req.row):
+                    device.record_subarray_conflict(command)
+            else:
+                command = Command(
+                    kind=CommandType.PRE,
+                    channel=channel,
+                    rank=rank_i,
+                    bank=bank_i,
+                )
+                if device.can_issue(command, cycle):
+                    return command, None
+        return None
+
+    # -- helpers ---------------------------------------------------------------
+    def _column_command(self, request: MemRequest, writes: bool) -> Command:
+        """Build the column command serving ``request``.
+
+        Under the closed-row policy the command auto-precharges unless
+        another queued request targets the same row, in which case the row
+        is kept open so the follow-up request gets a row hit.
+        """
+        ctl = self.controller
+        keep_open = not ctl.config.controller.closed_row or self._another_hit_pending(request)
+        if request.is_write:
+            kind = CommandType.WR if keep_open else CommandType.WRA
+        else:
+            kind = CommandType.RD if keep_open else CommandType.RDA
+        loc = request.location
+        return Command(
+            kind=kind,
+            channel=loc.channel,
+            rank=loc.rank,
+            bank=loc.bank,
+            row=loc.row,
+            column=loc.column,
+            request=request,
+        )
+
+    def _another_hit_pending(self, request: MemRequest) -> bool:
+        """True if a different queued request targets the same bank and row."""
+        queues = self.controller.queues
+        key = request.bank_key
+        for queue in (queues.reads[key], queues.writes[key]):
+            for other in queue:
+                if other is not request and other.row == request.row:
+                    return True
+        return False

@@ -1,0 +1,241 @@
+"""Channel controllers and the memory system front end.
+
+The :class:`MemorySystem` is the interface the processor side uses: it maps
+physical addresses to DRAM locations, enqueues requests into the owning
+channel controller, advances all controllers each DRAM cycle, and returns
+completed read requests so cores can wake up their pending loads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.controller.frfcfs import FRFCFSScheduler
+from repro.controller.queues import RequestQueues
+from repro.controller.request import MemRequest
+from repro.controller.write_drain import WriteDrainState
+from repro.dram.address import AddressMapper
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DRAMDevice
+
+
+@dataclass
+class ControllerStats:
+    """Per-channel service statistics."""
+
+    served_reads: int = 0
+    served_writes: int = 0
+    total_read_latency: int = 0
+    total_write_latency: int = 0
+    issued_commands: int = 0
+    rejected_enqueues: int = 0
+
+    @property
+    def average_read_latency(self) -> float:
+        if not self.served_reads:
+            return 0.0
+        return self.total_read_latency / self.served_reads
+
+    @property
+    def average_write_latency(self) -> float:
+        if not self.served_writes:
+            return 0.0
+        return self.total_write_latency / self.served_writes
+
+    def as_dict(self) -> dict:
+        return {
+            "served_reads": self.served_reads,
+            "served_writes": self.served_writes,
+            "average_read_latency": self.average_read_latency,
+            "average_write_latency": self.average_write_latency,
+            "issued_commands": self.issued_commands,
+            "rejected_enqueues": self.rejected_enqueues,
+        }
+
+
+class ChannelController:
+    """Memory controller for one DRAM channel."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        config: SystemConfig,
+        device: DRAMDevice,
+        refresh_policy,
+    ):
+        self.channel_id = channel_id
+        self.config = config
+        self.device = device
+        org = config.dram.organization
+        bank_keys = [
+            (rank, bank)
+            for rank in range(org.ranks_per_channel)
+            for bank in range(org.banks_per_rank)
+        ]
+        self.queues = RequestQueues(
+            config.controller.read_queue_entries,
+            config.controller.write_queue_entries,
+            bank_keys,
+        )
+        self.drain = WriteDrainState(config.controller)
+        self.scheduler = FRFCFSScheduler(self)
+        self.refresh_policy = refresh_policy
+        self.refresh_policy.bind(self)
+        self.stats = ControllerStats()
+        self._pending_reads: list[tuple[int, int, MemRequest]] = []
+
+    # -- request intake -----------------------------------------------------
+    def can_accept(self, is_write: bool) -> bool:
+        if is_write:
+            return not self.queues.write_full()
+        return not self.queues.read_full()
+
+    def enqueue(self, request: MemRequest) -> bool:
+        """Enqueue a request; returns False (and drops it) if the queue is full."""
+        if not self.queues.can_accept(request):
+            self.stats.rejected_enqueues += 1
+            return False
+        self.queues.enqueue(request)
+        return True
+
+    # -- state queries used by refresh policies ------------------------------
+    @property
+    def in_writeback_mode(self) -> bool:
+        return self.drain.in_drain
+
+    def demand_count(self, rank: int, bank: int) -> int:
+        return self.queues.demand_count((rank, bank))
+
+    def rank_demand_count(self, rank: int) -> int:
+        return self.queues.rank_demand_count(rank)
+
+    # -- per-cycle operation ---------------------------------------------------
+    def tick(self, cycle: int) -> list[MemRequest]:
+        """Advance one DRAM cycle; returns reads whose data arrived."""
+        completed = self._pop_completed_reads(cycle)
+        self.drain.update(self.queues.write_count, self.queues.read_count)
+
+        command = self.refresh_policy.pre_demand(cycle)
+        if command is not None:
+            self._issue(command, cycle)
+            return completed
+
+        selection = self.scheduler.select(cycle)
+        if selection is not None:
+            command, request = selection
+            done = self._issue(command, cycle)
+            if command.kind.is_column and request is not None:
+                self._retire_request(request, done)
+            return completed
+
+        command = self.refresh_policy.post_demand(cycle)
+        if command is not None:
+            self._issue(command, cycle)
+        return completed
+
+    # -- internals ----------------------------------------------------------------
+    def _issue(self, command: Command, cycle: int) -> int:
+        done = self.device.issue(command, cycle)
+        self.stats.issued_commands += 1
+        return done
+
+    def _retire_request(self, request: MemRequest, completion_cycle: int) -> None:
+        self.queues.remove(request)
+        request.completion_cycle = completion_cycle
+        if request.is_write:
+            self.stats.served_writes += 1
+            self.stats.total_write_latency += completion_cycle - request.arrival_cycle
+        else:
+            self.stats.served_reads += 1
+            self.stats.total_read_latency += completion_cycle - request.arrival_cycle
+            heapq.heappush(
+                self._pending_reads,
+                (completion_cycle, request.request_id, request),
+            )
+
+    def _pop_completed_reads(self, cycle: int) -> list[MemRequest]:
+        completed = []
+        while self._pending_reads and self._pending_reads[0][0] <= cycle:
+            _, _, request = heapq.heappop(self._pending_reads)
+            completed.append(request)
+        return completed
+
+    def has_outstanding_work(self) -> bool:
+        """True while any request is queued or awaiting completion."""
+        return bool(self.queues.total_demand() or self._pending_reads)
+
+
+class MemorySystem:
+    """The full DRAM memory system: address mapping + all channel controllers."""
+
+    def __init__(self, config: SystemConfig):
+        # Imported lazily to keep the substrate (controller) importable
+        # without the policy layer and avoid a circular import.
+        from repro.core.factory import create_refresh_policy
+
+        self.config = config
+        self.mapper = AddressMapper(config.dram.organization)
+        self.device = DRAMDevice(
+            config.dram, sarp_enabled=config.refresh.mechanism.uses_sarp
+        )
+        self.controllers = [
+            ChannelController(
+                channel_id=ch,
+                config=config,
+                device=self.device,
+                refresh_policy=create_refresh_policy(config, ch),
+            )
+            for ch in range(config.dram.organization.channels)
+        ]
+
+    # -- processor-side interface ------------------------------------------------
+    def controller_for(self, address: int) -> ChannelController:
+        location = self.mapper.decode(address)
+        return self.controllers[location.channel]
+
+    def can_accept(self, address: int, is_write: bool) -> bool:
+        return self.controller_for(address).can_accept(is_write)
+
+    def access(
+        self, address: int, is_write: bool, core_id: int, cycle: int
+    ) -> Optional[MemRequest]:
+        """Enqueue a request; returns it, or None if the target queue is full."""
+        location = self.mapper.decode(address)
+        controller = self.controllers[location.channel]
+        request = MemRequest(
+            address=address,
+            is_write=is_write,
+            location=location,
+            core_id=core_id,
+            arrival_cycle=cycle,
+        )
+        if controller.enqueue(request):
+            return request
+        return None
+
+    def tick(self, cycle: int) -> list[MemRequest]:
+        """Advance every controller one DRAM cycle; returns completed reads."""
+        self.device.tick(cycle)
+        completed: list[MemRequest] = []
+        for controller in self.controllers:
+            completed.extend(controller.tick(cycle))
+        return completed
+
+    # -- statistics ----------------------------------------------------------------
+    def total_served(self) -> tuple[int, int]:
+        reads = sum(c.stats.served_reads for c in self.controllers)
+        writes = sum(c.stats.served_writes for c in self.controllers)
+        return reads, writes
+
+    def refresh_policy_stats(self) -> dict:
+        merged: dict[str, float] = {}
+        for controller in self.controllers:
+            for key, value in controller.refresh_policy.stats_dict().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def has_outstanding_work(self) -> bool:
+        return any(c.has_outstanding_work() for c in self.controllers)

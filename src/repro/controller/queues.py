@@ -1,0 +1,112 @@
+"""Per-bank request queues of a channel controller.
+
+The controller keeps separate read and write queues (64 entries each in the
+paper's configuration).  Requests are stored per bank to make FR-FCFS
+scheduling and DARP's per-bank occupancy monitoring cheap: DARP refreshes
+the bank with the fewest pending demand requests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.controller.request import MemRequest
+
+
+class RequestQueues:
+    """Read and write request queues for one channel, organized per bank."""
+
+    def __init__(self, read_entries: int, write_entries: int, bank_keys: Iterable[tuple[int, int]]):
+        self.read_entries = read_entries
+        self.write_entries = write_entries
+        self.bank_keys = list(bank_keys)
+        self.reads: dict[tuple[int, int], deque[MemRequest]] = {
+            key: deque() for key in self.bank_keys
+        }
+        self.writes: dict[tuple[int, int], deque[MemRequest]] = {
+            key: deque() for key in self.bank_keys
+        }
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- capacity ---------------------------------------------------------
+    def read_full(self) -> bool:
+        return self.read_count >= self.read_entries
+
+    def write_full(self) -> bool:
+        return self.write_count >= self.write_entries
+
+    def can_accept(self, request: MemRequest) -> bool:
+        return not (self.write_full() if request.is_write else self.read_full())
+
+    # -- enqueue / dequeue -------------------------------------------------
+    def enqueue(self, request: MemRequest) -> None:
+        """Add a request; the caller must have checked :meth:`can_accept`."""
+        key = request.bank_key
+        if request.is_write:
+            self.writes[key].append(request)
+            self.write_count += 1
+        else:
+            self.reads[key].append(request)
+            self.read_count += 1
+
+    def remove(self, request: MemRequest) -> None:
+        """Remove a serviced request from its queue."""
+        key = request.bank_key
+        if request.is_write:
+            self.writes[key].remove(request)
+            self.write_count -= 1
+        else:
+            self.reads[key].remove(request)
+            self.read_count -= 1
+
+    # -- occupancy queries (used by FR-FCFS, DARP and Elastic refresh) -----
+    def demand_count(self, bank_key: tuple[int, int]) -> int:
+        """Pending demand (read + write) requests for one bank."""
+        return len(self.reads[bank_key]) + len(self.writes[bank_key])
+
+    def read_count_for(self, bank_key: tuple[int, int]) -> int:
+        return len(self.reads[bank_key])
+
+    def write_count_for(self, bank_key: tuple[int, int]) -> int:
+        return len(self.writes[bank_key])
+
+    def rank_demand_count(self, rank: int) -> int:
+        """Pending demand requests targeting any bank of ``rank``."""
+        return sum(
+            self.demand_count(key) for key in self.bank_keys if key[0] == rank
+        )
+
+    def rank_read_count(self, rank: int) -> int:
+        return sum(
+            len(self.reads[key]) for key in self.bank_keys if key[0] == rank
+        )
+
+    def idle_banks(self, rank: Optional[int] = None) -> list[tuple[int, int]]:
+        """Banks with no pending demand requests (optionally within a rank)."""
+        keys = self.bank_keys if rank is None else [k for k in self.bank_keys if k[0] == rank]
+        return [key for key in keys if self.demand_count(key) == 0]
+
+    def bank_with_fewest_demands(self, rank: int) -> tuple[int, int]:
+        """Bank of ``rank`` with the lowest demand-queue occupancy.
+
+        Used by DARP's write-refresh parallelization (Algorithm 1): the bank
+        with the fewest pending requests is the best refresh candidate
+        during writeback mode.
+        """
+        candidates = [key for key in self.bank_keys if key[0] == rank]
+        return min(candidates, key=self.demand_count)
+
+    def pending_row_hit(self, bank_key: tuple[int, int], row: int, writes: bool) -> bool:
+        """True if any queued request for ``bank_key`` targets ``row``."""
+        queue = self.writes[bank_key] if writes else self.reads[bank_key]
+        return any(req.row == row for req in queue)
+
+    def total_demand(self) -> int:
+        return self.read_count + self.write_count
+
+    def oldest(self, bank_key: tuple[int, int], writes: bool) -> Optional[MemRequest]:
+        """Oldest queued request of the given type for a bank, if any."""
+        queue = self.writes[bank_key] if writes else self.reads[bank_key]
+        return queue[0] if queue else None

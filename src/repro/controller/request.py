@@ -1,0 +1,61 @@
+"""Memory request record exchanged between cores, caches and the controller."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.address import PhysicalLocation
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """A single DRAM read or write request.
+
+    Reads are demand cache-line fills on behalf of a core (latency
+    critical); writes are dirty-line writebacks from the last-level cache
+    (not latency critical, Section 4.2.2).
+    """
+
+    address: int
+    is_write: bool
+    location: PhysicalLocation
+    core_id: int = 0
+    arrival_cycle: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Cycle at which the DRAM data burst for this request completed.
+    completion_cycle: Optional[int] = None
+
+    @property
+    def is_read(self) -> bool:
+        return not self.is_write
+
+    @property
+    def bank_key(self) -> tuple[int, int]:
+        """(rank, bank) within the request's channel."""
+        return (self.location.rank, self.location.bank)
+
+    @property
+    def channel(self) -> int:
+        return self.location.channel
+
+    @property
+    def row(self) -> int:
+        return self.location.row
+
+    def latency(self) -> Optional[int]:
+        """Queueing + service latency in DRAM cycles, if completed."""
+        if self.completion_cycle is None:
+            return None
+        return self.completion_cycle - self.arrival_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "WR" if self.is_write else "RD"
+        loc = self.location
+        return (
+            f"MemRequest({kind}, core={self.core_id}, ch={loc.channel}, "
+            f"rk={loc.rank}, bk={loc.bank}, row={loc.row}, col={loc.column})"
+        )

@@ -1,0 +1,54 @@
+"""Write-batching (writeback mode) state machine.
+
+Modern controllers buffer DRAM writes and drain them in batches to amortize
+the half-duplex bus turnaround penalty.  The channel enters *writeback mode*
+when the write queue exceeds a high watermark and keeps draining writes
+(while refusing to serve reads) until the queue falls to the low watermark
+(32 in the paper's configuration, Table 1).  DARP's write-refresh
+parallelization schedules per-bank refreshes during exactly these intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.controller_config import ControllerConfig
+
+
+@dataclass
+class WriteDrainState:
+    """Hysteresis state machine controlling writeback mode."""
+
+    config: ControllerConfig
+    in_drain: bool = False
+    #: Number of writeback-mode episodes entered.
+    episodes: int = 0
+    #: Total cycles spent in writeback mode.
+    drain_cycles: int = 0
+
+    def update(self, write_queue_occupancy: int, read_queue_occupancy: int) -> bool:
+        """Advance the state machine for this cycle; returns ``in_drain``.
+
+        Writeback mode starts when the write queue reaches the high
+        watermark; it ends when occupancy drops to the low watermark.  If
+        the read queue is empty the controller also drains writes
+        opportunistically (this keeps light workloads from deadlocking on a
+        full write queue without ever reaching the watermark), but such
+        opportunistic draining does not count as writeback mode.
+        """
+        if self.in_drain:
+            if write_queue_occupancy <= self.config.write_low_watermark:
+                self.in_drain = False
+            else:
+                self.drain_cycles += 1
+        elif write_queue_occupancy >= self.config.write_high_watermark:
+            self.in_drain = True
+            self.episodes += 1
+            self.drain_cycles += 1
+        return self.in_drain
+
+    def should_serve_writes(self, write_queue_occupancy: int, read_queue_occupancy: int) -> bool:
+        """True when the scheduler should pick from the write queue."""
+        if self.in_drain:
+            return True
+        return read_queue_occupancy == 0 and write_queue_occupancy > 0

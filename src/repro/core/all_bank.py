@@ -1,0 +1,64 @@
+"""All-bank refresh (REFab): the commodity DDR baseline (Section 2.2.1).
+
+Every ``tREFIab`` the controller owes one REFab command per rank.  While a
+refresh is owed, demand requests to that rank are quiesced so the rank can
+precharge and accept the refresh; during ``tRFCab`` the whole rank is
+unavailable (unless SARP is enabled at the device level, in which case
+accesses to non-refreshing subarrays proceed with inflated tFAW/tRRD).
+
+The same policy serves the DDR4 fine-granularity-refresh modes (FGR 2x/4x):
+those only change the configured ``tREFIab``/``tRFCab`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import RefreshPolicy
+from repro.dram.commands import Command
+
+
+class AllBankRefreshPolicy(RefreshPolicy):
+    """Rank-level refresh issued on schedule, with priority over demand."""
+
+    def __init__(self, config, channel_id: int):
+        super().__init__(config, channel_id)
+        interval = self.timings.tREFIab
+        self._next_due = [
+            self._initial_due(interval, rank) for rank in range(self.num_ranks)
+        ]
+        self._pending = [0] * self.num_ranks
+
+    # -- schedule bookkeeping -------------------------------------------------
+    def _accumulate_due(self, cycle: int) -> None:
+        interval = self.timings.tREFIab
+        for rank in range(self.num_ranks):
+            while cycle >= self._next_due[rank]:
+                self._pending[rank] += 1
+                self._next_due[rank] += interval
+
+    def pending_refreshes(self, rank: int) -> int:
+        """Refreshes owed (due but not yet issued) by ``rank``."""
+        return self._pending[rank]
+
+    # -- policy hooks ------------------------------------------------------------
+    def pre_demand(self, cycle: int) -> Optional[Command]:
+        self._accumulate_due(cycle)
+        device = self.device
+        for rank in range(self.num_ranks):
+            if self._pending[rank] <= 0:
+                continue
+            command = self._all_bank_command(rank)
+            if device.can_issue(command, cycle):
+                self._pending[rank] -= 1
+                self.stats.all_bank_issued += 1
+                return command
+            precharge = self._precharge_for_refresh(cycle, rank)
+            if precharge is not None:
+                return precharge
+        return None
+
+    def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
+        # A rank owing a refresh stops accepting new demand so it can drain
+        # and start refreshing; this is the source of REFab's penalty.
+        return self._pending[rank] > 0

@@ -1,0 +1,133 @@
+"""Base class and shared bookkeeping for refresh policies.
+
+A refresh policy is bound to one channel controller and is consulted every
+DRAM cycle at two points (see :mod:`repro.controller`):
+
+* :meth:`RefreshPolicy.pre_demand` — before demand scheduling, for refreshes
+  that must (or should) take priority over demand requests;
+* :meth:`RefreshPolicy.post_demand` — after demand scheduling failed to
+  issue anything, for opportunistic refreshes to idle banks.
+
+Policies additionally expose :meth:`RefreshPolicy.blocks_demand`, which the
+FR-FCFS scheduler uses to quiesce a rank or bank that a mandatory refresh is
+waiting on; this is how refresh interference with demand requests arises in
+the baselines and is precisely what DARP/SARP reduce.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.dram.commands import Command, CommandType
+
+
+@dataclass
+class RefreshStats:
+    """Counters shared by every refresh policy."""
+
+    all_bank_issued: int = 0
+    per_bank_issued: int = 0
+    postponed: int = 0
+    pulled_in: int = 0
+    forced: int = 0
+    write_mode_refreshes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "all_bank_issued": self.all_bank_issued,
+            "per_bank_issued": self.per_bank_issued,
+            "postponed": self.postponed,
+            "pulled_in": self.pulled_in,
+            "forced": self.forced,
+            "write_mode_refreshes": self.write_mode_refreshes,
+        }
+
+
+class RefreshPolicy(abc.ABC):
+    """Interface every refresh mechanism implements."""
+
+    def __init__(self, config: SystemConfig, channel_id: int):
+        self.config = config
+        self.channel_id = channel_id
+        self.timings = config.dram.timings
+        self.refresh_config = config.refresh
+        self.organization = config.dram.organization
+        self.num_ranks = self.organization.ranks_per_channel
+        self.num_banks = self.organization.banks_per_rank
+        self.stats = RefreshStats()
+        self.controller = None
+
+    # -- wiring -------------------------------------------------------------
+    def bind(self, controller) -> None:
+        """Attach the policy to its channel controller."""
+        self.controller = controller
+
+    @property
+    def device(self):
+        return self.controller.device
+
+    # -- per-cycle hooks ------------------------------------------------------
+    def pre_demand(self, cycle: int) -> Optional[Command]:
+        """Refresh-related command to issue *before* demand scheduling."""
+        return None
+
+    def post_demand(self, cycle: int) -> Optional[Command]:
+        """Refresh command to issue when no demand command was issuable."""
+        return None
+
+    def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
+        """True when demand to (rank, bank) must wait for a pending refresh."""
+        return False
+
+    # -- reporting ---------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        return self.stats.as_dict()
+
+    # -- command construction helpers ----------------------------------------------
+    def _all_bank_command(self, rank: int) -> Command:
+        return Command(kind=CommandType.REFAB, channel=self.channel_id, rank=rank)
+
+    def _per_bank_command(self, rank: int, bank: int) -> Command:
+        return Command(
+            kind=CommandType.REFPB, channel=self.channel_id, rank=rank, bank=bank
+        )
+
+    def _precharge_for_refresh(
+        self, cycle: int, rank: int, bank: Optional[int] = None
+    ) -> Optional[Command]:
+        """Return a legal precharge that clears the way for a pending refresh.
+
+        All-bank refresh requires every bank of the rank to be precharged;
+        per-bank refresh only requires its target bank to be precharged.
+        Returns None when nothing can (or needs to) be precharged yet.
+        """
+        device = self.device
+        rank_obj = device.rank(self.channel_id, rank)
+        banks = rank_obj.banks if bank is None else [rank_obj.banks[bank]]
+        for bank_obj in banks:
+            if bank_obj.open_row is None:
+                continue
+            command = Command(
+                kind=CommandType.PRE,
+                channel=self.channel_id,
+                rank=rank,
+                bank=bank_obj.index,
+            )
+            if device.can_issue(command, cycle):
+                return command
+        return None
+
+    # -- schedule staggering ------------------------------------------------------
+    def _initial_due(self, interval: int, rank: int) -> int:
+        """Stagger the first refresh of each rank across the interval.
+
+        Refreshing both ranks of a channel at the same instant would
+        needlessly serialize their unavailability windows; real controllers
+        stagger refreshes across ranks, and so do we.
+        """
+        if self.num_ranks <= 1:
+            return interval
+        return interval * (rank + 1) // self.num_ranks

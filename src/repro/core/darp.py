@@ -1,0 +1,198 @@
+"""DARP: Dynamic Access Refresh Parallelization (Section 4.2).
+
+DARP is a per-bank refresh *scheduling* policy with two components:
+
+1. **Out-of-order per-bank refresh** (Figure 8).  The controller — not the
+   DRAM's internal round-robin counter — decides which bank to refresh.  It
+   avoids refreshing banks with pending demand requests, refreshes idle
+   banks instead, and exploits the JEDEC allowance of up to eight postponed
+   or pulled-in refresh commands per bank.  Following the paper's erratum,
+   the per-bank bookkeeping guarantees no bank ever accumulates more than
+   eight outstanding (postponed) refreshes and no bank is ever refreshed
+   more than eight commands ahead of its schedule.
+
+2. **Write-refresh parallelization** (Algorithm 1).  While the channel is
+   draining a write batch (writeback mode) reads cannot be served anyway, so
+   the policy proactively refreshes the bank with the fewest pending demand
+   requests, hiding the refresh latency behind the writes of other banks.
+
+The per-bank bookkeeping uses a single signed *refresh debt* counter per
+bank: the nominal schedule (one refresh per rank every ``tREFIpb``,
+rotating round-robin) increments the debt of its nominal bank; issuing a
+REFpb to a bank decrements its debt.  Positive debt therefore counts
+postponed refreshes, negative debt counts pulled-in refreshes, and the
+JEDEC limits become ``-max_pullin <= debt <= max_postpone``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.base import RefreshPolicy
+from repro.dram.commands import Command
+
+
+class DARPPolicy(RefreshPolicy):
+    """Out-of-order per-bank refresh plus write-refresh parallelization."""
+
+    def __init__(self, config, channel_id: int):
+        super().__init__(config, channel_id)
+        interval = self.timings.tREFIpb
+        self._next_due = [
+            self._initial_due(interval, rank) for rank in range(self.num_ranks)
+        ]
+        self._round_robin = [0] * self.num_ranks
+        #: Signed refresh debt per (rank, bank); see the module docstring.
+        #: DARP pays its debt proactively (idle-bank and writeback-mode
+        #: refreshes), so its steady-state debt is low and a zero start is
+        #: representative — unlike elastic refresh, which rides its postpone
+        #: budget under load and is therefore initialized with a backlog.
+        self._debt = [[0] * self.num_banks for _ in range(self.num_ranks)]
+        self._rng = random.Random(config.refresh.scheduler_seed + channel_id)
+
+    # -- bookkeeping ---------------------------------------------------------------
+    def refresh_debt(self, rank: int, bank: int) -> int:
+        """Outstanding refresh debt of a bank (positive = postponed)."""
+        return self._debt[rank][bank]
+
+    def _accumulate_due(self, cycle: int) -> None:
+        interval = self.timings.tREFIpb
+        out_of_order = self.refresh_config.enable_out_of_order
+        for rank in range(self.num_ranks):
+            while cycle >= self._next_due[rank]:
+                nominal = self._round_robin[rank]
+                self._debt[rank][nominal] += 1
+                if (
+                    out_of_order
+                    and self._debt[rank][nominal] < self.refresh_config.max_postpone
+                    and self.controller.demand_count(rank, nominal) > 0
+                ):
+                    self.stats.postponed += 1
+                self._round_robin[rank] = (nominal + 1) % self.num_banks
+                self._next_due[rank] += interval
+
+    def _issue_refresh(self, cycle: int, rank: int, bank: int) -> Optional[Command]:
+        """Try to issue a REFpb to (rank, bank); returns the command or None."""
+        command = self._per_bank_command(rank, bank)
+        if self.device.can_issue(command, cycle):
+            self._debt[rank][bank] -= 1
+            self.stats.per_bank_issued += 1
+            return command
+        return None
+
+    # -- policy hooks ----------------------------------------------------------------
+    def pre_demand(self, cycle: int) -> Optional[Command]:
+        self._accumulate_due(cycle)
+        max_postpone = self.refresh_config.max_postpone
+        out_of_order = self.refresh_config.enable_out_of_order
+
+        for rank in range(self.num_ranks):
+            debts = self._debt[rank]
+
+            # 1. Forced refreshes: a bank whose postpone budget is exhausted
+            #    must be refreshed now, with priority over demand (Figure 8,
+            #    the "cannot postpone" branch).
+            for bank in range(self.num_banks):
+                if debts[bank] < max_postpone:
+                    continue
+                command = self._issue_refresh(cycle, rank, bank)
+                if command is not None:
+                    self.stats.forced += 1
+                    return command
+                precharge = self._precharge_for_refresh(cycle, rank, bank)
+                if precharge is not None:
+                    return precharge
+
+            # Without out-of-order scheduling the policy degenerates to the
+            # strict round-robin baseline: every owed refresh is treated as
+            # forced for its nominal bank (handled above since the nominal
+            # bank is the only one accumulating debt); skip the flexible steps.
+            if not out_of_order:
+                # Behave like baseline REFpb: issue the oldest owed refresh
+                # to its nominal bank with priority over demand.
+                for bank in range(self.num_banks):
+                    if debts[bank] <= 0:
+                        continue
+                    command = self._issue_refresh(cycle, rank, bank)
+                    if command is not None:
+                        return command
+                    precharge = self._precharge_for_refresh(cycle, rank, bank)
+                    if precharge is not None:
+                        return precharge
+                continue
+
+            # 2. Scheduled refreshes to idle banks: serving an owed refresh
+            #    to a bank with no pending demand costs demand nothing.
+            owed_idle = [
+                bank
+                for bank in range(self.num_banks)
+                if debts[bank] > 0 and self.controller.demand_count(rank, bank) == 0
+            ]
+            owed_idle.sort(key=lambda bank: -debts[bank])
+            for bank in owed_idle:
+                command = self._issue_refresh(cycle, rank, bank)
+                if command is not None:
+                    return command
+
+            # 3. Write-refresh parallelization (Algorithm 1): during
+            #    writeback mode, refresh the bank with the fewest pending
+            #    demand requests, provided its pull-in budget allows it.
+            if (
+                self.refresh_config.enable_write_refresh_parallelization
+                and self.controller.in_writeback_mode
+                and not self.device.rank(self.channel_id, rank).is_refreshing(cycle)
+            ):
+                candidate = self._write_mode_candidate(rank)
+                if candidate is not None:
+                    command = self._issue_refresh(cycle, rank, candidate)
+                    if command is not None:
+                        self.stats.write_mode_refreshes += 1
+                        if self._debt[rank][candidate] < 0:
+                            self.stats.pulled_in += 1
+                        return command
+        return None
+
+    def post_demand(self, cycle: int) -> Optional[Command]:
+        """Figure 8, step 3: refresh a random idle bank when demand is stalled."""
+        if not self.refresh_config.enable_out_of_order:
+            return None
+        max_pullin = self.refresh_config.max_pullin
+        for rank in range(self.num_ranks):
+            debts = self._debt[rank]
+            idle_banks = [
+                bank
+                for bank in range(self.num_banks)
+                if self.controller.demand_count(rank, bank) == 0
+                and debts[bank] > -max_pullin
+            ]
+            if not idle_banks:
+                continue
+            # Prefer paying down postponed refreshes before pulling new ones in.
+            owed = [bank for bank in idle_banks if debts[bank] > 0]
+            pool = owed if owed else idle_banks
+            bank = self._rng.choice(pool)
+            command = self._issue_refresh(cycle, rank, bank)
+            if command is not None:
+                if debts[bank] < 0:
+                    self.stats.pulled_in += 1
+                return command
+        return None
+
+    def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
+        """Quiesce only banks whose refresh can no longer be postponed."""
+        return self._debt[rank][bank] >= self.refresh_config.max_postpone
+
+    def _write_mode_candidate(self, rank: int) -> Optional[int]:
+        """Bank with the lowest demand count whose pull-in budget allows a refresh."""
+        max_pullin = self.refresh_config.max_pullin
+        candidates = [
+            bank
+            for bank in range(self.num_banks)
+            if self._debt[rank][bank] > -max_pullin
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda bank: self.controller.demand_count(rank, bank)
+        )

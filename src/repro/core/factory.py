@@ -1,0 +1,42 @@
+"""Factory mapping a refresh mechanism name to its policy implementation.
+
+SARP is orthogonal to the scheduling policy: the factory only selects the
+*scheduling* policy, while the SARP device modifications are enabled by the
+memory system through ``RefreshMechanism.uses_sarp`` (see
+:class:`repro.controller.memory_controller.MemorySystem`).
+"""
+
+from __future__ import annotations
+
+from repro.config.refresh_config import RefreshMechanism
+from repro.config.system import SystemConfig
+from repro.core.adaptive import AdaptiveRefreshPolicy
+from repro.core.all_bank import AllBankRefreshPolicy
+from repro.core.base import RefreshPolicy
+from repro.core.darp import DARPPolicy
+from repro.core.elastic import ElasticRefreshPolicy
+from repro.core.no_refresh import NoRefreshPolicy
+from repro.core.per_bank import PerBankRefreshPolicy
+
+
+def create_refresh_policy(config: SystemConfig, channel_id: int) -> RefreshPolicy:
+    """Instantiate the refresh policy for one channel of ``config``."""
+    mechanism = config.refresh.mechanism
+    if mechanism is RefreshMechanism.NONE:
+        return NoRefreshPolicy(config, channel_id)
+    if mechanism in (
+        RefreshMechanism.REFAB,
+        RefreshMechanism.SARPAB,
+        RefreshMechanism.FGR2X,
+        RefreshMechanism.FGR4X,
+    ):
+        return AllBankRefreshPolicy(config, channel_id)
+    if mechanism in (RefreshMechanism.REFPB, RefreshMechanism.SARPPB):
+        return PerBankRefreshPolicy(config, channel_id)
+    if mechanism is RefreshMechanism.ELASTIC:
+        return ElasticRefreshPolicy(config, channel_id)
+    if mechanism in (RefreshMechanism.DARP, RefreshMechanism.DSARP):
+        return DARPPolicy(config, channel_id)
+    if mechanism is RefreshMechanism.AR:
+        return AdaptiveRefreshPolicy(config, channel_id)
+    raise ValueError(f"no policy registered for mechanism {mechanism!r}")

@@ -1,0 +1,73 @@
+"""Per-bank refresh (REFpb) with the standard round-robin order (Section 2.2.2).
+
+Every ``tREFIpb = tREFIab / 8`` one bank of the rank owes a refresh, chosen
+by a strict sequential round-robin pointer: the controller has no say in
+which bank is refreshed (the DRAM's internal refresh unit decides).  Only
+the owed bank is quiesced, so other banks keep serving requests — the
+advantage of REFpb over REFab — but an access to the owed (or refreshing)
+bank must wait, and consecutive REFpb operations may not overlap within a
+rank, which serializes their latency (the pathological case discussed in
+Section 6.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.base import RefreshPolicy
+from repro.dram.commands import Command
+
+
+class PerBankRefreshPolicy(RefreshPolicy):
+    """LPDDR-style per-bank refresh in strict round-robin order."""
+
+    def __init__(self, config, channel_id: int):
+        super().__init__(config, channel_id)
+        interval = self.timings.tREFIpb
+        self._next_due = [
+            self._initial_due(interval, rank) for rank in range(self.num_ranks)
+        ]
+        self._round_robin = [0] * self.num_ranks
+        self._pending: list[deque[int]] = [deque() for _ in range(self.num_ranks)]
+
+    # -- schedule bookkeeping ----------------------------------------------------
+    def _accumulate_due(self, cycle: int) -> None:
+        interval = self.timings.tREFIpb
+        for rank in range(self.num_ranks):
+            while cycle >= self._next_due[rank]:
+                self._pending[rank].append(self._round_robin[rank])
+                self._round_robin[rank] = (self._round_robin[rank] + 1) % self.num_banks
+                self._next_due[rank] += interval
+
+    def pending_bank(self, rank: int) -> Optional[int]:
+        """The bank whose refresh is at the head of the rank's pending queue."""
+        queue = self._pending[rank]
+        return queue[0] if queue else None
+
+    def pending_refreshes(self, rank: int) -> int:
+        return len(self._pending[rank])
+
+    # -- policy hooks ---------------------------------------------------------------
+    def pre_demand(self, cycle: int) -> Optional[Command]:
+        self._accumulate_due(cycle)
+        device = self.device
+        for rank in range(self.num_ranks):
+            queue = self._pending[rank]
+            if not queue:
+                continue
+            bank = queue[0]
+            command = self._per_bank_command(rank, bank)
+            if device.can_issue(command, cycle):
+                queue.popleft()
+                self.stats.per_bank_issued += 1
+                return command
+            precharge = self._precharge_for_refresh(cycle, rank, bank)
+            if precharge is not None:
+                return precharge
+        return None
+
+    def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
+        # Only the bank at the head of the round-robin schedule is quiesced.
+        pending = self.pending_bank(rank)
+        return pending is not None and pending == bank

@@ -1,0 +1,12 @@
+"""Processor front end: an out-of-order-lite core model driven by traces.
+
+Each core retires up to ``issue_width`` instructions per CPU cycle, can run
+ahead of an outstanding load by at most the instruction-window size
+(128 entries), and can have at most ``mshrs_per_core`` (8) cache misses in
+flight — the three parameters of Table 1 that shape memory-level
+parallelism and therefore how much refresh latency can be hidden.
+"""
+
+from repro.cpu.core_model import Core, CoreStats
+
+__all__ = ["Core", "CoreStats"]

@@ -1,0 +1,221 @@
+"""Trace-driven core model.
+
+The model is a deliberately simple but faithful abstraction of the paper's
+3-wide, 128-entry-window, 8-MSHR cores:
+
+* instructions retire at up to ``issue_width`` per CPU cycle;
+* a load that misses the LLC allocates an MSHR and issues a DRAM read; the
+  core keeps executing younger instructions until it is
+  ``instruction_window`` instructions ahead of the oldest outstanding load
+  (stall-on-full-window), or until it runs out of MSHRs;
+* stores never stall retirement (writes are not latency critical,
+  Section 4.2.2); dirty LLC evictions become DRAM writes, with back
+  pressure from a full write queue stalling the core until it drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.cache.llc import LastLevelCache
+from repro.config.cpu_config import CPUConfig
+from repro.controller.request import MemRequest
+from repro.workloads.trace import TraceEntry
+
+
+@dataclass
+class CoreStats:
+    """Retirement and memory statistics for one core."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    llc_load_misses: int = 0
+    dram_reads_issued: int = 0
+    dram_writes_issued: int = 0
+    stall_cycles: int = 0
+
+    def mpki(self) -> float:
+        """DRAM read requests (LLC misses) per thousand instructions."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.dram_reads_issued * 1000.0 / self.instructions
+
+    def as_dict(self) -> dict:
+        return {
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "llc_load_misses": self.llc_load_misses,
+            "dram_reads_issued": self.dram_reads_issued,
+            "dram_writes_issued": self.dram_writes_issued,
+            "stall_cycles": self.stall_cycles,
+            "mpki": self.mpki(),
+        }
+
+
+class Core:
+    """One trace-driven core with its private LLC slice."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CPUConfig,
+        trace: Iterator[TraceEntry],
+        llc: LastLevelCache,
+        memory,
+        address_offset: int = 0,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.llc = llc
+        self.memory = memory
+        self.address_offset = address_offset
+        self.stats = CoreStats()
+
+        #: Outstanding DRAM loads: (instruction sequence number, request).
+        self._pending_loads: deque[tuple[int, MemRequest]] = deque()
+        self._pending_requests: dict[int, int] = {}
+        #: Dirty eviction waiting for write-queue space.
+        self._pending_writeback: Optional[int] = None
+        #: Remaining non-memory instructions before the current trace entry.
+        self._gap_remaining = 0
+        self._current_entry: Optional[TraceEntry] = None
+        self._executed_seq = 0
+
+    # -- memory completion ------------------------------------------------
+    def complete_load(self, request: MemRequest) -> None:
+        """Wake up the pending load served by ``request``."""
+        if request.request_id not in self._pending_requests:
+            return
+        del self._pending_requests[request.request_id]
+        self._pending_loads = deque(
+            (seq, req)
+            for seq, req in self._pending_loads
+            if req.request_id != request.request_id
+        )
+
+    def outstanding_loads(self) -> int:
+        return len(self._pending_loads)
+
+    # -- execution ----------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Execute up to one DRAM cycle's worth of instructions."""
+        budget = self.config.insts_per_dram_cycle
+        progressed = False
+        while budget > 0:
+            if not self._drain_writeback(cycle):
+                break
+            if self._window_full():
+                break
+            if self._gap_remaining > 0:
+                step = min(budget, self._gap_remaining, self._window_headroom())
+                self._gap_remaining -= step
+                self._retire(step)
+                budget -= step
+                progressed = True
+                continue
+            if self._current_entry is None:
+                self._fetch_next_entry()
+                continue
+            if not self._execute_memory_access(cycle):
+                break
+            budget -= 1
+            progressed = True
+        if not progressed:
+            self.stats.stall_cycles += 1
+
+    # -- internals ---------------------------------------------------------------
+    def _retire(self, count: int) -> None:
+        self.stats.instructions += count
+        self._executed_seq += count
+
+    def _window_full(self) -> bool:
+        return self._window_headroom() <= 0
+
+    def _window_headroom(self) -> int:
+        """Instructions the core may still run ahead of its oldest pending load."""
+        if not self._pending_loads:
+            return self.config.instruction_window
+        oldest_seq = self._pending_loads[0][0]
+        return self.config.instruction_window - (self._executed_seq - oldest_seq)
+
+    def _fetch_next_entry(self) -> None:
+        entry = next(self.trace)
+        self._current_entry = entry
+        self._gap_remaining = entry.gap
+
+    def _drain_writeback(self, cycle: int) -> bool:
+        """Issue a buffered dirty eviction; False if still blocked."""
+        if self._pending_writeback is None:
+            return True
+        address = self._pending_writeback
+        if not self.memory.can_accept(address, True):
+            return False
+        self.memory.access(address, True, self.core_id, cycle)
+        self.stats.dram_writes_issued += 1
+        self._pending_writeback = None
+        return True
+
+    def _execute_memory_access(self, cycle: int) -> bool:
+        """Execute the current memory instruction; False if stalled."""
+        entry = self._current_entry
+        address = self.address_offset + entry.address
+        line_address = self.llc.line_address(address)
+
+        if entry.is_write:
+            result = self.llc.access(line_address, is_write=True)
+            self._queue_writeback(result.writeback_address)
+            self.stats.stores += 1
+            self._retire(1)
+            self._current_entry = None
+            return True
+
+        # Dependent loads (pointer chasing) cannot issue while earlier loads
+        # are still outstanding; they are what makes a workload sensitive to
+        # the latency a refresh adds to an individual request.
+        if entry.depends and self._pending_loads:
+            return False
+
+        # Loads: check MSHR and read-queue capacity before touching the
+        # cache so a stalled access can be retried without side effects.
+        if not self.llc.contains(line_address):
+            if len(self._pending_loads) >= self.config.mshrs_per_core:
+                return False
+            if not self.memory.can_accept(line_address, False):
+                return False
+        result = self.llc.access(line_address, is_write=False)
+        self.stats.loads += 1
+        if not result.hit:
+            self.stats.llc_load_misses += 1
+            request = self.memory.access(line_address, False, self.core_id, cycle)
+            if request is not None:
+                self.stats.dram_reads_issued += 1
+                self._pending_loads.append((self._executed_seq, request))
+                self._pending_requests[request.request_id] = self._executed_seq
+        self._queue_writeback(result.writeback_address)
+        self._retire(1)
+        self._current_entry = None
+        return True
+
+    def _queue_writeback(self, writeback_address: Optional[int]) -> None:
+        if writeback_address is None:
+            return
+        # The eviction is buffered and drained at the next opportunity;
+        # execution stalls if a second eviction arrives before then.
+        self._pending_writeback = writeback_address
+
+    # -- reporting ----------------------------------------------------------------
+    def ipc(self, elapsed_dram_cycles: int) -> float:
+        """Instructions per CPU cycle over the elapsed simulation window."""
+        cpu_cycles = elapsed_dram_cycles * self.config.cpu_cycles_per_dram_cycle
+        if cpu_cycles <= 0:
+            return 0.0
+        return self.stats.instructions / cpu_cycles
+
+    def reset_stats(self) -> None:
+        self.stats = CoreStats()
+        self.llc.reset_stats()

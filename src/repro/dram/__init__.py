@@ -1,0 +1,40 @@
+"""Cycle-level DRAM device model.
+
+The model implements the DDR3-1333 command/timing behaviour the paper's
+mechanisms interact with: banks with activate/read/write/precharge state
+machines, rank-level tRRD/tFAW activation constraints, a half-duplex data
+bus with read/write turnaround penalties, all-bank (REFab) and per-bank
+(REFpb) refresh commands, and the SARP modifications that allow a bank to
+serve accesses to idle subarrays while another subarray is being refreshed.
+"""
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.address import AddressMapper, PhysicalLocation
+from repro.dram.subarray import Subarray
+from repro.dram.bank import Bank
+from repro.dram.rank import Rank
+from repro.dram.channel import Channel
+from repro.dram.device import DRAMDevice, DeviceStats
+from repro.dram.power_integrity import (
+    power_overhead_faw,
+    sarp_timing_scale,
+    SARP_ALL_BANK_SCALE,
+    SARP_PER_BANK_SCALE,
+)
+
+__all__ = [
+    "Command",
+    "CommandType",
+    "AddressMapper",
+    "PhysicalLocation",
+    "Subarray",
+    "Bank",
+    "Rank",
+    "Channel",
+    "DRAMDevice",
+    "DeviceStats",
+    "power_overhead_faw",
+    "sarp_timing_scale",
+    "SARP_ALL_BANK_SCALE",
+    "SARP_PER_BANK_SCALE",
+]

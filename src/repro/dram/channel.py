@@ -1,0 +1,90 @@
+"""DRAM channel model: ranks sharing a command bus and half-duplex data bus.
+
+The channel arbitrates the shared data bus: each column command occupies the
+bus for a burst of ``tBL`` cycles after its CAS latency, and switching the
+bus direction costs the tWTR (write-to-read) or tRTW (read-to-write)
+turnaround penalty.  The write-batching behaviour the paper's DARP
+mechanism exploits exists precisely to amortize this turnaround cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.rank import Rank
+
+
+@dataclass
+class Channel:
+    """State of a single DRAM channel."""
+
+    index: int
+    ranks: list[Rank]
+
+    #: Cycle until which the data bus is occupied by a burst.
+    bus_busy_until: int = 0
+    #: End cycle of the most recent read data burst.
+    last_read_burst_end: int = -(10**9)
+    #: End cycle of the most recent write data burst.
+    last_write_burst_end: int = -(10**9)
+
+    # -- statistics -------------------------------------------------------
+    read_bursts: int = 0
+    write_bursts: int = 0
+    busy_cycles: int = 0
+
+    def rank(self, index: int) -> Rank:
+        return self.ranks[index]
+
+    # -- data-bus arbitration ----------------------------------------------
+    def can_read_burst(self, command_cycle: int, timings) -> bool:
+        """Check that a read issued at ``command_cycle`` can use the bus."""
+        burst_start = command_cycle + timings.tCL
+        if burst_start < self.bus_busy_until:
+            return False
+        # Write-to-read turnaround: the read burst must not start before the
+        # previous write burst has cleared the bus by tWTR cycles.
+        if burst_start < self.last_write_burst_end + timings.tWTR:
+            return False
+        return True
+
+    def can_write_burst(self, command_cycle: int, timings) -> bool:
+        """Check that a write issued at ``command_cycle`` can use the bus."""
+        burst_start = command_cycle + timings.tCWL
+        if burst_start < self.bus_busy_until:
+            return False
+        # Read-to-write turnaround.
+        if burst_start < self.last_read_burst_end + timings.tRTW:
+            return False
+        return True
+
+    def occupy_read_burst(self, command_cycle: int, timings) -> int:
+        """Reserve the bus for a read burst; returns the burst end cycle."""
+        burst_start = command_cycle + timings.tCL
+        burst_end = burst_start + timings.tBL
+        self.bus_busy_until = burst_end
+        self.last_read_burst_end = burst_end
+        self.read_bursts += 1
+        self.busy_cycles += timings.tBL
+        return burst_end
+
+    def occupy_write_burst(self, command_cycle: int, timings) -> int:
+        """Reserve the bus for a write burst; returns the burst end cycle."""
+        burst_start = command_cycle + timings.tCWL
+        burst_end = burst_start + timings.tBL
+        self.bus_busy_until = burst_end
+        self.last_write_burst_end = burst_end
+        self.write_bursts += 1
+        self.busy_cycles += timings.tBL
+        return burst_end
+
+    def tick(self, cycle: int) -> None:
+        """Advance per-cycle rank bookkeeping."""
+        for rank in self.ranks:
+            rank.tick(cycle)
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles the data bus carried a burst."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.busy_cycles / elapsed_cycles

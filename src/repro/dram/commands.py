@@ -1,0 +1,75 @@
+"""DRAM command types and the command record issued by the controller."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """DRAM commands the memory controller can place on the command bus."""
+
+    ACT = "activate"
+    RD = "read"
+    WR = "write"
+    RDA = "read_autoprecharge"
+    WRA = "write_autoprecharge"
+    PRE = "precharge"
+    REFAB = "refresh_all_bank"
+    REFPB = "refresh_per_bank"
+
+    @property
+    def is_column(self) -> bool:
+        """True for column (data-transferring) commands."""
+        return self in {
+            CommandType.RD,
+            CommandType.WR,
+            CommandType.RDA,
+            CommandType.WRA,
+        }
+
+    @property
+    def is_read(self) -> bool:
+        return self in {CommandType.RD, CommandType.RDA}
+
+    @property
+    def is_write(self) -> bool:
+        return self in {CommandType.WR, CommandType.WRA}
+
+    @property
+    def is_refresh(self) -> bool:
+        return self in {CommandType.REFAB, CommandType.REFPB}
+
+    @property
+    def autoprecharges(self) -> bool:
+        return self in {CommandType.RDA, CommandType.WRA}
+
+
+@dataclass
+class Command:
+    """A single DRAM command targeting a location in the hierarchy.
+
+    ``REFAB`` commands target a rank (``bank`` is ignored); ``REFPB``
+    commands target a bank; ``ACT`` carries a row; column commands carry a
+    column within the bank's open row.  ``request`` links the command back
+    to the memory request it serves (None for refreshes and precharges).
+    """
+
+    kind: CommandType
+    channel: int
+    rank: int
+    bank: int = 0
+    row: int = 0
+    column: int = 0
+    request: Optional[object] = None
+    #: Optional refresh-duration override in DRAM cycles.  Used by the
+    #: adaptive-refresh policy to issue fine-granularity sub-refreshes whose
+    #: latency differs from the configured tRFC.
+    duration: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Command({self.kind.name}, ch={self.channel}, rk={self.rank}, "
+            f"bk={self.bank}, row={self.row}, col={self.column})"
+        )

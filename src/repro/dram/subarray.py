@@ -1,0 +1,49 @@
+"""Subarray bookkeeping used by the SARP mechanism.
+
+A DRAM bank physically consists of 32-64 subarrays; following the paper
+(footnote 4) we group them into ``subarrays_per_bank`` subarray groups and
+refer to each group simply as a subarray.  Refreshing a row only occupies
+the subarray containing that row; SARP exploits this by allowing accesses
+to the other subarrays of a refreshing bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Subarray:
+    """Per-subarray statistics and refresh-row bookkeeping."""
+
+    index: int
+    rows: int
+    #: Number of refresh operations that targeted this subarray.
+    refreshes: int = 0
+    #: Number of activations (demand accesses) served by this subarray.
+    activations: int = 0
+    #: Number of accesses that were blocked because this subarray was
+    #: being refreshed (a subarray conflict).
+    refresh_conflicts: int = 0
+
+    def record_refresh(self) -> None:
+        self.refreshes += 1
+
+    def record_activation(self) -> None:
+        self.activations += 1
+
+    def record_conflict(self) -> None:
+        self.refresh_conflicts += 1
+
+
+def build_subarrays(subarrays_per_bank: int, rows_per_bank: int) -> list[Subarray]:
+    """Create the subarray groups for one bank."""
+    if subarrays_per_bank <= 0:
+        raise ValueError("subarrays_per_bank must be positive")
+    if rows_per_bank % subarrays_per_bank:
+        raise ValueError(
+            "rows_per_bank must be divisible by subarrays_per_bank "
+            f"({rows_per_bank} % {subarrays_per_bank} != 0)"
+        )
+    rows_per_subarray = rows_per_bank // subarrays_per_bank
+    return [Subarray(index=i, rows=rows_per_subarray) for i in range(subarrays_per_bank)]

@@ -1,0 +1,24 @@
+"""System-level performance metrics used in the evaluation.
+
+The paper reports weighted speedup (its primary metric), harmonic speedup,
+maximum slowdown (fairness) and energy per access.  All of them compare a
+benchmark's IPC when sharing the system against its IPC when running alone.
+"""
+
+from repro.metrics.speedup import (
+    weighted_speedup,
+    harmonic_speedup,
+    maximum_slowdown,
+    geometric_mean,
+    percent_improvement,
+    percent_loss,
+)
+
+__all__ = [
+    "weighted_speedup",
+    "harmonic_speedup",
+    "maximum_slowdown",
+    "geometric_mean",
+    "percent_improvement",
+    "percent_loss",
+]

@@ -1,0 +1,74 @@
+"""Multi-programmed performance metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def _validate(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> None:
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError(
+            "shared and alone IPC lists must have the same length "
+            f"({len(shared_ipcs)} != {len(alone_ipcs)})"
+        )
+    if not shared_ipcs:
+        raise ValueError("at least one core is required")
+    if any(ipc <= 0 for ipc in alone_ipcs):
+        raise ValueError("alone IPCs must be positive")
+
+
+def weighted_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Weighted speedup: sum of per-core shared-to-alone IPC ratios.
+
+    This is the paper's primary system-performance metric (Section 5).
+    """
+    _validate(shared_ipcs, alone_ipcs)
+    return sum(s / a for s, a in zip(shared_ipcs, alone_ipcs))
+
+
+def harmonic_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Harmonic speedup (Luo et al.): balances throughput and fairness."""
+    _validate(shared_ipcs, alone_ipcs)
+    n = len(shared_ipcs)
+    denominator = 0.0
+    for shared, alone in zip(shared_ipcs, alone_ipcs):
+        if shared <= 0:
+            return 0.0
+        denominator += alone / shared
+    return n / denominator
+
+
+def maximum_slowdown(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Maximum slowdown: the worst per-core alone-to-shared IPC ratio."""
+    _validate(shared_ipcs, alone_ipcs)
+    worst = 0.0
+    for shared, alone in zip(shared_ipcs, alone_ipcs):
+        if shared <= 0:
+            return math.inf
+        worst = max(worst, alone / shared)
+    return worst
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports gmean improvements (Table 2)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_improvement(value: float, baseline: float) -> float:
+    """Percentage improvement of ``value`` over ``baseline``."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (value / baseline - 1.0) * 100.0
+
+
+def percent_loss(value: float, reference: float) -> float:
+    """Percentage loss of ``value`` relative to a (better) ``reference``."""
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return (1.0 - value / reference) * 100.0

@@ -1,0 +1,13 @@
+"""DRAM power and energy model (Micron power-calculator methodology).
+
+The paper reports DRAM system power as energy per memory access serviced
+(Figure 14) using the Micron DDR3 power calculator with the 8 Gb TwinDie
+device parameters.  This package re-implements that methodology: per-event
+energies for activation, read/write bursts and refresh derived from IDD
+currents, plus background power integrated over the simulated interval.
+"""
+
+from repro.power.idd import IDDValues, MICRON_8GB_DDR3
+from repro.power.dram_power import DRAMPowerModel, EnergyBreakdown
+
+__all__ = ["IDDValues", "MICRON_8GB_DDR3", "DRAMPowerModel", "EnergyBreakdown"]

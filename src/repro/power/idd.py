@@ -1,0 +1,49 @@
+"""IDD current specifications used by the power model.
+
+The values are representative of a Micron 8 Gb DDR3 device (the paper's
+power reference, [29]); they are used for all densities, matching the
+paper's note that it conservatively assumes the same power parameters for
+8, 16 and 32 Gb chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IDDValues:
+    """DDR3 IDD currents (mA) and supply voltage (V).
+
+    IDD currents are specified per DRAM device (chip); a 64-bit rank built
+    from x8 devices contains eight of them, all active on every command, so
+    the power model multiplies per-event energy by ``devices_per_rank``.
+    """
+
+    vdd: float = 1.5
+    #: DRAM chips per rank (x8 devices on a 64-bit channel).
+    devices_per_rank: int = 8
+    #: One-bank activate-precharge current.
+    idd0: float = 95.0
+    #: Precharge standby current.
+    idd2n: float = 42.0
+    #: Active standby current.
+    idd3n: float = 67.0
+    #: Burst read current.
+    idd4r: float = 180.0
+    #: Burst write current.
+    idd4w: float = 185.0
+    #: Burst refresh current (all-bank).
+    idd5b: float = 215.0
+
+    def activate_current(self) -> float:
+        """Current attributable to one ACTIVATE beyond active standby."""
+        return max(0.0, self.idd0 - self.idd3n)
+
+    def refresh_current(self) -> float:
+        """Current attributable to a refresh beyond precharge standby."""
+        return max(0.0, self.idd5b - self.idd2n)
+
+
+#: The default device parameters (Micron 8 Gb DDR3, reference [29]).
+MICRON_8GB_DDR3 = IDDValues()

@@ -1,0 +1,17 @@
+"""Simulation driver, experiment runner and the paper's experiment definitions."""
+
+from repro.sim.simulator import Simulator
+from repro.sim.results import SimulationResult, WorkloadResult, MechanismComparison
+from repro.sim.runner import ExperimentRunner, run_workload, run_mechanism_comparison
+from repro.sim.projections import refresh_latency_trend
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "WorkloadResult",
+    "MechanismComparison",
+    "ExperimentRunner",
+    "run_workload",
+    "run_mechanism_comparison",
+    "refresh_latency_trend",
+]

@@ -1,0 +1,547 @@
+"""Paper experiment definitions: one function per figure / table.
+
+Every function reproduces the *structure* of one of the paper's results —
+the same mechanisms, sweeps and aggregation — on the synthetic workload
+suite.  The default scale (workloads per category, simulated cycles) is far
+below the paper's 100 workloads x 256 M cycles so the whole harness runs on
+a laptop; set ``REPRO_FULL=1`` or pass explicit parameters to scale up.
+
+All functions share an :class:`~repro.sim.runner.ExperimentRunner`, whose
+memoization ensures that, e.g., the REFab baseline runs are simulated only
+once even though several figures need them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence
+
+from repro.config.presets import paper_system
+from repro.config.refresh_config import RefreshMechanism
+from repro.metrics.speedup import geometric_mean
+from repro.sim.projections import RefreshLatencyPoint, refresh_latency_trend
+from repro.sim.runner import ExperimentRunner, get_default_runner
+from repro.workloads.mixes import (
+    INTENSITY_CATEGORIES,
+    Workload,
+    make_workload_sweep,
+    memory_intensive_workloads,
+)
+
+#: The paper's three evaluated DRAM densities (Gb).
+DEFAULT_DENSITIES: tuple[int, ...] = (8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How large to make each experiment."""
+
+    workloads_per_category: int = 1
+    sensitivity_workloads: int = 2
+    densities: tuple[int, ...] = DEFAULT_DENSITIES
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentScale":
+        """Default scale, enlarged when ``REPRO_FULL`` is set."""
+        if os.environ.get("REPRO_FULL"):
+            return cls(workloads_per_category=4, sensitivity_workloads=4)
+        return cls()
+
+
+def default_scale() -> ExperimentScale:
+    return ExperimentScale.from_environment()
+
+
+def _runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
+    return runner if runner is not None else get_default_runner()
+
+
+def _sweep_workloads(scale: ExperimentScale) -> list[Workload]:
+    return make_workload_sweep(workloads_per_category=scale.workloads_per_category)
+
+
+def _sensitivity_workloads(scale: ExperimentScale) -> list[Workload]:
+    return memory_intensive_workloads(count=scale.sensitivity_workloads)
+
+
+def _average_improvement(values: Iterable[float]) -> float:
+    """Average percentage improvement via the geometric mean of the ratios."""
+    ratios = [1.0 + value / 100.0 for value in values]
+    return (geometric_mean(ratios) - 1.0) * 100.0
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: refresh-latency scaling trend
+# ---------------------------------------------------------------------------
+def figure5_refresh_latency_trend(
+    densities: tuple[int, ...] = (1, 8, 16, 24, 32, 40, 48, 56, 64),
+) -> list[RefreshLatencyPoint]:
+    """Figure 5: projected tRFCab versus DRAM density (no simulation)."""
+    return refresh_latency_trend(densities)
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7: performance loss of the refresh baselines vs the ideal
+# ---------------------------------------------------------------------------
+def figure6_refab_performance_loss(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[int, dict[int, float]]:
+    """Figure 6: % WS loss of REFab vs the no-refresh ideal.
+
+    Returns ``{category: {density: loss_percent}}`` with an extra key
+    ``-1`` holding the all-category average per density.
+    """
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    losses: dict[int, dict[int, list[float]]] = {
+        category: {density: [] for density in scale.densities}
+        for category in INTENSITY_CATEGORIES
+    }
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        for workload in workloads:
+            comparison = runner.compare(
+                workload, base_config, (RefreshMechanism.NONE, RefreshMechanism.REFAB)
+            )
+            normalized = comparison.normalized_to(RefreshMechanism.NONE.value)
+            loss = (1.0 - normalized[RefreshMechanism.REFAB.value]) * 100.0
+            losses[workload.category][density].append(loss)
+    result: dict[int, dict[int, float]] = {}
+    for category, per_density in losses.items():
+        result[category] = {
+            density: (sum(vals) / len(vals) if vals else 0.0)
+            for density, vals in per_density.items()
+        }
+    result[-1] = {
+        density: sum(result[c][density] for c in INTENSITY_CATEGORIES)
+        / len(INTENSITY_CATEGORIES)
+        for density in scale.densities
+    }
+    return result
+
+
+def figure7_refab_vs_refpb_loss(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[int, dict[str, float]]:
+    """Figure 7: average % WS loss of REFab and REFpb vs the ideal, per density."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    result: dict[int, dict[str, float]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        losses = {"refab": [], "refpb": []}
+        for workload in workloads:
+            comparison = runner.compare(
+                workload,
+                base_config,
+                (RefreshMechanism.NONE, RefreshMechanism.REFAB, RefreshMechanism.REFPB),
+            )
+            normalized = comparison.normalized_to(RefreshMechanism.NONE.value)
+            losses["refab"].append((1.0 - normalized["refab"]) * 100.0)
+            losses["refpb"].append((1.0 - normalized["refpb"]) * 100.0)
+        result[density] = {
+            mech: sum(values) / len(values) for mech, values in losses.items()
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 and Table 2: the main per-workload evaluation
+# ---------------------------------------------------------------------------
+MAIN_MECHANISMS: tuple[str, ...] = ("refab", "refpb", "darp", "sarppb", "dsarp")
+
+
+def figure12_workload_sweep(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    mechanisms: Sequence[str] = MAIN_MECHANISMS,
+) -> dict[int, dict[str, dict[str, float]]]:
+    """Figure 12: per-workload WS normalized to REFab, per density.
+
+    Returns ``{density: {workload_name: {mechanism: normalized_ws}}}``.
+    """
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    result: dict[int, dict[str, dict[str, float]]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        per_workload: dict[str, dict[str, float]] = {}
+        for workload in workloads:
+            comparison = runner.compare(workload, base_config, mechanisms)
+            per_workload[workload.name] = comparison.normalized_to("refab")
+        result[density] = per_workload
+    return result
+
+
+def table2_improvement_summary(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    sweep: Optional[dict[int, dict[str, dict[str, float]]]] = None,
+) -> dict[int, dict[str, dict[str, float]]]:
+    """Table 2: max and gmean WS improvement over REFpb and REFab.
+
+    Returns ``{density: {mechanism: {"max_refpb", "gmean_refpb",
+    "max_refab", "gmean_refab"}}}`` (all in percent) for DARP, SARPpb and
+    DSARP.
+    """
+    if sweep is None:
+        sweep = figure12_workload_sweep(runner=runner, scale=scale)
+    result: dict[int, dict[str, dict[str, float]]] = {}
+    for density, per_workload in sweep.items():
+        result[density] = {}
+        for mechanism in ("darp", "sarppb", "dsarp"):
+            over_refab = []
+            over_refpb = []
+            for norms in per_workload.values():
+                over_refab.append((norms[mechanism] - 1.0) * 100.0)
+                over_refpb.append((norms[mechanism] / norms["refpb"] - 1.0) * 100.0)
+            result[density][mechanism] = {
+                "max_refpb": max(over_refpb),
+                "gmean_refpb": _average_improvement(over_refpb),
+                "max_refab": max(over_refab),
+                "gmean_refab": _average_improvement(over_refab),
+            }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 and Figure 14: all mechanisms, performance and energy
+# ---------------------------------------------------------------------------
+ALL_MECHANISMS: tuple[str, ...] = (
+    "refab",
+    "refpb",
+    "elastic",
+    "darp",
+    "sarpab",
+    "sarppb",
+    "dsarp",
+    "none",
+)
+
+
+def figure13_all_mechanisms(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    mechanisms: Sequence[str] = ALL_MECHANISMS,
+) -> dict[int, dict[str, float]]:
+    """Figure 13: average % WS improvement over REFab for every mechanism."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    result: dict[int, dict[str, float]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        improvements: dict[str, list[float]] = {m: [] for m in mechanisms}
+        for workload in workloads:
+            comparison = runner.compare(workload, base_config, mechanisms)
+            normalized = comparison.normalized_to("refab")
+            for mechanism in mechanisms:
+                improvements[mechanism].append((normalized[mechanism] - 1.0) * 100.0)
+        result[density] = {
+            mechanism: _average_improvement(values)
+            for mechanism, values in improvements.items()
+        }
+    return result
+
+
+def figure14_energy_per_access(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    mechanisms: Sequence[str] = ALL_MECHANISMS,
+) -> dict[int, dict[str, float]]:
+    """Figure 14: average energy per access (nJ) for every mechanism.
+
+    The average is weighted by the number of accesses each workload serves
+    (total energy over total accesses).  An unweighted mean would be
+    dominated by the 0 %-intensive mix, whose handful of DRAM accesses make
+    its per-access energy mostly background noise.
+    """
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    result: dict[int, dict[str, float]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        total_energy: dict[str, float] = {m: 0.0 for m in mechanisms}
+        total_accesses: dict[str, int] = {m: 0 for m in mechanisms}
+        for workload in workloads:
+            comparison = runner.compare(workload, base_config, mechanisms)
+            for mechanism in mechanisms:
+                energy = comparison.results[mechanism].simulation.energy
+                total_energy[mechanism] += energy["total_nj"]
+                total_accesses[mechanism] += energy["accesses"]
+        result[density] = {
+            mechanism: total_energy[mechanism] / max(1, total_accesses[mechanism])
+            for mechanism in mechanisms
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: DSARP gains versus memory intensity
+# ---------------------------------------------------------------------------
+def figure15_memory_intensity(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[int, dict[int, dict[str, float]]]:
+    """Figure 15: DSARP % WS gain over REFab and REFpb by intensity category.
+
+    Returns ``{category: {density: {"vs_refab": pct, "vs_refpb": pct}}}``.
+    """
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    gains: dict[int, dict[int, dict[str, list[float]]]] = {
+        category: {
+            density: {"vs_refab": [], "vs_refpb": []} for density in scale.densities
+        }
+        for category in INTENSITY_CATEGORIES
+    }
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        for workload in workloads:
+            comparison = runner.compare(
+                workload, base_config, ("refab", "refpb", "dsarp")
+            )
+            normalized = comparison.normalized_to("refab")
+            bucket = gains[workload.category][density]
+            bucket["vs_refab"].append((normalized["dsarp"] - 1.0) * 100.0)
+            bucket["vs_refpb"].append(
+                (normalized["dsarp"] / normalized["refpb"] - 1.0) * 100.0
+            )
+    result: dict[int, dict[int, dict[str, float]]] = {}
+    for category, per_density in gains.items():
+        result[category] = {}
+        for density, buckets in per_density.items():
+            result[category][density] = {
+                key: (sum(vals) / len(vals) if vals else 0.0)
+                for key, vals in buckets.items()
+            }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 3: core-count sensitivity
+# ---------------------------------------------------------------------------
+def table3_core_count(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    core_counts: tuple[int, ...] = (2, 4, 8),
+    density_gb: int = 32,
+) -> dict[int, dict[str, float]]:
+    """Table 3: DSARP vs REFab across core counts (WS, HS, fairness, energy)."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    result: dict[int, dict[str, float]] = {}
+    for cores in core_counts:
+        workloads = memory_intensive_workloads(
+            count=scale.sensitivity_workloads, num_cores=cores
+        )
+        ws_gains, hs_gains, slowdown_reductions, energy_reductions = [], [], [], []
+        base_config = paper_system(density_gb=density_gb, num_cores=cores)
+        for workload in workloads:
+            comparison = runner.compare(workload, base_config, ("refab", "dsarp"))
+            refab = comparison.results["refab"]
+            dsarp = comparison.results["dsarp"]
+            ws_gains.append(
+                (dsarp.weighted_speedup / refab.weighted_speedup - 1.0) * 100.0
+            )
+            hs_gains.append(
+                (dsarp.harmonic_speedup / refab.harmonic_speedup - 1.0) * 100.0
+            )
+            slowdown_reductions.append(
+                (1.0 - dsarp.maximum_slowdown / refab.maximum_slowdown) * 100.0
+            )
+            energy_reductions.append(
+                (1.0 - dsarp.energy_per_access_nj / refab.energy_per_access_nj) * 100.0
+            )
+        result[cores] = {
+            "weighted_speedup_improvement": sum(ws_gains) / len(ws_gains),
+            "harmonic_speedup_improvement": sum(hs_gains) / len(hs_gains),
+            "maximum_slowdown_reduction": sum(slowdown_reductions)
+            / len(slowdown_reductions),
+            "energy_per_access_reduction": sum(energy_reductions)
+            / len(energy_reductions),
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 4: tFAW / tRRD sensitivity of SARPpb
+# ---------------------------------------------------------------------------
+def table4_tfaw_sensitivity(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    tfaw_values: tuple[int, ...] = (5, 10, 15, 20, 25, 30),
+    density_gb: int = 32,
+) -> dict[int, float]:
+    """Table 4: % WS improvement of SARPpb over REFpb as tFAW/tRRD vary."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sensitivity_workloads(scale)
+    result: dict[int, float] = {}
+    for tfaw in tfaw_values:
+        trrd = max(1, tfaw // 5)
+        gains = []
+        base = paper_system(density_gb=density_gb)
+        base = replace(base, dram=base.dram.with_tfaw(tfaw, trrd))
+        for workload in workloads:
+            comparison = runner.compare(workload, base, ("refpb", "sarppb"))
+            normalized = comparison.normalized_to("refpb")
+            gains.append((normalized["sarppb"] - 1.0) * 100.0)
+        result[tfaw] = _average_improvement(gains)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 5: subarrays-per-bank sensitivity of SARPpb
+# ---------------------------------------------------------------------------
+def table5_subarray_sensitivity(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    subarray_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    density_gb: int = 32,
+) -> dict[int, float]:
+    """Table 5: % WS improvement of SARPpb over REFpb vs subarrays per bank."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sensitivity_workloads(scale)
+    result: dict[int, float] = {}
+    for count in subarray_counts:
+        gains = []
+        base = paper_system(density_gb=density_gb, subarrays_per_bank=count)
+        for workload in workloads:
+            comparison = runner.compare(workload, base, ("refpb", "sarppb"))
+            normalized = comparison.normalized_to("refpb")
+            gains.append((normalized["sarppb"] - 1.0) * 100.0)
+        result[count] = _average_improvement(gains)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 6: 64 ms retention time
+# ---------------------------------------------------------------------------
+def table6_refresh_interval(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    retention_ms: float = 64.0,
+) -> dict[int, dict[str, float]]:
+    """Table 6: DSARP improvement over REFpb / REFab at 64 ms retention."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sensitivity_workloads(scale)
+    result: dict[int, dict[str, float]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density, retention_ms=retention_ms)
+        over_refab, over_refpb = [], []
+        for workload in workloads:
+            comparison = runner.compare(
+                workload, base_config, ("refab", "refpb", "dsarp")
+            )
+            normalized = comparison.normalized_to("refab")
+            over_refab.append((normalized["dsarp"] - 1.0) * 100.0)
+            over_refpb.append(
+                (normalized["dsarp"] / normalized["refpb"] - 1.0) * 100.0
+            )
+        result[density] = {
+            "max_refpb": max(over_refpb),
+            "gmean_refpb": _average_improvement(over_refpb),
+            "max_refab": max(over_refab),
+            "gmean_refab": _average_improvement(over_refab),
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: DDR4 fine-granularity refresh and adaptive refresh
+# ---------------------------------------------------------------------------
+FGR_MECHANISMS: tuple[str, ...] = ("refab", "fgr2x", "fgr4x", "ar", "dsarp")
+
+
+def figure16_fgr_comparison(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    mechanisms: Sequence[str] = FGR_MECHANISMS,
+) -> dict[int, dict[str, float]]:
+    """Figure 16: WS normalized to REFab for FGR 2x/4x, AR and DSARP."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sensitivity_workloads(scale)
+    result: dict[int, dict[str, float]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        ratios: dict[str, list[float]] = {m: [] for m in mechanisms}
+        for workload in workloads:
+            comparison = runner.compare(workload, base_config, mechanisms)
+            normalized = comparison.normalized_to("refab")
+            for mechanism in mechanisms:
+                ratios[mechanism].append(normalized[mechanism])
+        result[density] = {
+            mechanism: geometric_mean(values) for mechanism, values in ratios.items()
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (Section 6.1.2): DARP component breakdown, DSARP additivity
+# ---------------------------------------------------------------------------
+def darp_component_breakdown(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[int, dict[str, float]]:
+    """Section 6.1.2: out-of-order refresh alone versus full DARP.
+
+    Returns ``{density: {"out_of_order_only": pct, "darp": pct}}`` as % WS
+    improvement over REFab.
+    """
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    result: dict[int, dict[str, float]] = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density)
+        ooo_only = base_config.with_mechanism(
+            "darp", enable_write_refresh_parallelization=False
+        )
+        ooo_gains, darp_gains = [], []
+        for workload in workloads:
+            refab = runner.run_workload(workload, base_config.with_mechanism("refab"))
+            darp = runner.run_workload(workload, base_config.with_mechanism("darp"))
+            ooo = runner.run_workload(workload, ooo_only)
+            base_ws = refab.weighted_speedup
+            ooo_gains.append((ooo.weighted_speedup / base_ws - 1.0) * 100.0)
+            darp_gains.append((darp.weighted_speedup / base_ws - 1.0) * 100.0)
+        result[density] = {
+            "out_of_order_only": _average_improvement(ooo_gains),
+            "darp": _average_improvement(darp_gains),
+        }
+    return result
+
+
+def dsarp_additivity(
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    density_gb: int = 32,
+) -> dict[str, float]:
+    """Ablation: DARP, SARPpb and their combination DSARP over REFab (one density)."""
+    runner = _runner(runner)
+    scale = scale or default_scale()
+    workloads = _sweep_workloads(scale)
+    base_config = paper_system(density_gb=density_gb)
+    gains: dict[str, list[float]] = {"darp": [], "sarppb": [], "dsarp": []}
+    for workload in workloads:
+        comparison = runner.compare(
+            workload, base_config, ("refab", "darp", "sarppb", "dsarp")
+        )
+        normalized = comparison.normalized_to("refab")
+        for mechanism in gains:
+            gains[mechanism].append((normalized[mechanism] - 1.0) * 100.0)
+    return {
+        mechanism: _average_improvement(values) for mechanism, values in gains.items()
+    }

@@ -1,0 +1,41 @@
+"""Refresh-latency scaling projections (Figure 5).
+
+The paper estimates how tRFCab grows with DRAM density by linear
+extrapolation: Projection 1 from the 1 / 2 / 4 Gb datapoints and
+Projection 2 (the more optimistic one used for the evaluation) from the
+4 / 8 Gb datapoints.  This module regenerates the figure's data series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dram_config import REFRESH_LATENCY_NS, projected_trfc_ns
+
+
+@dataclass(frozen=True)
+class RefreshLatencyPoint:
+    """One point of Figure 5."""
+
+    density_gb: int
+    present_ns: float | None
+    projection1_ns: float
+    projection2_ns: float
+
+
+def refresh_latency_trend(
+    densities: tuple[int, ...] = (1, 8, 16, 24, 32, 40, 48, 56, 64),
+) -> list[RefreshLatencyPoint]:
+    """Regenerate Figure 5's data: tRFCab versus DRAM density."""
+    points = []
+    for density in densities:
+        present = REFRESH_LATENCY_NS.get(density)
+        points.append(
+            RefreshLatencyPoint(
+                density_gb=density,
+                present_ns=present,
+                projection1_ns=projected_trfc_ns(density, projection=1),
+                projection2_ns=projected_trfc_ns(density, projection=2),
+            )
+        )
+    return points

@@ -1,0 +1,174 @@
+"""Experiment runner with result caching.
+
+Reproducing the paper's figures requires many simulations sharing common
+pieces (the REFab baseline, the alone-run IPCs of each benchmark, ...).
+The :class:`ExperimentRunner` memoizes every simulation it performs, keyed
+by the configuration and workload fingerprints, so the figure- and
+table-level experiments can be composed without repeating work.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Iterable, Optional
+
+from repro.config.presets import paper_system
+from repro.config.refresh_config import RefreshMechanism
+from repro.config.system import SystemConfig
+from repro.sim.results import MechanismComparison, SimulationResult, WorkloadResult
+from repro.sim.simulator import Simulator
+from repro.workloads.benchmark_suite import Benchmark
+from repro.workloads.mixes import Workload, make_workload, make_workload_category
+
+#: Default measured window, in DRAM cycles (~39 us of DDR3-1333 time, i.e.
+#: ten all-bank refresh intervals at 32 ms retention).
+DEFAULT_CYCLES = 26000
+#: Default warmup window (one refresh interval).
+DEFAULT_WARMUP = 2600
+
+
+def default_cycles() -> int:
+    """Measured-window length, overridable through ``REPRO_CYCLES``."""
+    return int(os.environ.get("REPRO_CYCLES", DEFAULT_CYCLES))
+
+
+def default_warmup() -> int:
+    """Warmup length, overridable through ``REPRO_WARMUP``."""
+    return int(os.environ.get("REPRO_WARMUP", DEFAULT_WARMUP))
+
+
+class ExperimentRunner:
+    """Runs and caches simulations for the experiment harness."""
+
+    def __init__(
+        self,
+        cycles: Optional[int] = None,
+        warmup: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.cycles = cycles if cycles is not None else default_cycles()
+        self.warmup = warmup if warmup is not None else default_warmup()
+        self.seed = seed
+        self._simulation_cache: dict[tuple, SimulationResult] = {}
+        self._alone_ipc_cache: dict[tuple, float] = {}
+
+    # -- raw simulations ---------------------------------------------------------
+    def simulate(self, config: SystemConfig, workload: Workload) -> SimulationResult:
+        """Run (or recall) one simulation."""
+        key = (config.fingerprint(), workload.fingerprint(), self.cycles, self.warmup, self.seed)
+        if key not in self._simulation_cache:
+            simulator = Simulator(config, workload, seed=self.seed)
+            self._simulation_cache[key] = simulator.run(self.cycles, warmup=self.warmup)
+        return self._simulation_cache[key]
+
+    # -- alone runs for weighted speedup ---------------------------------------------
+    def alone_ipc(self, benchmark: Benchmark, config: SystemConfig) -> float:
+        """IPC of a benchmark running alone (single core, no refresh).
+
+        The alone IPC only normalizes the weighted-speedup metric; using the
+        refresh-free system for it keeps the normalization identical across
+        mechanisms, so mechanism orderings are unaffected.  The alone run is
+        also pinned to the 8 Gb density: without refresh the density only
+        changes unused refresh timings, and pinning it lets the alone runs
+        be shared across density sweeps.
+        """
+        alone_config = (
+            config.with_mechanism(RefreshMechanism.NONE).with_cores(1).with_density(8)
+        )
+        key = (benchmark.name, alone_config.fingerprint(), self.cycles, self.warmup)
+        if key not in self._alone_ipc_cache:
+            workload = make_workload([benchmark], name=f"alone_{benchmark.name}", seed=0)
+            result = self.simulate(alone_config, workload)
+            ipc = result.cores[0].ipc
+            self._alone_ipc_cache[key] = max(ipc, 1e-6)
+        return self._alone_ipc_cache[key]
+
+    def alone_ipcs(self, workload: Workload, config: SystemConfig) -> list[float]:
+        return [self.alone_ipc(benchmark, config) for benchmark in workload.benchmarks]
+
+    # -- workload-level experiments --------------------------------------------------
+    def run_workload(self, workload: Workload, config: SystemConfig) -> WorkloadResult:
+        """Simulate a workload and derive its system-level metrics."""
+        simulation = self.simulate(config, workload)
+        alone = self.alone_ipcs(workload, config)
+        return WorkloadResult(simulation=simulation, alone_ipcs=alone)
+
+    def compare(
+        self,
+        workload: Workload,
+        base_config: SystemConfig,
+        mechanisms: Iterable[RefreshMechanism | str],
+    ) -> MechanismComparison:
+        """Run one workload under several refresh mechanisms."""
+        comparison = MechanismComparison(
+            workload=workload.name, density_gb=base_config.dram.density_gb
+        )
+        for mechanism in mechanisms:
+            config = base_config.with_mechanism(mechanism)
+            name = config.refresh.mechanism.value
+            comparison.results[name] = self.run_workload(workload, config)
+        return comparison
+
+    def cache_size(self) -> int:
+        """Number of distinct simulations performed so far."""
+        return len(self._simulation_cache)
+
+
+# -- module-level conveniences ------------------------------------------------------
+_DEFAULT_RUNNER: Optional[ExperimentRunner] = None
+
+
+def get_default_runner() -> ExperimentRunner:
+    """A process-wide runner so tests, examples and benches share the cache."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = ExperimentRunner()
+    return _DEFAULT_RUNNER
+
+
+def run_workload(
+    workload: Workload,
+    density_gb: int = 8,
+    mechanism: RefreshMechanism | str = RefreshMechanism.REFAB,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    **config_kwargs,
+) -> WorkloadResult:
+    """Convenience wrapper: run one workload on the paper's system."""
+    runner = (
+        get_default_runner()
+        if cycles is None and warmup is None
+        else ExperimentRunner(cycles=cycles, warmup=warmup)
+    )
+    config = paper_system(
+        density_gb=density_gb,
+        mechanism=mechanism,
+        num_cores=workload.num_cores,
+        **config_kwargs,
+    )
+    return runner.run_workload(workload, config)
+
+
+def run_mechanism_comparison(
+    density_gb: int = 8,
+    mechanisms: Iterable[RefreshMechanism | str] = ("refab", "refpb", "dsarp", "none"),
+    workload: Optional[Workload] = None,
+    category: int = 100,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    num_cores: int = 8,
+    **config_kwargs,
+) -> MechanismComparison:
+    """Convenience wrapper: compare mechanisms on one workload."""
+    if workload is None:
+        workload = make_workload_category(category, index=0, num_cores=num_cores)
+    runner = (
+        get_default_runner()
+        if cycles is None and warmup is None
+        else ExperimentRunner(cycles=cycles, warmup=warmup)
+    )
+    config = paper_system(
+        density_gb=density_gb, num_cores=workload.num_cores, **config_kwargs
+    )
+    return runner.compare(workload, config, mechanisms)

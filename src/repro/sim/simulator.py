@@ -1,0 +1,163 @@
+"""The top-level simulator: cores + caches + memory controller + DRAM.
+
+The simulator advances in DRAM bus cycles.  Every cycle it first ticks the
+memory system (which may issue one command per channel and returns read
+requests whose data arrived), wakes up the cores waiting on those reads,
+and then lets every core execute up to one DRAM cycle's worth of
+instructions (``issue_width * cpu_cycles_per_dram_cycle``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.llc import LastLevelCache
+from repro.config.system import SystemConfig
+from repro.controller.memory_controller import MemorySystem
+from repro.core.base import RefreshStats
+from repro.cpu.core_model import Core
+from repro.dram.device import DeviceStats
+from repro.controller.memory_controller import ControllerStats
+from repro.power.dram_power import DRAMPowerModel
+from repro.sim.results import CoreResult, SimulationResult
+from repro.workloads.mixes import Workload
+
+
+class Simulator:
+    """One simulation instance for a (configuration, workload) pair."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Workload,
+        seed: int = 0,
+        functional_warmup_accesses: Optional[int] = None,
+    ):
+        self.config = config
+        self.workload = workload
+        self.seed = seed
+        self.memory = MemorySystem(config)
+        self.power_model = DRAMPowerModel(config.dram)
+        capacity = self.memory.mapper.capacity_bytes
+        region = capacity // max(1, workload.num_cores)
+        self.cores: list[Core] = []
+        for core_id, benchmark in enumerate(workload.benchmarks):
+            trace = benchmark.trace(seed=workload.seed + seed + core_id)
+            llc = LastLevelCache(config.cache)
+            self._functional_warmup(
+                llc, benchmark, core_id * region, functional_warmup_accesses
+            )
+            self.cores.append(
+                Core(
+                    core_id=core_id,
+                    config=config.cpu,
+                    trace=trace,
+                    llc=llc,
+                    memory=self.memory,
+                    address_offset=core_id * region,
+                )
+            )
+        self._current_cycle = 0
+
+    def _functional_warmup(
+        self,
+        llc: LastLevelCache,
+        benchmark,
+        address_offset: int,
+        accesses: Optional[int],
+    ) -> None:
+        """Pre-populate a core's LLC so the timed run sees steady-state traffic.
+
+        Short timed windows would otherwise start with a cold (and therefore
+        eviction-free) cache, which both under-reports non-intensive hit
+        rates and suppresses the dirty-writeback traffic that DARP's
+        write-refresh parallelization relies on.  The warmup streams trace
+        accesses through the cache model only — no DRAM cycles are
+        simulated — and uses a distinct trace instance so the timed run
+        still consumes the benchmark's trace from its beginning.
+        """
+        cache_lines = self.config.cache.size_bytes // self.config.cache.line_bytes
+        if accesses is None:
+            footprint_lines = max(1, benchmark.footprint_bytes // self.config.cache.line_bytes)
+            accesses = min(3 * cache_lines, 4 * footprint_lines)
+        if accesses <= 0:
+            return
+        warm_trace = benchmark.trace(seed=self.workload.seed + self.seed + 7919)
+        for _ in range(accesses):
+            entry = next(warm_trace)
+            llc.access(llc.line_address(address_offset + entry.address), entry.is_write)
+        llc.reset_stats()
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole system by one DRAM cycle."""
+        cycle = self._current_cycle
+        completed = self.memory.tick(cycle)
+        for request in completed:
+            self.cores[request.core_id].complete_load(request)
+        for core in self.cores:
+            core.tick(cycle)
+        self._current_cycle += 1
+
+    def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
+        """Run ``warmup`` + ``cycles`` DRAM cycles and report the measured window."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        for _ in range(warmup):
+            self.step()
+        if warmup:
+            self._reset_measurement_state()
+        start_cycle = self._current_cycle
+        for _ in range(cycles):
+            self.step()
+        elapsed = self._current_cycle - start_cycle
+        return self._build_result(elapsed, warmup)
+
+    # -- internals ----------------------------------------------------------------
+    def _reset_measurement_state(self) -> None:
+        """Clear statistics accumulated during warmup (state is preserved)."""
+        for core in self.cores:
+            core.reset_stats()
+        self.memory.device.stats = DeviceStats()
+        for controller in self.memory.controllers:
+            controller.stats = ControllerStats()
+            controller.refresh_policy.stats = RefreshStats()
+        for channel in self.memory.device.channels:
+            channel.read_bursts = 0
+            channel.write_bursts = 0
+            channel.busy_cycles = 0
+
+    def _build_result(self, elapsed: int, warmup: int) -> SimulationResult:
+        core_results = []
+        for core, benchmark in zip(self.cores, self.workload.benchmarks):
+            stats = core.stats
+            core_results.append(
+                CoreResult(
+                    core_id=core.core_id,
+                    benchmark=benchmark.name,
+                    instructions=stats.instructions,
+                    ipc=core.ipc(elapsed),
+                    mpki=stats.mpki(),
+                    dram_reads=stats.dram_reads_issued,
+                    dram_writes=stats.dram_writes_issued,
+                    stall_cycles=stats.stall_cycles,
+                )
+            )
+        device_stats = self.memory.device.stats.as_dict()
+        controller_stats: dict[str, float] = {}
+        for controller in self.memory.controllers:
+            for key, value in controller.stats.as_dict().items():
+                controller_stats[key] = controller_stats.get(key, 0) + value
+        energy = self.power_model.energy(self.memory.device.stats, elapsed)
+        return SimulationResult(
+            workload=self.workload.name,
+            mechanism=self.config.refresh.mechanism.value,
+            density_gb=self.config.dram.density_gb,
+            cycles=elapsed,
+            warmup_cycles=warmup,
+            cores=core_results,
+            device_stats=device_stats,
+            controller_stats=controller_stats,
+            refresh_stats=self.memory.refresh_policy_stats(),
+            energy=energy.as_dict(),
+        )

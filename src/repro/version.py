@@ -1,0 +1,16 @@
+"""Version information for the repro package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER_TITLE = "Improving DRAM Performance by Parallelizing Refreshes with Accesses"
+PAPER_VENUE = "HPCA 2014"
+PAPER_AUTHORS = (
+    "Kevin K. Chang",
+    "Donghyuk Lee",
+    "Zeshan Chishti",
+    "Alaa R. Alameldeen",
+    "Chris Wilkerson",
+    "Yoongu Kim",
+    "Onur Mutlu",
+)

@@ -1,0 +1,51 @@
+"""Synthetic workloads standing in for the paper's Pin-captured traces.
+
+The paper drives its simulator with SPEC CPU2006, STREAM, TPC and a
+random-access microbenchmark, grouped into memory-intensive (MPKI >= 10)
+and non-intensive benchmarks and mixed into 100 eight-core workloads with
+0 / 25 / 50 / 75 / 100 % memory-intensive members.  Those traces are not
+redistributable, so this package provides parameterized synthetic
+benchmarks that reproduce the properties the refresh mechanisms interact
+with: memory intensity, row-buffer locality, bank-level spread, and the
+read/write mix that produces write batches.
+"""
+
+from repro.workloads.trace import TraceEntry
+from repro.workloads.generators import (
+    streaming_trace,
+    strided_trace,
+    random_trace,
+    mixed_trace,
+)
+from repro.workloads.benchmark_suite import (
+    Benchmark,
+    benchmark_suite,
+    get_benchmark,
+    intensive_benchmarks,
+    non_intensive_benchmarks,
+)
+from repro.workloads.mixes import (
+    Workload,
+    make_workload,
+    make_workload_category,
+    make_workload_sweep,
+    INTENSITY_CATEGORIES,
+)
+
+__all__ = [
+    "TraceEntry",
+    "streaming_trace",
+    "strided_trace",
+    "random_trace",
+    "mixed_trace",
+    "Benchmark",
+    "benchmark_suite",
+    "get_benchmark",
+    "intensive_benchmarks",
+    "non_intensive_benchmarks",
+    "Workload",
+    "make_workload",
+    "make_workload_category",
+    "make_workload_sweep",
+    "INTENSITY_CATEGORIES",
+]

@@ -1,0 +1,99 @@
+"""Unit and property tests for the address mapper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.dram_config import DRAMOrganization
+from repro.dram.address import AddressMapper, PhysicalLocation
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DRAMOrganization())
+
+
+class TestDecode:
+    def test_address_zero(self, mapper):
+        loc = mapper.decode(0)
+        assert loc == PhysicalLocation(channel=0, rank=0, bank=0, row=0, column=0)
+
+    def test_consecutive_lines_alternate_channels(self, mapper):
+        a = mapper.decode(0)
+        b = mapper.decode(64)
+        assert a.channel == 0
+        assert b.channel == 1
+
+    def test_fields_within_bounds(self, mapper):
+        org = mapper.organization
+        for address in range(0, 1 << 22, 4096 + 64):
+            loc = mapper.decode(address)
+            assert 0 <= loc.channel < org.channels
+            assert 0 <= loc.rank < org.ranks_per_channel
+            assert 0 <= loc.bank < org.banks_per_rank
+            assert 0 <= loc.row < org.rows_per_bank
+            assert 0 <= loc.column < org.columns_per_row
+
+    def test_negative_address_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    def test_capacity_matches_organization(self, mapper):
+        assert mapper.capacity_bytes == mapper.organization.capacity_bytes()
+
+    def test_addresses_wrap_at_capacity(self, mapper):
+        loc_a = mapper.decode(64)
+        loc_b = mapper.decode(mapper.capacity_bytes + 64)
+        assert loc_a == loc_b
+
+    def test_bank_key(self, mapper):
+        loc = mapper.decode(123456)
+        assert loc.bank_key() == (loc.channel, loc.rank, loc.bank)
+
+    def test_subarray_of(self, mapper):
+        org = mapper.organization
+        row_stride = 1 << (mapper.address_bits - org.rows_per_bank.bit_length() + 1)
+        low = mapper.decode(0)
+        assert mapper.subarray_of(low) == 0
+
+
+class TestEncodeDecodeRoundTrip:
+    @given(st.integers(min_value=0, max_value=(1 << 34) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_line_aligned_round_trip(self, address):
+        mapper = AddressMapper(DRAMOrganization())
+        line_address = (address // 64) * 64
+        loc = mapper.decode(line_address)
+        assert mapper.encode(loc) == line_address % mapper.capacity_bytes
+
+    @given(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=127),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_location_round_trip(self, channel, rank, bank, row, column):
+        mapper = AddressMapper(DRAMOrganization())
+        loc = PhysicalLocation(channel=channel, rank=rank, bank=bank, row=row, column=column)
+        assert mapper.decode(mapper.encode(loc)) == loc
+
+
+class TestNonDefaultOrganizations:
+    def test_single_channel(self):
+        org = DRAMOrganization(channels=1)
+        mapper = AddressMapper(org)
+        for address in (0, 64, 128, 8192):
+            assert mapper.decode(address).channel == 0
+
+    def test_non_power_of_two_rejected(self):
+        org = DRAMOrganization(banks_per_rank=6)
+        with pytest.raises(ValueError):
+            AddressMapper(org)
+
+    def test_more_subarrays_changes_mapping_granularity(self):
+        org = DRAMOrganization(subarrays_per_bank=32)
+        mapper = AddressMapper(org)
+        assert org.rows_per_subarray == org.rows_per_bank // 32
+        loc = mapper.decode(0)
+        assert mapper.subarray_of(loc) == 0

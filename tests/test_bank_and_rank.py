@@ -1,0 +1,174 @@
+"""Unit tests for the bank state machine and rank activation constraints."""
+
+import pytest
+
+from repro.config.dram_config import DRAMTimings
+from repro.dram.bank import Bank
+from repro.dram.rank import Rank
+
+
+def make_bank(index: int = 0, subarrays: int = 8, rows: int = 65536) -> Bank:
+    return Bank(index=index, rows=rows, subarrays_per_bank=subarrays, rows_per_refresh=8)
+
+
+def make_rank(num_banks: int = 8) -> Rank:
+    return Rank(index=0, banks=[make_bank(i) for i in range(num_banks)])
+
+
+@pytest.fixture
+def timings():
+    return DRAMTimings()
+
+
+class TestBankActivate:
+    def test_activate_opens_row_and_sets_gates(self, timings):
+        bank = make_bank()
+        bank.do_activate(100, row=42, timings=timings)
+        assert bank.open_row == 42
+        assert bank.t_rd == 100 + timings.tRCD
+        assert bank.t_wr == 100 + timings.tRCD
+        assert bank.t_pre >= 100 + timings.tRAS
+        assert bank.t_act >= 100 + timings.tRC
+        assert bank.activations == 1
+
+    def test_activate_records_subarray(self, timings):
+        bank = make_bank()
+        row_in_subarray_3 = 3 * bank.rows_per_subarray + 5
+        bank.do_activate(0, row=row_in_subarray_3, timings=timings)
+        assert bank.subarrays[3].activations == 1
+
+
+class TestBankColumnCommands:
+    def test_read_returns_burst_end(self, timings):
+        bank = make_bank()
+        bank.do_activate(0, row=1, timings=timings)
+        burst_end = bank.do_read(20, timings, autoprecharge=False)
+        assert burst_end == 20 + timings.tCL + timings.tBL
+        assert bank.open_row == 1
+        assert bank.reads == 1
+
+    def test_read_with_autoprecharge_closes_row(self, timings):
+        bank = make_bank()
+        bank.do_activate(0, row=1, timings=timings)
+        bank.do_read(20, timings, autoprecharge=True)
+        assert bank.open_row is None
+        assert bank.t_act >= 20 + timings.tRTP + timings.tRP
+        assert bank.precharges == 1
+
+    def test_write_sets_longer_precharge_gate_than_read(self, timings):
+        read_bank = make_bank()
+        write_bank = make_bank()
+        read_bank.do_activate(0, row=1, timings=timings)
+        write_bank.do_activate(0, row=1, timings=timings)
+        read_bank.do_read(30, timings, autoprecharge=False)
+        write_bank.do_write(30, timings, autoprecharge=False)
+        assert write_bank.t_pre > read_bank.t_pre
+
+    def test_explicit_precharge(self, timings):
+        bank = make_bank()
+        bank.do_activate(0, row=7, timings=timings)
+        bank.do_precharge(50, timings)
+        assert bank.open_row is None
+        assert bank.t_act >= 50 + timings.tRP
+
+
+class TestBankRefresh:
+    def test_refresh_marks_subarray_and_advances_counter(self):
+        bank = make_bank()
+        assert bank.refresh_row_counter == 0
+        bank.do_refresh(100, duration=200, sarp_enabled=False)
+        assert bank.is_refreshing(150)
+        assert not bank.is_refreshing(300)
+        assert bank.refreshing_subarray == 0
+        assert bank.refresh_row_counter == 8
+        assert bank.refreshes == 1
+        assert bank.rows_refreshed == 8
+        # Without SARP the bank cannot activate until the refresh finishes.
+        assert bank.t_act >= 300
+
+    def test_refresh_with_sarp_does_not_block_bank(self):
+        bank = make_bank()
+        bank.do_refresh(100, duration=200, sarp_enabled=True)
+        assert bank.t_act < 300
+
+    def test_refresh_row_counter_wraps(self):
+        bank = make_bank(rows=64)
+        bank.rows_per_refresh = 32
+        bank.do_refresh(0, duration=10, sarp_enabled=False)
+        bank.do_refresh(20, duration=10, sarp_enabled=False)
+        assert bank.refresh_row_counter == 0
+
+    def test_refresh_conflict_detection(self):
+        bank = make_bank()
+        bank.do_refresh(0, duration=100, sarp_enabled=True)
+        refreshing = bank.refreshing_subarray
+        row_in_refreshing = refreshing * bank.rows_per_subarray
+        row_elsewhere = ((refreshing + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        assert bank.refresh_conflicts_with(50, row_in_refreshing)
+        assert not bank.refresh_conflicts_with(50, row_elsewhere)
+        # After the refresh finishes there is no conflict.
+        assert not bank.refresh_conflicts_with(150, row_in_refreshing)
+
+    def test_end_refresh_clears_marker(self):
+        bank = make_bank()
+        bank.do_refresh(0, duration=100, sarp_enabled=True)
+        bank.end_refresh_if_done(50)
+        assert bank.refreshing_subarray is not None
+        bank.end_refresh_if_done(100)
+        assert bank.refreshing_subarray is None
+
+    def test_is_idle(self, timings):
+        bank = make_bank()
+        assert bank.is_idle(0)
+        bank.do_activate(0, row=1, timings=timings)
+        assert not bank.is_idle(10)
+        bank.do_precharge(40, timings)
+        assert bank.is_idle(50)
+
+    def test_record_subarray_conflict(self):
+        bank = make_bank()
+        bank.record_subarray_conflict(row=0)
+        assert bank.subarrays[0].refresh_conflicts == 1
+
+
+class TestRankActivationConstraints:
+    def test_trrd_enforced(self):
+        rank = make_rank()
+        assert rank.can_activate(0, trrd=4, tfaw=20)
+        rank.record_activate(0, trrd=4)
+        assert not rank.can_activate(3, trrd=4, tfaw=20)
+        assert rank.can_activate(4, trrd=4, tfaw=20)
+
+    def test_tfaw_enforced(self):
+        rank = make_rank()
+        for cycle in (0, 4, 8, 12):
+            assert rank.can_activate(cycle, trrd=4, tfaw=20)
+            rank.record_activate(cycle, trrd=4)
+        # A fifth activate must wait until the first leaves the 20-cycle window.
+        assert not rank.can_activate(16, trrd=4, tfaw=20)
+        assert rank.can_activate(20, trrd=4, tfaw=20)
+
+    def test_refresh_markers(self):
+        rank = make_rank()
+        rank.start_all_bank_refresh(0, duration=100, sarp_enabled=False)
+        assert rank.is_under_all_bank_refresh(50)
+        assert rank.is_refreshing(50)
+        assert not rank.is_under_all_bank_refresh(100)
+        assert rank.refab_count == 1
+        for bank in rank.banks:
+            assert bank.refreshes == 1
+
+    def test_per_bank_refresh_only_touches_one_bank(self):
+        rank = make_rank()
+        rank.start_per_bank_refresh(0, bank_index=3, duration=100, sarp_enabled=False)
+        assert rank.is_under_per_bank_refresh(50)
+        assert rank.banks[3].is_refreshing(50)
+        assert not rank.banks[0].is_refreshing(50)
+        assert rank.refpb_count == 1
+
+    def test_all_banks_precharged(self, timings):
+        rank = make_rank()
+        assert rank.all_banks_precharged(0)
+        rank.banks[2].do_activate(0, row=5, timings=timings)
+        assert not rank.all_banks_precharged(10)
+        assert rank.open_banks() == [rank.banks[2]]

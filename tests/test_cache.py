@@ -1,0 +1,118 @@
+"""Unit and property tests for the last-level cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.llc import LastLevelCache
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config.cpu_config import CacheConfig
+
+
+def small_cache(size=8 * 1024, assoc=4, line=64) -> SetAssociativeCache:
+    return SetAssociativeCache(size_bytes=size, associativity=assoc, line_bytes=line)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(0, is_write=False)
+        second = cache.access(0, is_write=False)
+        assert not first.hit
+        assert second.hit
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0, is_write=False)
+        assert cache.access(63, is_write=False).hit
+        assert not cache.access(64, is_write=False).hit
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(size=4 * 64 * 1, assoc=4, line=64)  # 1 set, 4 ways
+        for i in range(4):
+            cache.access(i * 64, is_write=False)
+        cache.access(0, is_write=False)  # touch line 0, making line 1 the LRU
+        cache.access(4 * 64, is_write=False)  # evicts line 1
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = small_cache(size=4 * 64, assoc=4, line=64)
+        cache.access(0, is_write=True)
+        for i in range(1, 4):
+            cache.access(i * 64, is_write=False)
+        result = cache.access(4 * 64, is_write=False)
+        assert result.writeback_address == 0
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = small_cache(size=4 * 64, assoc=4, line=64)
+        for i in range(5):
+            result = cache.access(i * 64, is_write=False)
+        assert result.writeback_address is None
+        assert cache.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(size=4 * 64, assoc=4, line=64)
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=True)
+        for i in range(1, 4):
+            cache.access(i * 64, is_write=False)
+        result = cache.access(4 * 64, is_write=False)
+        assert result.writeback_address == 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1000, associativity=3, line_bytes=64)
+
+    def test_miss_rate_and_reset(self):
+        cache = small_cache()
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=False)
+        assert cache.miss_rate == pytest.approx(0.5)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.miss_rate == 0.0
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 20), st.booleans()), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        cache = small_cache(size=2 * 1024, assoc=2, line=64)
+        capacity_lines = 2 * 1024 // 64
+        for address, is_write in accesses:
+            cache.access(address, is_write)
+            assert cache.occupancy() <= capacity_lines
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_line_always_resident(self, addresses):
+        cache = small_cache(size=2 * 1024, assoc=2, line=64)
+        for address in addresses:
+            cache.access(address, is_write=False)
+            assert cache.contains(address)
+
+
+class TestLastLevelCache:
+    def test_wraps_paper_geometry(self):
+        llc = LastLevelCache(CacheConfig())
+        assert llc.miss_rate == 0.0
+        result = llc.access(0, is_write=False)
+        assert not result.hit
+        assert llc.misses == 1
+        assert llc.mpki(1000) == 1.0
+
+    def test_line_address(self):
+        llc = LastLevelCache(CacheConfig())
+        assert llc.line_address(130) == 128
+
+    def test_contains_does_not_disturb_lru(self):
+        llc = LastLevelCache(CacheConfig(size_bytes=4 * 64, associativity=4, line_bytes=64))
+        llc.access(0, is_write=False)
+        assert llc.contains(0)
+        assert not llc.contains(64)
+        assert llc.hits == 0 and llc.misses == 1
+
+    def test_mpki_zero_for_no_instructions(self):
+        llc = LastLevelCache(CacheConfig())
+        assert llc.mpki(0) == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for channel data-bus arbitration and turnaround penalties."""
+
+import pytest
+
+from repro.config.dram_config import DRAMTimings
+from repro.dram.channel import Channel
+
+
+@pytest.fixture
+def timings():
+    return DRAMTimings()
+
+
+@pytest.fixture
+def channel():
+    return Channel(index=0, ranks=[])
+
+
+class TestBusOccupancy:
+    def test_back_to_back_reads_respect_burst_length(self, channel, timings):
+        assert channel.can_read_burst(0, timings)
+        end = channel.occupy_read_burst(0, timings)
+        assert end == timings.tCL + timings.tBL
+        # A read whose burst would start before the previous burst ends is
+        # rejected; one burst later it is accepted.
+        assert not channel.can_read_burst(1, timings)
+        assert channel.can_read_burst(timings.tBL, timings)
+
+    def test_write_burst_uses_tcwl(self, channel, timings):
+        end = channel.occupy_write_burst(10, timings)
+        assert end == 10 + timings.tCWL + timings.tBL
+
+    def test_write_to_read_turnaround(self, channel, timings):
+        channel.occupy_write_burst(0, timings)
+        write_end = timings.tCWL + timings.tBL
+        # A read may only start tWTR after the write burst has finished.
+        earliest_read_cmd = write_end + timings.tWTR - timings.tCL
+        assert not channel.can_read_burst(earliest_read_cmd - 1, timings)
+        assert channel.can_read_burst(earliest_read_cmd, timings)
+
+    def test_read_to_write_turnaround(self, channel, timings):
+        channel.occupy_read_burst(0, timings)
+        read_end = timings.tCL + timings.tBL
+        earliest_write_cmd = read_end + timings.tRTW - timings.tCWL
+        assert not channel.can_write_burst(earliest_write_cmd - 1, timings)
+        assert channel.can_write_burst(earliest_write_cmd, timings)
+
+    def test_statistics(self, channel, timings):
+        channel.occupy_read_burst(0, timings)
+        channel.occupy_write_burst(100, timings)
+        assert channel.read_bursts == 1
+        assert channel.write_bursts == 1
+        assert channel.busy_cycles == 2 * timings.tBL
+        assert channel.utilization(100) == pytest.approx(2 * timings.tBL / 100)
+        assert channel.utilization(0) == 0.0

@@ -1,0 +1,247 @@
+"""Unit tests for DRAM device command legality and state updates."""
+
+import pytest
+
+from repro.config.dram_config import DRAMConfig
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DRAMDevice
+from repro.dram.power_integrity import scaled_tfaw_trrd
+
+
+def make_device(sarp: bool = False, density: int = 8) -> DRAMDevice:
+    return DRAMDevice(DRAMConfig.for_density(density), sarp_enabled=sarp)
+
+
+def act(channel=0, rank=0, bank=0, row=0):
+    return Command(kind=CommandType.ACT, channel=channel, rank=rank, bank=bank, row=row)
+
+
+def rd(channel=0, rank=0, bank=0, row=0, auto=True):
+    kind = CommandType.RDA if auto else CommandType.RD
+    return Command(kind=kind, channel=channel, rank=rank, bank=bank, row=row)
+
+
+def wr(channel=0, rank=0, bank=0, row=0, auto=True):
+    kind = CommandType.WRA if auto else CommandType.WR
+    return Command(kind=kind, channel=channel, rank=rank, bank=bank, row=row)
+
+
+def refab(channel=0, rank=0):
+    return Command(kind=CommandType.REFAB, channel=channel, rank=rank)
+
+
+def refpb(channel=0, rank=0, bank=0):
+    return Command(kind=CommandType.REFPB, channel=channel, rank=rank, bank=bank)
+
+
+class TestActivateLegality:
+    def test_activate_then_read_sequence(self):
+        device = make_device()
+        t = device.timings
+        assert device.can_issue(act(row=5), 0)
+        device.issue(act(row=5), 0)
+        # Reads must wait tRCD.
+        assert not device.can_issue(rd(row=5), t.tRCD - 1)
+        assert device.can_issue(rd(row=5), t.tRCD)
+        done = device.issue(rd(row=5), t.tRCD)
+        assert done == t.tRCD + t.tCL + t.tBL
+
+    def test_activate_rejected_when_row_open(self):
+        device = make_device()
+        device.issue(act(row=5), 0)
+        assert not device.can_issue(act(row=6), 100)
+
+    def test_column_command_requires_matching_row(self):
+        device = make_device()
+        device.issue(act(row=5), 0)
+        assert not device.can_issue(rd(row=6), 50)
+
+    def test_trrd_between_banks(self):
+        device = make_device()
+        t = device.timings
+        device.issue(act(bank=0, row=1), 0)
+        assert not device.can_issue(act(bank=1, row=1), t.tRRD - 1)
+        assert device.can_issue(act(bank=1, row=1), t.tRRD)
+
+    def test_tfaw_limits_activation_burst(self):
+        device = make_device()
+        t = device.timings
+        for i in range(4):
+            device.issue(act(bank=i, row=1), i * t.tRRD)
+        fifth_earliest = 4 * t.tRRD
+        assert not device.can_issue(act(bank=4, row=1), fifth_earliest)
+        assert device.can_issue(act(bank=4, row=1), t.tFAW)
+
+    def test_different_ranks_independent_tfaw(self):
+        device = make_device()
+        t = device.timings
+        for i in range(4):
+            device.issue(act(rank=0, bank=i, row=1), i * t.tRRD)
+        # The other rank is unconstrained by rank 0's activation history.
+        assert device.can_issue(act(rank=1, bank=0, row=1), 4 * t.tRRD)
+
+    def test_illegal_issue_raises(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            device.issue(rd(row=5), 0)
+
+
+class TestPrechargeAndAutoPrecharge:
+    def test_autoprecharge_closes_row(self):
+        device = make_device()
+        t = device.timings
+        device.issue(act(row=5), 0)
+        device.issue(rd(row=5, auto=True), t.tRCD)
+        assert device.bank(0, 0, 0).open_row is None
+        # Re-activating the same bank must respect the precharge latency.
+        reopen = t.tRCD + t.tRTP + t.tRP
+        assert not device.can_issue(act(row=7), reopen - 1)
+
+    def test_explicit_precharge_waits_for_tras(self):
+        device = make_device()
+        t = device.timings
+        device.issue(act(row=5), 0)
+        pre = Command(kind=CommandType.PRE, channel=0, rank=0, bank=0)
+        assert not device.can_issue(pre, t.tRAS - 1)
+        assert device.can_issue(pre, t.tRAS)
+        device.issue(pre, t.tRAS)
+        assert device.bank(0, 0, 0).open_row is None
+
+
+class TestAllBankRefresh:
+    def test_refab_blocks_rank_for_trfc(self):
+        device = make_device()
+        t = device.timings
+        assert device.can_issue(refab(), 0)
+        device.issue(refab(), 0)
+        assert not device.can_issue(act(row=1), t.tRFCab - 1)
+        assert device.can_issue(act(row=1), t.tRFCab)
+        assert device.stats.all_bank_refreshes == 1
+
+    def test_refab_requires_all_banks_precharged(self):
+        device = make_device()
+        device.issue(act(bank=3, row=5), 0)
+        assert not device.can_issue(refab(), 10)
+
+    def test_refab_other_rank_still_accessible(self):
+        device = make_device()
+        device.issue(refab(rank=0), 0)
+        assert device.can_issue(act(rank=1, row=1), 10)
+
+    def test_refab_refreshes_every_bank(self):
+        device = make_device()
+        device.issue(refab(), 0)
+        counts = device.refresh_counts_per_bank()
+        for (ch, rk, bk), count in counts.items():
+            expected = 1 if (ch == 0 and rk == 0) else 0
+            assert count == expected
+
+    def test_duration_override(self):
+        device = make_device()
+        command = refab()
+        command.duration = 50
+        done = device.issue(command, 0)
+        assert done == 50
+        assert device.can_issue(act(row=1), 50)
+
+
+class TestPerBankRefresh:
+    def test_refpb_blocks_only_target_bank(self):
+        device = make_device()
+        t = device.timings
+        device.issue(refpb(bank=2), 0)
+        assert not device.can_issue(act(bank=2, row=1), 10)
+        assert device.can_issue(act(bank=3, row=1), 10)
+        assert device.can_issue(act(bank=2, row=1), t.tRFCpb)
+
+    def test_refpb_cannot_overlap_within_rank(self):
+        device = make_device()
+        t = device.timings
+        device.issue(refpb(bank=0), 0)
+        assert not device.can_issue(refpb(bank=1), t.tRFCpb - 1)
+        assert device.can_issue(refpb(bank=1), t.tRFCpb)
+
+    def test_refpb_allowed_in_other_rank_concurrently(self):
+        device = make_device()
+        device.issue(refpb(rank=0, bank=0), 0)
+        assert device.can_issue(refpb(rank=1, bank=0), 1)
+
+    def test_refpb_requires_precharged_bank(self):
+        device = make_device()
+        device.issue(act(bank=0, row=5), 0)
+        assert not device.can_issue(refpb(bank=0), 10)
+
+    def test_refpb_latency_shorter_than_refab(self):
+        device = make_device()
+        assert device.timings.tRFCpb < device.timings.tRFCab
+
+
+class TestSARP:
+    def test_sarp_allows_access_to_other_subarray_during_refresh(self):
+        device = make_device(sarp=True)
+        bank = device.bank(0, 0, 0)
+        device.issue(refpb(bank=0), 0)
+        refreshing = bank.refreshing_subarray
+        other_subarray_row = ((refreshing + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        conflicting_row = refreshing * bank.rows_per_subarray
+        assert device.can_issue(act(bank=0, row=other_subarray_row), 10)
+        assert not device.can_issue(act(bank=0, row=conflicting_row), 10)
+
+    def test_without_sarp_refreshing_bank_is_unavailable(self):
+        device = make_device(sarp=False)
+        device.issue(refpb(bank=0), 0)
+        assert not device.can_issue(act(bank=0, row=60000), 10)
+
+    def test_sarp_allows_access_during_all_bank_refresh(self):
+        device = make_device(sarp=True)
+        device.issue(refab(), 0)
+        bank = device.bank(0, 0, 0)
+        other_row = ((bank.refreshing_subarray + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        assert device.can_issue(act(bank=0, row=other_row), 10)
+
+    def test_sarp_inflates_tfaw_during_refresh(self):
+        device = make_device(sarp=True)
+        t = device.timings
+        device.issue(refab(), 0)
+        bank = device.bank(0, 0, 0)
+        safe_row = ((bank.refreshing_subarray + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        scaled_tfaw, scaled_trrd = scaled_tfaw_trrd(t.tFAW, t.tRRD, all_bank=True)
+        # Issue activates as fast as the scaled tRRD allows.
+        cycle = 0
+        for i in range(4):
+            cmd = act(bank=i, row=safe_row)
+            while not device.can_issue(cmd, cycle):
+                cycle += 1
+            device.issue(cmd, cycle)
+        fifth = act(bank=4, row=safe_row)
+        # The fifth activate must wait for the *scaled* four-activate window.
+        assert not device.can_issue(fifth, cycle + scaled_trrd)
+
+    def test_subarray_conflict_recording(self):
+        device = make_device(sarp=True)
+        device.issue(refpb(bank=0), 0)
+        bank = device.bank(0, 0, 0)
+        conflicting_row = bank.refreshing_subarray * bank.rows_per_subarray
+        device.record_subarray_conflict(act(bank=0, row=conflicting_row))
+        assert device.stats.subarray_conflicts == 1
+
+
+class TestDataBusSharing:
+    def test_reads_from_different_banks_share_channel_bus(self):
+        device = make_device()
+        t = device.timings
+        device.issue(act(bank=0, row=1), 0)
+        device.issue(act(bank=1, row=1), t.tRRD)
+        first_rd_cycle = t.tRCD
+        device.issue(rd(bank=0, row=1), first_rd_cycle)
+        # The second read cannot be issued until the bus frees a burst later.
+        assert not device.can_issue(rd(bank=1, row=1), first_rd_cycle + 1)
+        assert device.can_issue(rd(bank=1, row=1), first_rd_cycle + t.tBL)
+
+    def test_channels_have_independent_buses(self):
+        device = make_device()
+        t = device.timings
+        device.issue(act(channel=0, row=1), 0)
+        device.issue(act(channel=1, row=1), 0)
+        device.issue(rd(channel=0, row=1), t.tRCD)
+        assert device.can_issue(rd(channel=1, row=1), t.tRCD)

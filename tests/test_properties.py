@@ -1,0 +1,82 @@
+"""Property-based tests of cross-cutting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config.dram_config import DRAMConfig
+from repro.config.presets import paper_system
+from repro.controller.memory_controller import MemorySystem
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DRAMDevice
+
+
+class TestDeviceInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),   # channel
+                st.integers(min_value=0, max_value=1),   # rank
+                st.integers(min_value=0, max_value=7),   # bank
+                st.integers(min_value=0, max_value=65535),  # row
+                st.sampled_from(["act", "rd", "wr", "pre", "refab", "refpb"]),
+                st.integers(min_value=1, max_value=40),  # cycle delta
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_accepted_commands_keep_state_consistent(self, steps):
+        """Issuing only commands the device accepts never corrupts state."""
+        device = DRAMDevice(DRAMConfig.for_density(8), sarp_enabled=False)
+        cycle = 0
+        for channel, rank, bank, row, kind_name, delta in steps:
+            cycle += delta
+            kind = {
+                "act": CommandType.ACT,
+                "rd": CommandType.RDA,
+                "wr": CommandType.WRA,
+                "pre": CommandType.PRE,
+                "refab": CommandType.REFAB,
+                "refpb": CommandType.REFPB,
+            }[kind_name]
+            open_row = device.bank(channel, rank, bank).open_row
+            if kind.is_column and open_row is not None:
+                row = open_row
+            command = Command(kind=kind, channel=channel, rank=rank, bank=bank, row=row)
+            if device.can_issue(command, cycle):
+                device.issue(command, cycle)
+            # Invariants that must hold at all times:
+            for ch, rk, bk, bank_obj in device.iter_banks():
+                rank_obj = device.rank(ch, rk)
+                # A non-SARP bank never has an open row while refreshing.
+                if bank_obj.is_refreshing(cycle):
+                    assert bank_obj.open_row is None
+                # Rank-level refresh implies every bank is refreshing.
+                if rank_obj.is_under_all_bank_refresh(cycle):
+                    assert bank_obj.open_row is None
+
+    @given(st.integers(min_value=0, max_value=2**30), st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_memory_system_accepts_or_rejects_cleanly(self, address, is_write):
+        memory = MemorySystem(paper_system(mechanism="none", num_cores=1))
+        request = memory.access(address, is_write, core_id=0, cycle=0)
+        assert request is not None
+        assert request.location.channel < 2
+        # The request is present in exactly one queue.
+        controller = memory.controllers[request.location.channel]
+        assert controller.queues.total_demand() == 1
+
+
+class TestRefreshDebtInvariant:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_darp_debt_bounded_for_any_prefix(self, cycles):
+        """DARP's per-bank refresh debt honours the JEDEC bounds at any time."""
+        memory = MemorySystem(paper_system(mechanism="darp", num_cores=1))
+        for cycle in range(min(cycles, 3000)):
+            memory.tick(cycle)
+        for controller in memory.controllers:
+            policy = controller.refresh_policy
+            for rank in range(policy.num_ranks):
+                for bank in range(policy.num_banks):
+                    debt = policy.refresh_debt(rank, bank)
+                    assert -policy.refresh_config.max_pullin <= debt <= policy.refresh_config.max_postpone

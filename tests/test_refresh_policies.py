@@ -1,0 +1,229 @@
+"""Unit tests for every refresh policy (the paper's core mechanisms)."""
+
+import pytest
+
+from repro.config.presets import paper_system
+from repro.config.refresh_config import RefreshMechanism
+from repro.controller.memory_controller import MemorySystem
+from repro.core.adaptive import AdaptiveRefreshPolicy
+from repro.core.all_bank import AllBankRefreshPolicy
+from repro.core.darp import DARPPolicy
+from repro.core.elastic import ElasticRefreshPolicy
+from repro.core.factory import create_refresh_policy
+from repro.core.no_refresh import NoRefreshPolicy
+from repro.core.per_bank import PerBankRefreshPolicy
+
+
+def memory_for(mechanism: str, **kwargs) -> MemorySystem:
+    return MemorySystem(paper_system(mechanism=mechanism, **kwargs))
+
+
+def run_cycles(memory: MemorySystem, cycles: int, start: int = 0):
+    for cycle in range(start, start + cycles):
+        memory.tick(cycle)
+
+
+class TestFactory:
+    def test_mapping(self):
+        config = paper_system()
+        cases = {
+            "none": NoRefreshPolicy,
+            "refab": AllBankRefreshPolicy,
+            "sarpab": AllBankRefreshPolicy,
+            "fgr2x": AllBankRefreshPolicy,
+            "fgr4x": AllBankRefreshPolicy,
+            "refpb": PerBankRefreshPolicy,
+            "sarppb": PerBankRefreshPolicy,
+            "elastic": ElasticRefreshPolicy,
+            "darp": DARPPolicy,
+            "dsarp": DARPPolicy,
+            "ar": AdaptiveRefreshPolicy,
+        }
+        for name, expected_type in cases.items():
+            policy = create_refresh_policy(config.with_mechanism(name), channel_id=0)
+            assert isinstance(policy, expected_type), name
+
+    def test_sarp_enabled_only_for_sarp_mechanisms(self):
+        for name, expected in (("refpb", False), ("sarppb", True), ("dsarp", True), ("refab", False)):
+            memory = memory_for(name)
+            assert memory.device.sarp_enabled is expected
+
+
+class TestNoRefresh:
+    def test_never_issues(self):
+        memory = memory_for("none")
+        run_cycles(memory, memory.device.timings.tREFIab * 2)
+        assert memory.device.stats.all_bank_refreshes == 0
+        assert memory.device.stats.per_bank_refreshes == 0
+
+
+class TestAllBankPolicy:
+    def test_refresh_rate_matches_trefi(self):
+        memory = memory_for("refab")
+        t = memory.device.timings
+        intervals = 4
+        run_cycles(memory, t.tREFIab * intervals + t.tRFCab)
+        # 2 channels x 2 ranks, one refresh per rank per interval.
+        expected = 4 * intervals
+        assert abs(memory.device.stats.all_bank_refreshes - expected) <= 4
+
+    def test_blocks_demand_while_pending(self):
+        memory = memory_for("refab")
+        controller = memory.controllers[0]
+        policy = controller.refresh_policy
+        t = memory.device.timings
+        assert not policy.blocks_demand(0, 0, 0)
+        # Advance the schedule so a refresh becomes pending without letting
+        # the controller issue it (call the accumulator directly).
+        policy._accumulate_due(t.tREFIab + 1)
+        assert policy.pending_refreshes(0) >= 1 or policy.pending_refreshes(1) >= 1
+        blocked_rank = 0 if policy.pending_refreshes(0) else 1
+        assert policy.blocks_demand(t.tREFIab + 1, blocked_rank, 0)
+
+
+class TestPerBankPolicy:
+    def test_round_robin_order(self):
+        memory = memory_for("refpb")
+        controller = memory.controllers[0]
+        policy = controller.refresh_policy
+        t = memory.device.timings
+        policy._accumulate_due(t.tREFIpb * 3 + 1)
+        # The pending queue for the staggered rank preserves bank order 0,1,2...
+        for rank in range(policy.num_ranks):
+            pending = list(policy._pending[rank])
+            if pending:
+                assert pending == sorted(pending)
+
+    def test_blocks_only_head_bank(self):
+        memory = memory_for("refpb")
+        policy = memory.controllers[0].refresh_policy
+        t = memory.device.timings
+        policy._accumulate_due(t.tREFIpb * policy.num_ranks + 1)
+        for rank in range(policy.num_ranks):
+            head = policy.pending_bank(rank)
+            if head is None:
+                continue
+            assert policy.blocks_demand(0, rank, head)
+            assert not policy.blocks_demand(0, rank, (head + 1) % policy.num_banks)
+
+    def test_refresh_rate_eight_times_refab(self):
+        memory = memory_for("refpb")
+        t = memory.device.timings
+        intervals = 2
+        run_cycles(memory, t.tREFIab * intervals + t.tRFCpb)
+        expected = 4 * 8 * intervals  # 4 ranks, 8 per-bank refreshes per tREFIab
+        assert abs(memory.device.stats.per_bank_refreshes - expected) <= 8
+
+
+class TestElasticPolicy:
+    def test_tracks_refab_rate_under_load(self):
+        # With the steady-state backlog, elastic must pay roughly one refresh
+        # per tREFIab per rank even though it may shift them slightly.
+        memory = memory_for("elastic")
+        t = memory.device.timings
+        intervals = 5
+        run_cycles(memory, t.tREFIab * intervals + t.tRFCab)
+        refab = memory_for("refab")
+        run_cycles(refab, t.tREFIab * intervals + t.tRFCab)
+        assert memory.device.stats.all_bank_refreshes >= refab.device.stats.all_bank_refreshes - 8
+
+    def test_effective_postpone_budget_reduced(self):
+        policy = create_refresh_policy(paper_system(mechanism="elastic"), 0)
+        assert policy._effective_postpone == max(
+            1,
+            policy.refresh_config.max_postpone - policy.refresh_config.steady_state_backlog,
+        )
+
+
+class TestDARPPolicy:
+    def test_debt_never_exceeds_jedec_limits(self):
+        memory = memory_for("darp")
+        t = memory.device.timings
+        run_cycles(memory, t.tREFIab * 3)
+        for controller in memory.controllers:
+            policy = controller.refresh_policy
+            for rank in range(policy.num_ranks):
+                for bank in range(policy.num_banks):
+                    debt = policy.refresh_debt(rank, bank)
+                    assert -policy.refresh_config.max_pullin <= debt
+                    assert debt <= policy.refresh_config.max_postpone
+
+    def test_refresh_work_conserved(self):
+        # DARP must not refresh less than the round-robin baseline would
+        # (modulo the +-8 commands the standard allows per bank).
+        memory = memory_for("darp")
+        baseline = memory_for("refpb")
+        t = memory.device.timings
+        cycles = t.tREFIab * 4
+        run_cycles(memory, cycles)
+        run_cycles(baseline, cycles)
+        assert (
+            memory.device.stats.per_bank_refreshes
+            >= baseline.device.stats.per_bank_refreshes - 8 * 4
+        )
+
+    def test_blocks_demand_only_when_credit_exhausted(self):
+        policy = create_refresh_policy(paper_system(mechanism="darp"), 0)
+        memory = memory_for("darp")
+        policy.bind(memory.controllers[0])
+        assert not policy.blocks_demand(0, 0, 0)
+        policy._debt[0][0] = policy.refresh_config.max_postpone
+        assert policy.blocks_demand(0, 0, 0)
+
+    def test_write_mode_candidate_picks_least_loaded_bank(self):
+        memory = memory_for("darp")
+        controller = memory.controllers[0]
+        policy = controller.refresh_policy
+        # Load bank (0, 0) with a request; the candidate must avoid it.
+        memory.access(0, is_write=True, core_id=0, cycle=0)
+        loaded_key = None
+        for key in controller.queues.bank_keys:
+            if controller.queues.demand_count(key) > 0:
+                loaded_key = key
+        if loaded_key is not None and loaded_key[0] == 0:
+            candidate = policy._write_mode_candidate(0)
+            assert candidate != loaded_key[1]
+
+    def test_ablation_flag_disables_out_of_order(self):
+        config = paper_system(mechanism="darp", enable_out_of_order=False)
+        policy = create_refresh_policy(config, 0)
+        memory = MemorySystem(config)
+        run_cycles(memory, memory.device.timings.tREFIab * 2)
+        # It still refreshes (like baseline per-bank refresh).
+        assert memory.device.stats.per_bank_refreshes > 0
+
+
+class TestAdaptivePolicy:
+    def test_issues_refresh_work(self):
+        memory = memory_for("ar")
+        t = memory.device.timings
+        run_cycles(memory, t.tREFIab * 3)
+        assert memory.device.stats.all_bank_refreshes >= 4
+
+    def test_mode_selection_prefers_1x_under_pressure(self):
+        memory = memory_for("ar")
+        controller = memory.controllers[0]
+        policy = controller.refresh_policy
+        # With an idle rank the policy may use the fine-granularity mode.
+        assert policy._select_mode(0) == 4
+        # Under demand pressure it falls back to the cheaper 1x mode.
+        address = 0
+        while controller.queues.rank_demand_count(0) < policy.refresh_config.ar_pressure_threshold:
+            request = memory.access(address, is_write=False, core_id=0, cycle=0)
+            address += 128
+        assert policy._select_mode(0) == 1
+
+
+class TestRefreshStats:
+    def test_stats_dict_keys(self):
+        for mechanism in RefreshMechanism:
+            policy = create_refresh_policy(paper_system(mechanism=mechanism), 0)
+            stats = policy.stats_dict()
+            assert set(stats) == {
+                "all_bank_issued",
+                "per_bank_issued",
+                "postponed",
+                "pulled_in",
+                "forced",
+                "write_mode_refreshes",
+            }

@@ -1,0 +1,153 @@
+"""Tests for result records, the simulator and the experiment runner."""
+
+import pytest
+
+from repro.config.presets import paper_system
+from repro.sim.results import CoreResult, MechanismComparison, SimulationResult, WorkloadResult
+from repro.sim.runner import ExperimentRunner, run_mechanism_comparison, run_workload
+from repro.sim.simulator import Simulator
+from repro.workloads.benchmark_suite import get_benchmark
+from repro.workloads.mixes import make_workload
+
+from tests.conftest import quick_run, small_system, small_workload
+
+
+def make_simulation(workload="wl", mechanism="refab", ipcs=(1.0, 2.0), energy=10.0):
+    cores = [
+        CoreResult(
+            core_id=i,
+            benchmark=f"b{i}",
+            instructions=1000,
+            ipc=ipc,
+            mpki=10.0,
+            dram_reads=100,
+            dram_writes=50,
+            stall_cycles=10,
+        )
+        for i, ipc in enumerate(ipcs)
+    ]
+    return SimulationResult(
+        workload=workload,
+        mechanism=mechanism,
+        density_gb=8,
+        cycles=1000,
+        warmup_cycles=100,
+        cores=cores,
+        device_stats={"reads": 200, "writes": 100},
+        controller_stats={},
+        refresh_stats={},
+        energy={"energy_per_access_nj": energy},
+    )
+
+
+class TestResultRecords:
+    def test_simulation_result_properties(self):
+        result = make_simulation()
+        assert result.ipcs == [1.0, 2.0]
+        assert result.total_instructions == 2000
+        assert result.reads_serviced == 200
+        assert result.energy_per_access_nj == 10.0
+
+    def test_workload_result_metrics(self):
+        result = WorkloadResult(simulation=make_simulation(), alone_ipcs=[2.0, 2.0])
+        assert result.weighted_speedup == pytest.approx(0.5 + 1.0)
+        assert result.maximum_slowdown == pytest.approx(2.0)
+        assert 0 < result.harmonic_speedup <= 1.0
+        assert set(result.as_dict()) >= {"workload", "mechanism", "weighted_speedup"}
+
+    def test_mechanism_comparison_normalization(self):
+        comparison = MechanismComparison(workload="wl", density_gb=8)
+        comparison.results["refab"] = WorkloadResult(make_simulation(ipcs=(1.0, 1.0)), [1.0, 1.0])
+        comparison.results["dsarp"] = WorkloadResult(make_simulation(ipcs=(1.2, 1.2)), [1.0, 1.0])
+        normalized = comparison.normalized_to("refab")
+        assert normalized["refab"] == pytest.approx(1.0)
+        assert normalized["dsarp"] == pytest.approx(1.2)
+        assert comparison.improvement_percent("dsarp", "refab") == pytest.approx(20.0)
+        with pytest.raises(KeyError):
+            comparison.normalized_to("missing")
+
+
+class TestSimulator:
+    def test_result_structure(self, refab_small_result):
+        result = refab_small_result
+        assert result.mechanism == "refab"
+        assert result.density_gb == 32
+        assert len(result.cores) == 2
+        assert result.cycles == 6000
+        assert all(core.instructions > 0 for core in result.cores)
+        assert result.device_stats["reads"] > 0
+        assert result.energy_per_access_nj > 0
+
+    def test_invalid_cycles_rejected(self):
+        simulator = Simulator(small_system("none"), small_workload())
+        with pytest.raises(ValueError):
+            simulator.run(0)
+
+    def test_warmup_resets_statistics(self):
+        config = small_system("none")
+        workload = small_workload()
+        with_warmup = Simulator(config, workload).run(2000, warmup=2000)
+        without = Simulator(config, workload).run(4000, warmup=0)
+        # The measured window is shorter, so fewer instructions are counted.
+        assert with_warmup.total_instructions < without.total_instructions
+        assert with_warmup.cycles == 2000
+
+    def test_deterministic_given_same_seed(self):
+        config = small_system("refpb")
+        workload = small_workload()
+        a = Simulator(config, workload, seed=1).run(3000, warmup=500)
+        b = Simulator(config, workload, seed=1).run(3000, warmup=500)
+        assert a.ipcs == b.ipcs
+        assert a.device_stats == b.device_stats
+
+
+class TestExperimentRunner:
+    def test_simulation_cache_hit(self):
+        runner = ExperimentRunner(cycles=2000, warmup=500)
+        config = small_system("refab")
+        workload = small_workload()
+        first = runner.simulate(config, workload)
+        assert runner.cache_size() == 1
+        second = runner.simulate(config, workload)
+        assert second is first
+        assert runner.cache_size() == 1
+
+    def test_alone_ipc_cached_across_densities(self):
+        runner = ExperimentRunner(cycles=1500, warmup=300)
+        benchmark = get_benchmark("stream_copy")
+        ipc_8 = runner.alone_ipc(benchmark, small_system("refab", density_gb=8))
+        before = runner.cache_size()
+        ipc_32 = runner.alone_ipc(benchmark, small_system("dsarp", density_gb=32))
+        # The alone run is pinned to a refresh-free 8 Gb system, so the
+        # second query reuses the cached simulation.
+        assert runner.cache_size() == before
+        assert ipc_8 == ipc_32 > 0
+
+    def test_run_workload_produces_metrics(self):
+        runner = ExperimentRunner(cycles=2000, warmup=500)
+        workload = small_workload()
+        result = runner.run_workload(workload, small_system("refab"))
+        assert 0 < result.weighted_speedup <= workload.num_cores
+        assert result.mechanism == "refab"
+
+    def test_compare_contains_all_mechanisms(self):
+        runner = ExperimentRunner(cycles=2000, warmup=500)
+        workload = small_workload()
+        comparison = runner.compare(
+            workload, small_system("refab"), ("refab", "none")
+        )
+        assert set(comparison.weighted_speedup) == {"refab", "none"}
+        assert set(comparison.energy_per_access_nj) == {"refab", "none"}
+
+    def test_module_level_helpers(self):
+        workload = make_workload([get_benchmark("mcf_like"), get_benchmark("gcc_like")])
+        result = run_workload(workload, density_gb=8, mechanism="refab", cycles=1500, warmup=300)
+        assert result.weighted_speedup > 0
+        comparison = run_mechanism_comparison(
+            density_gb=8,
+            mechanisms=("refab", "none"),
+            workload=workload,
+            cycles=1500,
+            warmup=300,
+        )
+        assert set(comparison.results) == {"refab", "none"}

@@ -1,0 +1,153 @@
+"""Unit tests for trace generators, the benchmark suite and workload mixes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.benchmark_suite import (
+    benchmark_suite,
+    get_benchmark,
+    intensive_benchmarks,
+    non_intensive_benchmarks,
+)
+from repro.workloads.generators import (
+    mixed_trace,
+    random_trace,
+    streaming_trace,
+    strided_trace,
+)
+from repro.workloads.mixes import (
+    INTENSITY_CATEGORIES,
+    make_workload,
+    make_workload_category,
+    make_workload_sweep,
+    memory_intensive_workloads,
+)
+from repro.workloads.trace import summarize, take
+
+
+class TestGenerators:
+    def test_streaming_is_sequential_within_runs(self):
+        trace = streaming_trace(1 << 20, 0.2, 0.0, seed=1, run_length=16)
+        entries = take(trace, 16)
+        deltas = [b.address - a.address for a, b in zip(entries, entries[1:])]
+        assert deltas.count(64) >= 10
+
+    def test_addresses_stay_within_footprint(self):
+        footprint = 1 << 18
+        for factory in (streaming_trace, random_trace, mixed_trace):
+            entries = take(factory(footprint, 0.2, 0.3, seed=3), 500)
+            assert all(0 <= e.address < footprint for e in entries)
+        entries = take(strided_trace(footprint, 0.2, 0.3, stride_bytes=256, seed=3), 500)
+        assert all(0 <= e.address < footprint for e in entries)
+
+    def test_determinism_per_seed(self):
+        a = take(random_trace(1 << 20, 0.1, 0.4, seed=7), 100)
+        b = take(random_trace(1 << 20, 0.1, 0.4, seed=7), 100)
+        c = take(random_trace(1 << 20, 0.1, 0.4, seed=8), 100)
+        assert a == b
+        assert a != c
+
+    def test_write_fraction_approximation(self):
+        entries = take(random_trace(1 << 22, 0.1, 0.5, seed=2), 4000)
+        stats = summarize(entries)
+        assert stats["write_fraction"] == pytest.approx(0.5, abs=0.05)
+
+    def test_memory_fraction_approximation(self):
+        entries = take(streaming_trace(1 << 22, 0.1, 0.3, seed=2), 4000)
+        stats = summarize(entries)
+        assert stats["memory_fraction"] == pytest.approx(0.1, rel=0.25)
+
+    def test_dependent_fraction_zero_means_no_dependences(self):
+        entries = take(random_trace(1 << 20, 0.1, 0.0, seed=1, dependent_fraction=0.0), 200)
+        assert not any(e.depends for e in entries)
+
+    def test_dependent_loads_present_for_pointer_chasing(self):
+        entries = take(random_trace(1 << 20, 0.1, 0.0, seed=1, dependent_fraction=0.9), 200)
+        assert sum(e.depends for e in entries) > 100
+
+    def test_strided_requires_line_sized_stride(self):
+        with pytest.raises(ValueError):
+            take(strided_trace(1 << 20, 0.1, 0.0, stride_bytes=32), 1)
+
+    def test_summarize_empty(self):
+        assert summarize([])["accesses"] == 0
+
+    @given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=0.01, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_gap_never_negative(self, seed, memory_fraction):
+        entries = take(random_trace(1 << 20, memory_fraction, 0.2, seed=seed), 50)
+        assert all(e.gap >= 0 for e in entries)
+
+
+class TestBenchmarkSuite:
+    def test_suite_has_both_classes(self):
+        assert len(intensive_benchmarks()) >= 8
+        assert len(non_intensive_benchmarks()) >= 5
+
+    def test_lookup_by_name(self):
+        benchmark = get_benchmark("stream_copy")
+        assert benchmark.intensive
+        assert benchmark.mpki_class == "intensive"
+        with pytest.raises(KeyError):
+            get_benchmark("does_not_exist")
+
+    def test_every_benchmark_produces_a_trace(self):
+        for benchmark in benchmark_suite():
+            entries = take(benchmark.trace(seed=0), 50)
+            assert len(entries) == 50
+            assert all(0 <= e.address < benchmark.footprint_bytes for e in entries)
+
+    def test_non_intensive_footprints_fit_in_llc(self):
+        for benchmark in non_intensive_benchmarks():
+            assert benchmark.footprint_bytes <= 1024 * 1024
+
+    def test_intensive_footprints_exceed_llc(self):
+        for benchmark in intensive_benchmarks():
+            assert benchmark.footprint_bytes > 8 * 1024 * 1024
+
+    def test_unknown_pattern_rejected(self):
+        from repro.workloads.benchmark_suite import Benchmark
+
+        bogus = Benchmark("bogus", "zigzag", 1024, 0.1, 0.1, False)
+        with pytest.raises(ValueError):
+            bogus.trace()
+
+
+class TestWorkloadMixes:
+    def test_category_composition(self):
+        for category in INTENSITY_CATEGORIES:
+            workload = make_workload_category(category, index=0, num_cores=8)
+            intensive = sum(1 for b in workload.benchmarks if b.intensive)
+            assert intensive == round(8 * category / 100)
+            assert workload.category == category
+
+    def test_category_is_deterministic(self):
+        a = make_workload_category(50, index=1, num_cores=8, seed=3)
+        b = make_workload_category(50, index=1, num_cores=8, seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_indices_differ(self):
+        a = make_workload_category(50, index=0, num_cores=8)
+        b = make_workload_category(50, index=1, num_cores=8)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload_category(10)
+
+    def test_sweep_covers_all_categories(self):
+        sweep = make_workload_sweep(workloads_per_category=2)
+        assert len(sweep) == 2 * len(INTENSITY_CATEGORIES)
+        categories = {workload.category for workload in sweep}
+        assert categories == set(INTENSITY_CATEGORIES)
+
+    def test_make_workload_explicit(self):
+        workload = make_workload([get_benchmark("mcf_like"), get_benchmark("gcc_like")])
+        assert workload.num_cores == 2
+        assert "mcf_like" in workload.name
+        with pytest.raises(ValueError):
+            make_workload([])
+
+    def test_memory_intensive_workloads_all_intensive(self):
+        for workload in memory_intensive_workloads(count=3, num_cores=4):
+            assert all(b.intensive for b in workload.benchmarks)
