@@ -7,6 +7,9 @@ ideal no-refresh system, and prints the weighted speedup and energy per
 access of each.
 
 Run with:  python examples/quickstart.py
+
+For the parallel engine and the persistent result store, see
+``examples/parallel_sweep.py`` and the CLI (``python -m repro run``).
 """
 
 from repro import RefreshMechanism, make_workload_category

@@ -28,6 +28,13 @@ Quickstart
 """
 
 from repro.version import __version__
+from repro.engine import (
+    InMemoryStore,
+    JsonlStore,
+    ParallelExecutor,
+    SerialExecutor,
+    SimulationJob,
+)
 from repro.config import (
     SystemConfig,
     DRAMConfig,
@@ -59,6 +66,11 @@ from repro.workloads import (
 
 __all__ = [
     "__version__",
+    "SimulationJob",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "InMemoryStore",
+    "JsonlStore",
     "SystemConfig",
     "DRAMConfig",
     "DRAMOrganization",

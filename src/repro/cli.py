@@ -1,0 +1,307 @@
+"""Command-line interface for running the paper's experiments.
+
+``python -m repro run <experiment>`` executes any figure- or table-level
+experiment through the parallel engine::
+
+    python -m repro list
+    python -m repro run figure12 --workers 4 --store results/cache.jsonl
+    python -m repro run table3 --cycles 8000 --output table3.json
+
+``--workers N`` fans simulations out over N worker processes (results are
+identical to a serial run).  ``--store PATH`` persists every simulation
+result to an append-only JSONL cache keyed by job fingerprint; a second
+invocation against the same store performs zero new simulations, which the
+run summary reports explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.progress import ProgressPrinter
+from repro.engine.store import JsonlStore
+from repro.sim import experiments
+from repro.sim.experiments import ExperimentScale
+from repro.sim.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable experiment: a name, a description and an entry point."""
+
+    name: str
+    description: str
+    run: Callable[[ExperimentRunner, ExperimentScale], object]
+
+
+def _simulation_free(function: Callable[[], object]):
+    """Adapt an experiment that needs no simulations to the common shape."""
+
+    def run(runner: ExperimentRunner, scale: ExperimentScale) -> object:
+        return function()
+
+    return run
+
+
+def _standard(function) -> Callable[[ExperimentRunner, ExperimentScale], object]:
+    """Adapt the common ``function(runner=..., scale=...)`` signature."""
+
+    def run(runner: ExperimentRunner, scale: ExperimentScale) -> object:
+        return function(runner=runner, scale=scale)
+
+    return run
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.name: experiment
+    for experiment in (
+        Experiment(
+            "figure5",
+            "Projected tRFCab versus DRAM density (no simulation)",
+            _simulation_free(experiments.figure5_refresh_latency_trend),
+        ),
+        Experiment(
+            "figure6",
+            "% WS loss of REFab vs the no-refresh ideal, per category",
+            _standard(experiments.figure6_refab_performance_loss),
+        ),
+        Experiment(
+            "figure7",
+            "Average % WS loss of REFab and REFpb vs the ideal",
+            _standard(experiments.figure7_refab_vs_refpb_loss),
+        ),
+        Experiment(
+            "figure12",
+            "Per-workload WS normalized to REFab (main evaluation)",
+            _standard(experiments.figure12_workload_sweep),
+        ),
+        Experiment(
+            "figure13",
+            "Average % WS improvement over REFab for every mechanism",
+            _standard(experiments.figure13_all_mechanisms),
+        ),
+        Experiment(
+            "figure14",
+            "Average energy per access for every mechanism",
+            _standard(experiments.figure14_energy_per_access),
+        ),
+        Experiment(
+            "figure15",
+            "DSARP gains by memory-intensity category",
+            _standard(experiments.figure15_memory_intensity),
+        ),
+        Experiment(
+            "figure16",
+            "DDR4 fine-granularity and adaptive refresh comparison",
+            _standard(experiments.figure16_fgr_comparison),
+        ),
+        Experiment(
+            "table2",
+            "Max and gmean WS improvement over REFpb / REFab",
+            _standard(experiments.table2_improvement_summary),
+        ),
+        Experiment(
+            "table3",
+            "DSARP vs REFab across core counts",
+            _standard(experiments.table3_core_count),
+        ),
+        Experiment(
+            "table4",
+            "SARPpb sensitivity to tFAW / tRRD",
+            _standard(experiments.table4_tfaw_sensitivity),
+        ),
+        Experiment(
+            "table5",
+            "SARPpb sensitivity to subarrays per bank",
+            _standard(experiments.table5_subarray_sensitivity),
+        ),
+        Experiment(
+            "table6",
+            "DSARP improvement at 64 ms retention",
+            _standard(experiments.table6_refresh_interval),
+        ),
+        Experiment(
+            "darp_components",
+            "Ablation: out-of-order refresh alone versus full DARP",
+            _standard(experiments.darp_component_breakdown),
+        ),
+        Experiment(
+            "dsarp_additivity",
+            "Ablation: DARP, SARPpb and DSARP over REFab",
+            _standard(experiments.dsarp_additivity),
+        ),
+    )
+}
+
+
+def _to_jsonable(value: object) -> object:
+    """Recursively convert experiment output to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
+
+
+def _density_list(text: str) -> tuple[int, ...]:
+    try:
+        densities = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers (e.g. 8,16,32), got {text!r}"
+        ) from None
+    if not densities:
+        raise argparse.ArgumentTypeError("expected at least one density")
+    return densities
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the HPCA'14 DSARP reproduction experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="which figure/table to reproduce",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the simulation fan-out (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="JSONL result store shared across runs (created if missing)",
+    )
+    run_parser.add_argument(
+        "--cycles", type=int, default=None, help="measured window in DRAM cycles"
+    )
+    run_parser.add_argument(
+        "--warmup", type=int, default=None, help="warmup window in DRAM cycles"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default: 0)"
+    )
+    run_parser.add_argument(
+        "--workloads-per-category",
+        type=int,
+        default=None,
+        help="workloads per intensity category for the sweep experiments",
+    )
+    run_parser.add_argument(
+        "--sensitivity-workloads",
+        type=int,
+        default=None,
+        help="workload count for the sensitivity experiments",
+    )
+    run_parser.add_argument(
+        "--densities",
+        type=_density_list,
+        default=None,
+        help="comma-separated DRAM densities in Gb (default: 8,16,32)",
+    )
+    run_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the experiment result JSON to a file instead of stdout",
+    )
+    run_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed simulation job",
+    )
+    return parser
+
+
+def _build_scale(args: argparse.Namespace) -> ExperimentScale:
+    scale = ExperimentScale.from_environment()
+    overrides = {}
+    if args.workloads_per_category is not None:
+        overrides["workloads_per_category"] = args.workloads_per_category
+    if args.sensitivity_workloads is not None:
+        overrides["sensitivity_workloads"] = args.sensitivity_workloads
+    if args.densities is not None:
+        overrides["densities"] = args.densities
+    return dataclasses.replace(scale, **overrides) if overrides else scale
+
+
+def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    experiment = EXPERIMENTS[args.experiment]
+    store = JsonlStore(args.store) if args.store else None
+    if store is not None:
+        stderr.write(f"store: {store.path} ({len(store)} cached results)\n")
+    executor = (
+        ParallelExecutor(workers=args.workers) if args.workers > 1 else SerialExecutor()
+    )
+    runner = ExperimentRunner(
+        cycles=args.cycles,
+        warmup=args.warmup,
+        seed=args.seed,
+        executor=executor,
+        store=store,
+        progress=ProgressPrinter(stream=stderr) if args.progress else None,
+    )
+    result = experiment.run(runner, _build_scale(args))
+
+    payload = json.dumps(_to_jsonable(result), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        stderr.write(f"result written to {args.output}\n")
+    else:
+        stdout.write(payload + "\n")
+
+    summary = runner.summary()
+    stderr.write(
+        f"run summary: {summary['jobs']} jobs planned — "
+        f"{summary['simulated']} simulated, "
+        f"{summary['store_hits']} store hits, "
+        f"{summary['memory_hits']} memory hits "
+        f"({summary['elapsed_s']:.2f}s in engine"
+        f", {args.workers} worker{'s' if args.workers != 1 else ''})\n"
+    )
+    if store is not None:
+        stderr.write(f"store: {store.path} now holds {len(store)} results\n")
+    return 0
+
+
+def main(
+    argv: Optional[list[str]] = None,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """CLI entry point; returns the process exit code."""
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            stdout.write(f"{name:<{width}}  {EXPERIMENTS[name].description}\n")
+        return 0
+    return _run_command(args, stdout, stderr)

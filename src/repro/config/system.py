@@ -57,7 +57,15 @@ class SystemConfig:
         return replace(self, dram=dram)
 
     def fingerprint(self) -> tuple:
-        """Hashable summary of everything that affects simulation results."""
+        """Hashable summary of everything that affects simulation results.
+
+        The fingerprint is built exclusively from primitives (numbers,
+        strings, booleans) nested in tuples, so it is stable across
+        processes and interpreter runs — unlike ``hash()``, which is
+        salted per process.  The experiment engine relies on this to key
+        its persistent result stores (see
+        :func:`repro.engine.jobs.fingerprint_digest`).
+        """
         return (
             self.dram.fingerprint(),
             self.controller.fingerprint(),

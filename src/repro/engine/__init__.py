@@ -1,0 +1,53 @@
+"""Parallel experiment engine.
+
+The engine decouples *what* to simulate from *how* the simulations are
+executed and *where* their results live:
+
+* :mod:`repro.engine.jobs` — :class:`SimulationJob`, a picklable spec that
+  captures one simulation by fingerprint (config, workload, cycles, warmup,
+  seed),
+* :mod:`repro.engine.executor` — :class:`SerialExecutor` and
+  :class:`ParallelExecutor`, which run job batches deterministically (the
+  parallel fan-out produces results identical to serial execution for any
+  worker count),
+* :mod:`repro.engine.store` — :class:`ResultStore` implementations
+  (:class:`InMemoryStore`, :class:`JsonlStore`) keyed by job fingerprint,
+  so results persist across processes, benchmarks and CI runs,
+* :mod:`repro.engine.progress` — job-level progress events and callbacks.
+
+The :class:`~repro.sim.runner.ExperimentRunner` plans job batches and
+submits them through an executor; the CLI (``python -m repro``) wires a
+:class:`JsonlStore` underneath so figure-level sweeps warm a shared
+on-disk cache.
+"""
+
+from repro.engine.jobs import SimulationJob, execute_job
+from repro.engine.executor import (
+    ExecutorStats,
+    JobExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.engine.progress import (
+    JobEvent,
+    ProgressCallback,
+    ProgressCollector,
+    ProgressPrinter,
+)
+from repro.engine.store import InMemoryStore, JsonlStore, ResultStore
+
+__all__ = [
+    "SimulationJob",
+    "execute_job",
+    "JobExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ExecutorStats",
+    "JobEvent",
+    "ProgressCallback",
+    "ProgressCollector",
+    "ProgressPrinter",
+    "ResultStore",
+    "InMemoryStore",
+    "JsonlStore",
+]

@@ -1,0 +1,195 @@
+"""Deterministic job-batch executors.
+
+Executors take a batch of :class:`~repro.engine.jobs.SimulationJob` specs
+and return their results *in batch order*.  Both executors consult an
+optional :class:`~repro.engine.store.ResultStore` before simulating and
+write every fresh result back, and both deduplicate repeated fingerprints
+inside a batch, so a job is never simulated twice.
+
+Because each simulation is a pure function of its job spec (the simulator
+is deterministic given the seed), the :class:`ParallelExecutor` produces
+results identical to the :class:`SerialExecutor` for any worker count —
+parallelism changes wall-clock time, never outcomes.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.engine.jobs import SimulationJob, execute_job
+from repro.engine.progress import (
+    SOURCE_SIMULATED,
+    SOURCE_STORE,
+    JobEvent,
+    ProgressCallback,
+)
+from repro.engine.store import ResultStore
+
+if TYPE_CHECKING:  # avoid repro.sim <-> repro.engine import cycle
+    from repro.sim.results import SimulationResult
+
+
+@dataclass
+class ExecutorStats:
+    """Cumulative counters across every batch an executor has run."""
+
+    jobs: int = 0
+    store_hits: int = 0
+    simulated: int = 0
+    elapsed_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "store_hits": self.store_hits,
+            "simulated": self.simulated,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class JobExecutor(ABC):
+    """Runs job batches, resolving each job from the store when possible."""
+
+    def __init__(self) -> None:
+        self.stats = ExecutorStats()
+
+    def run(
+        self,
+        jobs: Iterable[SimulationJob],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> list[SimulationResult]:
+        """Run a batch; the result list is aligned with the input order."""
+        jobs = list(jobs)
+        total = len(jobs)
+        start = perf_counter()
+        results: dict[str, SimulationResult] = {}
+        order: list[str] = []
+        pending: list[tuple[int, SimulationJob]] = []
+        pending_keys: set[str] = set()
+        for index, job in enumerate(jobs):
+            key = job.key()
+            order.append(key)
+            if key in results or key in pending_keys:
+                continue
+            stored = store.get(key) if store is not None else None
+            if stored is not None:
+                results[key] = stored
+                self.stats.store_hits += 1
+                if progress is not None:
+                    progress(
+                        JobEvent(
+                            index=index,
+                            total=total,
+                            key=key,
+                            label=job.describe(),
+                            source=SOURCE_STORE,
+                        )
+                    )
+            else:
+                pending.append((index, job))
+                pending_keys.add(key)
+        if pending:
+            executed = self._execute_pending(pending, total, progress, store)
+            for (_, job), result in zip(pending, executed):
+                results[job.key()] = result
+        self.stats.jobs += total
+        self.stats.simulated += len(pending)
+        self.stats.elapsed_s += perf_counter() - start
+        return [results[key] for key in order]
+
+    @abstractmethod
+    def _execute_pending(
+        self,
+        pending: Sequence[tuple[int, SimulationJob]],
+        total: int,
+        progress: Optional[ProgressCallback],
+        store: Optional[ResultStore],
+    ) -> list["SimulationResult"]:
+        """Simulate the cache-missing jobs; aligned with ``pending``.
+
+        Implementations write each result to ``store`` as soon as it
+        completes, so an interrupted batch still warms the store with
+        everything finished so far.
+        """
+
+
+class SerialExecutor(JobExecutor):
+    """Runs every job in-process, one after another."""
+
+    def _execute_pending(self, pending, total, progress, store):
+        results = []
+        for index, job in pending:
+            job_start = perf_counter()
+            result = execute_job(job)
+            results.append(result)
+            if store is not None:
+                store.put(job.key(), result)
+            if progress is not None:
+                progress(
+                    JobEvent(
+                        index=index,
+                        total=total,
+                        key=job.key(),
+                        label=job.describe(),
+                        source=SOURCE_SIMULATED,
+                        elapsed_s=perf_counter() - job_start,
+                    )
+                )
+        return results
+
+
+def _timed_execute_job(job: SimulationJob) -> tuple["SimulationResult", float]:
+    """Worker entry point that measures the in-worker simulation time."""
+    start = perf_counter()
+    result = execute_job(job)
+    return result, perf_counter() - start
+
+
+class ParallelExecutor(JobExecutor):
+    """Fans a batch out over a :class:`ProcessPoolExecutor`.
+
+    Jobs and results cross the process boundary by pickling; results are
+    reassembled in batch order, so the outcome is byte-identical to the
+    serial executor regardless of ``workers`` or completion order.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+
+    def _execute_pending(self, pending, total, progress, store):
+        results: list[Optional[SimulationResult]] = [None] * len(pending)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(_timed_execute_job, job): (slot, index, job)
+                for slot, (index, job) in enumerate(pending)
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    slot, index, job = futures[future]
+                    result, elapsed_s = future.result()
+                    results[slot] = result
+                    if store is not None:
+                        store.put(job.key(), result)
+                    if progress is not None:
+                        progress(
+                            JobEvent(
+                                index=index,
+                                total=total,
+                                key=job.key(),
+                                label=job.describe(),
+                                source=SOURCE_SIMULATED,
+                                elapsed_s=elapsed_s,
+                            )
+                        )
+        return results

@@ -1,0 +1,81 @@
+"""Simulation job specifications.
+
+A :class:`SimulationJob` captures everything that determines one simulation
+outcome — the system configuration, the workload, the measured window and
+the seed — as a picklable value object.  Jobs travel across process
+boundaries (the :class:`~repro.engine.executor.ParallelExecutor` ships them
+to worker processes) and their :meth:`~SimulationJob.key` is the stable
+identity under which results are cached in a
+:class:`~repro.engine.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config.system import SystemConfig
+from repro.workloads.mixes import Workload
+
+if TYPE_CHECKING:  # avoid repro.sim <-> repro.engine import cycle
+    from repro.sim.results import SimulationResult
+
+
+def fingerprint_digest(fingerprint: object) -> str:
+    """Stable hex digest of a (nested) fingerprint tuple.
+
+    Fingerprints are nested tuples of primitives; encoding them as
+    canonical JSON (tuples become lists, keys sorted) gives a digest that
+    is stable across processes and interpreter runs — unlike ``hash()``,
+    which is randomized per process for strings.
+    """
+    encoded = json.dumps(fingerprint, sort_keys=True, default=str)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One simulation to perform, identified by its fingerprint."""
+
+    config: SystemConfig
+    workload: Workload
+    cycles: int
+    warmup: int
+    seed: int
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity: everything that affects the result."""
+        return (
+            self.config.fingerprint(),
+            self.workload.fingerprint(),
+            self.cycles,
+            self.warmup,
+            self.seed,
+        )
+
+    def key(self) -> str:
+        """Stable string identity used by persistent result stores."""
+        return fingerprint_digest(self.fingerprint())
+
+    def describe(self) -> str:
+        """Short human-readable label for progress reporting."""
+        return (
+            f"{self.workload.name}/{self.config.refresh.mechanism.value}"
+            f"@{self.config.dram.density_gb}Gb"
+        )
+
+    def run(self) -> "SimulationResult":
+        """Execute the simulation this job describes."""
+        # Imported here to keep job specs importable without pulling the
+        # whole simulator into every worker that only plans batches.
+        from repro.sim.simulator import Simulator
+
+        simulator = Simulator(self.config, self.workload, seed=self.seed)
+        return simulator.run(self.cycles, warmup=self.warmup)
+
+
+def execute_job(job: SimulationJob) -> "SimulationResult":
+    """Module-level entry point for process-pool workers (picklable)."""
+    return job.run()

@@ -1,0 +1,72 @@
+"""Job-level progress events for the experiment engine.
+
+Executors emit one :class:`JobEvent` per completed job, telling listeners
+whether the result was simulated or recalled from a store.  Callbacks are
+plain callables, so the CLI, tests and notebooks can all observe the same
+stream; :class:`ProgressPrinter` renders events to a terminal and
+:class:`ProgressCollector` accumulates them for assertions and summaries.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TextIO
+
+#: How a job's result was obtained.
+SOURCE_SIMULATED = "simulated"
+SOURCE_STORE = "store"
+SOURCE_MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One completed job inside a batch."""
+
+    index: int
+    total: int
+    key: str
+    label: str
+    #: One of ``"simulated"``, ``"store"`` or ``"memory"``.
+    source: str
+    elapsed_s: float = 0.0
+
+
+ProgressCallback = Callable[[JobEvent], None]
+
+
+class ProgressPrinter:
+    """Prints one line per completed job (used by the CLI)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: JobEvent) -> None:
+        mark = "*" if event.source == SOURCE_SIMULATED else "."
+        self.stream.write(
+            f"  [{event.index + 1:>4d}/{event.total}] {mark} "
+            f"{event.label} ({event.source}, {event.elapsed_s:.2f}s)\n"
+        )
+        self.stream.flush()
+
+
+@dataclass
+class ProgressCollector:
+    """Accumulates events; useful in tests and for run summaries."""
+
+    events: list[JobEvent] = field(default_factory=list)
+
+    def __call__(self, event: JobEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for event in self.events if event.source == SOURCE_SIMULATED)
+
+    @property
+    def store_hits(self) -> int:
+        return sum(1 for event in self.events if event.source == SOURCE_STORE)
+
+    @property
+    def memory_hits(self) -> int:
+        return sum(1 for event in self.events if event.source == SOURCE_MEMORY)

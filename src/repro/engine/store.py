@@ -1,0 +1,111 @@
+"""Persistent result stores keyed by job fingerprint.
+
+A :class:`ResultStore` maps the stable string key of a
+:class:`~repro.engine.jobs.SimulationJob` to its
+:class:`~repro.sim.results.SimulationResult`.  Two implementations are
+provided:
+
+* :class:`InMemoryStore` — a plain dict, useful for tests and for sharing
+  results inside one process,
+* :class:`JsonlStore` — an append-only JSON-lines file.  Every ``put``
+  appends one self-contained record, so concurrent runs warming the same
+  cache cannot corrupt previously written results, and a store can be
+  re-opened by a later process (or CI run) to skip completed simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # avoid repro.sim <-> repro.engine import cycle
+    from repro.sim.results import SimulationResult
+
+
+class ResultStore(ABC):
+    """Interface for persistent simulation-result caches."""
+
+    @abstractmethod
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The stored result for ``key``, or ``None``."""
+
+    @abstractmethod
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (last write wins)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of distinct keys stored."""
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+
+class InMemoryStore(ResultStore):
+    """A dict-backed store; contents die with the process."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, SimulationResult] = {}
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        return self._results.get(key)
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self._results[key] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class JsonlStore(ResultStore):
+    """An on-disk store: one JSON record per line, append-only.
+
+    The file is read once on open; later ``put`` calls append to both the
+    in-memory index and the file.  Records carry their key and the full
+    :meth:`SimulationResult.to_dict` payload, so any line is independently
+    interpretable and duplicated keys resolve to the latest record.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._results: dict[str, SimulationResult] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        from repro.sim.results import SimulationResult
+
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                # A process killed mid-append leaves a truncated last line;
+                # results are recomputable, so skip anything unreadable
+                # rather than making the whole store unusable.
+                try:
+                    record = json.loads(line)
+                    self._results[record["key"]] = SimulationResult.from_dict(
+                        record["result"]
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        return self._results.get(key)
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self._results[key] = result
+        record = {"key": key, "result": result.to_dict()}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._results)

@@ -102,10 +102,10 @@ def figure6_refab_performance_loss(
     }
     for density in scale.densities:
         base_config = paper_system(density_gb=density)
-        for workload in workloads:
-            comparison = runner.compare(
-                workload, base_config, (RefreshMechanism.NONE, RefreshMechanism.REFAB)
-            )
+        comparisons = runner.compare_many(
+            workloads, base_config, (RefreshMechanism.NONE, RefreshMechanism.REFAB)
+        )
+        for workload, comparison in zip(workloads, comparisons):
             normalized = comparison.normalized_to(RefreshMechanism.NONE.value)
             loss = (1.0 - normalized[RefreshMechanism.REFAB.value]) * 100.0
             losses[workload.category][density].append(loss)
@@ -135,12 +135,12 @@ def figure7_refab_vs_refpb_loss(
     for density in scale.densities:
         base_config = paper_system(density_gb=density)
         losses = {"refab": [], "refpb": []}
-        for workload in workloads:
-            comparison = runner.compare(
-                workload,
-                base_config,
-                (RefreshMechanism.NONE, RefreshMechanism.REFAB, RefreshMechanism.REFPB),
-            )
+        comparisons = runner.compare_many(
+            workloads,
+            base_config,
+            (RefreshMechanism.NONE, RefreshMechanism.REFAB, RefreshMechanism.REFPB),
+        )
+        for comparison in comparisons:
             normalized = comparison.normalized_to(RefreshMechanism.NONE.value)
             losses["refab"].append((1.0 - normalized["refab"]) * 100.0)
             losses["refpb"].append((1.0 - normalized["refpb"]) * 100.0)
@@ -172,8 +172,8 @@ def figure12_workload_sweep(
     for density in scale.densities:
         base_config = paper_system(density_gb=density)
         per_workload: dict[str, dict[str, float]] = {}
-        for workload in workloads:
-            comparison = runner.compare(workload, base_config, mechanisms)
+        comparisons = runner.compare_many(workloads, base_config, mechanisms)
+        for workload, comparison in zip(workloads, comparisons):
             per_workload[workload.name] = comparison.normalized_to("refab")
         result[density] = per_workload
     return result
@@ -238,8 +238,7 @@ def figure13_all_mechanisms(
     for density in scale.densities:
         base_config = paper_system(density_gb=density)
         improvements: dict[str, list[float]] = {m: [] for m in mechanisms}
-        for workload in workloads:
-            comparison = runner.compare(workload, base_config, mechanisms)
+        for comparison in runner.compare_many(workloads, base_config, mechanisms):
             normalized = comparison.normalized_to("refab")
             for mechanism in mechanisms:
                 improvements[mechanism].append((normalized[mechanism] - 1.0) * 100.0)
@@ -270,8 +269,7 @@ def figure14_energy_per_access(
         base_config = paper_system(density_gb=density)
         total_energy: dict[str, float] = {m: 0.0 for m in mechanisms}
         total_accesses: dict[str, int] = {m: 0 for m in mechanisms}
-        for workload in workloads:
-            comparison = runner.compare(workload, base_config, mechanisms)
+        for comparison in runner.compare_many(workloads, base_config, mechanisms):
             for mechanism in mechanisms:
                 energy = comparison.results[mechanism].simulation.energy
                 total_energy[mechanism] += energy["total_nj"]
@@ -305,10 +303,10 @@ def figure15_memory_intensity(
     }
     for density in scale.densities:
         base_config = paper_system(density_gb=density)
-        for workload in workloads:
-            comparison = runner.compare(
-                workload, base_config, ("refab", "refpb", "dsarp")
-            )
+        comparisons = runner.compare_many(
+            workloads, base_config, ("refab", "refpb", "dsarp")
+        )
+        for workload, comparison in zip(workloads, comparisons):
             normalized = comparison.normalized_to("refab")
             bucket = gains[workload.category][density]
             bucket["vs_refab"].append((normalized["dsarp"] - 1.0) * 100.0)
@@ -345,8 +343,8 @@ def table3_core_count(
         )
         ws_gains, hs_gains, slowdown_reductions, energy_reductions = [], [], [], []
         base_config = paper_system(density_gb=density_gb, num_cores=cores)
-        for workload in workloads:
-            comparison = runner.compare(workload, base_config, ("refab", "dsarp"))
+        comparisons = runner.compare_many(workloads, base_config, ("refab", "dsarp"))
+        for comparison in comparisons:
             refab = comparison.results["refab"]
             dsarp = comparison.results["dsarp"]
             ws_gains.append(
@@ -391,8 +389,7 @@ def table4_tfaw_sensitivity(
         gains = []
         base = paper_system(density_gb=density_gb)
         base = replace(base, dram=base.dram.with_tfaw(tfaw, trrd))
-        for workload in workloads:
-            comparison = runner.compare(workload, base, ("refpb", "sarppb"))
+        for comparison in runner.compare_many(workloads, base, ("refpb", "sarppb")):
             normalized = comparison.normalized_to("refpb")
             gains.append((normalized["sarppb"] - 1.0) * 100.0)
         result[tfaw] = _average_improvement(gains)
@@ -416,8 +413,7 @@ def table5_subarray_sensitivity(
     for count in subarray_counts:
         gains = []
         base = paper_system(density_gb=density_gb, subarrays_per_bank=count)
-        for workload in workloads:
-            comparison = runner.compare(workload, base, ("refpb", "sarppb"))
+        for comparison in runner.compare_many(workloads, base, ("refpb", "sarppb")):
             normalized = comparison.normalized_to("refpb")
             gains.append((normalized["sarppb"] - 1.0) * 100.0)
         result[count] = _average_improvement(gains)
@@ -440,10 +436,9 @@ def table6_refresh_interval(
     for density in scale.densities:
         base_config = paper_system(density_gb=density, retention_ms=retention_ms)
         over_refab, over_refpb = [], []
-        for workload in workloads:
-            comparison = runner.compare(
-                workload, base_config, ("refab", "refpb", "dsarp")
-            )
+        for comparison in runner.compare_many(
+            workloads, base_config, ("refab", "refpb", "dsarp")
+        ):
             normalized = comparison.normalized_to("refab")
             over_refab.append((normalized["dsarp"] - 1.0) * 100.0)
             over_refpb.append(
@@ -477,8 +472,7 @@ def figure16_fgr_comparison(
     for density in scale.densities:
         base_config = paper_system(density_gb=density)
         ratios: dict[str, list[float]] = {m: [] for m in mechanisms}
-        for workload in workloads:
-            comparison = runner.compare(workload, base_config, mechanisms)
+        for comparison in runner.compare_many(workloads, base_config, mechanisms):
             normalized = comparison.normalized_to("refab")
             for mechanism in mechanisms:
                 ratios[mechanism].append(normalized[mechanism])
@@ -509,11 +503,18 @@ def darp_component_breakdown(
         ooo_only = base_config.with_mechanism(
             "darp", enable_write_refresh_parallelization=False
         )
+        refab_config = base_config.with_mechanism("refab")
+        darp_config = base_config.with_mechanism("darp")
         ooo_gains, darp_gains = [], []
-        for workload in workloads:
-            refab = runner.run_workload(workload, base_config.with_mechanism("refab"))
-            darp = runner.run_workload(workload, base_config.with_mechanism("darp"))
-            ooo = runner.run_workload(workload, ooo_only)
+        results = runner.run_many(
+            [
+                (workload, config)
+                for workload in workloads
+                for config in (refab_config, darp_config, ooo_only)
+            ]
+        )
+        for offset in range(0, len(results), 3):
+            refab, darp, ooo = results[offset : offset + 3]
             base_ws = refab.weighted_speedup
             ooo_gains.append((ooo.weighted_speedup / base_ws - 1.0) * 100.0)
             darp_gains.append((darp.weighted_speedup / base_ws - 1.0) * 100.0)
@@ -535,10 +536,9 @@ def dsarp_additivity(
     workloads = _sweep_workloads(scale)
     base_config = paper_system(density_gb=density_gb)
     gains: dict[str, list[float]] = {"darp": [], "sarppb": [], "dsarp": []}
-    for workload in workloads:
-        comparison = runner.compare(
-            workload, base_config, ("refab", "darp", "sarppb", "dsarp")
-        )
+    for comparison in runner.compare_many(
+        workloads, base_config, ("refab", "darp", "sarppb", "dsarp")
+    ):
         normalized = comparison.normalized_to("refab")
         for mechanism in gains:
             gains[mechanism].append((normalized[mechanism] - 1.0) * 100.0)

@@ -37,6 +37,22 @@ class CoreResult:
             "stall_cycles": self.stall_cycles,
         }
 
+    #: Alias so core results serialize like :class:`SimulationResult`.
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreResult":
+        return cls(
+            core_id=data["core_id"],
+            benchmark=data["benchmark"],
+            instructions=data["instructions"],
+            ipc=data["ipc"],
+            mpki=data["mpki"],
+            dram_reads=data["dram_reads"],
+            dram_writes=data["dram_writes"],
+            stall_cycles=data["stall_cycles"],
+        )
+
 
 @dataclass
 class SimulationResult:
@@ -72,6 +88,37 @@ class SimulationResult:
     @property
     def energy_per_access_nj(self) -> float:
         return self.energy.get("energy_per_access_nj", 0.0)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (see :meth:`from_dict`)."""
+        return {
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "density_gb": self.density_gb,
+            "cycles": self.cycles,
+            "warmup_cycles": self.warmup_cycles,
+            "cores": [core.to_dict() for core in self.cores],
+            "device_stats": dict(self.device_stats),
+            "controller_stats": dict(self.controller_stats),
+            "refresh_stats": dict(self.refresh_stats),
+            "energy": dict(self.energy),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`: rebuild an equal result record."""
+        return cls(
+            workload=data["workload"],
+            mechanism=data["mechanism"],
+            density_gb=data["density_gb"],
+            cycles=data["cycles"],
+            warmup_cycles=data["warmup_cycles"],
+            cores=[CoreResult.from_dict(core) for core in data["cores"]],
+            device_stats=dict(data["device_stats"]),
+            controller_stats=dict(data["controller_stats"]),
+            refresh_stats=dict(data["refresh_stats"]),
+            energy=dict(data["energy"]),
+        )
 
 
 @dataclass

@@ -1,23 +1,36 @@
-"""Experiment runner with result caching.
+"""Experiment runner with result caching, built on the experiment engine.
 
 Reproducing the paper's figures requires many simulations sharing common
 pieces (the REFab baseline, the alone-run IPCs of each benchmark, ...).
 The :class:`ExperimentRunner` memoizes every simulation it performs, keyed
 by the configuration and workload fingerprints, so the figure- and
 table-level experiments can be composed without repeating work.
+
+Execution is delegated to the :mod:`repro.engine` subsystem: the runner
+*plans* batches of :class:`~repro.engine.jobs.SimulationJob` specs and
+submits them through a :class:`~repro.engine.executor.JobExecutor`.  With a
+:class:`~repro.engine.executor.ParallelExecutor` the batch fans out across
+cores, and with a persistent :class:`~repro.engine.store.ResultStore` the
+results are shared across processes, benchmarks and CI runs.  The
+single-call API (:meth:`ExperimentRunner.simulate`, ...) is a thin wrapper
+over the batched one (:meth:`simulate_many`, :meth:`run_many`,
+:meth:`compare_many`).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import replace
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.config.presets import paper_system
 from repro.config.refresh_config import RefreshMechanism
 from repro.config.system import SystemConfig
+from repro.engine.executor import JobExecutor, SerialExecutor
+from repro.engine.jobs import SimulationJob
+from repro.engine.progress import SOURCE_MEMORY, JobEvent, ProgressCallback
+from repro.engine.store import ResultStore
 from repro.sim.results import MechanismComparison, SimulationResult, WorkloadResult
-from repro.sim.simulator import Simulator
 from repro.workloads.benchmark_suite import Benchmark
 from repro.workloads.mixes import Workload, make_workload, make_workload_category
 
@@ -39,30 +52,143 @@ def default_warmup() -> int:
 
 
 class ExperimentRunner:
-    """Runs and caches simulations for the experiment harness."""
+    """Plans, runs and caches simulations for the experiment harness.
+
+    Parameters
+    ----------
+    cycles, warmup, seed:
+        The measured window shared by every simulation this runner plans.
+    executor:
+        Engine executor the job batches are submitted through; defaults to
+        a :class:`~repro.engine.executor.SerialExecutor`.  Pass a
+        :class:`~repro.engine.executor.ParallelExecutor` to fan batches
+        out over worker processes.
+    store:
+        Optional persistent result store consulted before simulating and
+        warmed with every fresh result.
+    progress:
+        Optional callback receiving one
+        :class:`~repro.engine.progress.JobEvent` per resolved job.
+    """
 
     def __init__(
         self,
         cycles: Optional[int] = None,
         warmup: Optional[int] = None,
         seed: int = 0,
+        executor: Optional[JobExecutor] = None,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
     ):
         self.cycles = cycles if cycles is not None else default_cycles()
         self.warmup = warmup if warmup is not None else default_warmup()
         self.seed = seed
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.store = store
+        self.progress = progress
+        self.memory_hits = 0
         self._simulation_cache: dict[tuple, SimulationResult] = {}
         self._alone_ipc_cache: dict[tuple, float] = {}
+
+    # -- job planning ------------------------------------------------------------
+    def _job(self, config: SystemConfig, workload: Workload) -> SimulationJob:
+        return SimulationJob(
+            config=config,
+            workload=workload,
+            cycles=self.cycles,
+            warmup=self.warmup,
+            seed=self.seed,
+        )
+
+    def _fingerprint(self, config: SystemConfig, workload: Workload) -> tuple:
+        return (
+            config.fingerprint(),
+            workload.fingerprint(),
+            self.cycles,
+            self.warmup,
+            self.seed,
+        )
+
+    def _result_for(self, config: SystemConfig, workload: Workload) -> SimulationResult:
+        """Cached result if present, without touching the hit counters."""
+        cached = self._simulation_cache.get(self._fingerprint(config, workload))
+        if cached is not None:
+            return cached
+        return self.simulate(config, workload)
 
     # -- raw simulations ---------------------------------------------------------
     def simulate(self, config: SystemConfig, workload: Workload) -> SimulationResult:
         """Run (or recall) one simulation."""
-        key = (config.fingerprint(), workload.fingerprint(), self.cycles, self.warmup, self.seed)
-        if key not in self._simulation_cache:
-            simulator = Simulator(config, workload, seed=self.seed)
-            self._simulation_cache[key] = simulator.run(self.cycles, warmup=self.warmup)
-        return self._simulation_cache[key]
+        return self.simulate_many([(config, workload)])[0]
+
+    def simulate_many(
+        self, pairs: Iterable[tuple[SystemConfig, Workload]]
+    ) -> list[SimulationResult]:
+        """Run (or recall) a batch of simulations, preserving order.
+
+        Cache misses are planned as one job batch and submitted through
+        the engine executor, so independent simulations run concurrently
+        when the executor is parallel.
+        """
+        pairs = list(pairs)
+        jobs = [self._job(config, workload) for config, workload in pairs]
+        fingerprints = [job.fingerprint() for job in jobs]
+        missing: list[SimulationJob] = []
+        missing_fingerprints: set[tuple] = set()
+        missing_positions: list[int] = []
+        for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
+            if (
+                fingerprint in self._simulation_cache
+                or fingerprint in missing_fingerprints
+            ):
+                # Either already known, or a duplicate within this batch
+                # that the first occurrence will resolve — no new work.
+                self.memory_hits += 1
+                if self.progress is not None:
+                    self.progress(
+                        JobEvent(
+                            index=index,
+                            total=len(jobs),
+                            key=job.key(),
+                            label=job.describe(),
+                            source=SOURCE_MEMORY,
+                        )
+                    )
+            else:
+                missing.append(job)
+                missing_fingerprints.add(fingerprint)
+                missing_positions.append(index)
+        if missing:
+            progress = self.progress
+            forward = None
+            if progress is not None:
+                # The executor numbers events within the missing-only
+                # sub-batch; renumber them into this batch's index space so
+                # the [i/total] counters stay consistent with memory hits.
+                def forward(event: JobEvent) -> None:
+                    progress(
+                        replace(
+                            event,
+                            index=missing_positions[event.index],
+                            total=len(jobs),
+                        )
+                    )
+
+            results = self.executor.run(missing, store=self.store, progress=forward)
+            for job, result in zip(missing, results):
+                self._simulation_cache[job.fingerprint()] = result
+        return [self._simulation_cache[fingerprint] for fingerprint in fingerprints]
 
     # -- alone runs for weighted speedup ---------------------------------------------
+    def _alone_config(self, config: SystemConfig) -> SystemConfig:
+        return (
+            config.with_mechanism(RefreshMechanism.NONE).with_cores(1).with_density(8)
+        )
+
+    @staticmethod
+    def _alone_workload(benchmark: Benchmark) -> Workload:
+        return make_workload([benchmark], name=f"alone_{benchmark.name}", seed=0)
+
     def alone_ipc(self, benchmark: Benchmark, config: SystemConfig) -> float:
         """IPC of a benchmark running alone (single core, no refresh).
 
@@ -73,13 +199,16 @@ class ExperimentRunner:
         changes unused refresh timings, and pinning it lets the alone runs
         be shared across density sweeps.
         """
-        alone_config = (
-            config.with_mechanism(RefreshMechanism.NONE).with_cores(1).with_density(8)
+        alone_config = self._alone_config(config)
+        key = (
+            benchmark.name,
+            alone_config.fingerprint(),
+            self.cycles,
+            self.warmup,
+            self.seed,
         )
-        key = (benchmark.name, alone_config.fingerprint(), self.cycles, self.warmup)
         if key not in self._alone_ipc_cache:
-            workload = make_workload([benchmark], name=f"alone_{benchmark.name}", seed=0)
-            result = self.simulate(alone_config, workload)
+            result = self._result_for(alone_config, self._alone_workload(benchmark))
             ipc = result.cores[0].ipc
             self._alone_ipc_cache[key] = max(ipc, 1e-6)
         return self._alone_ipc_cache[key]
@@ -90,9 +219,38 @@ class ExperimentRunner:
     # -- workload-level experiments --------------------------------------------------
     def run_workload(self, workload: Workload, config: SystemConfig) -> WorkloadResult:
         """Simulate a workload and derive its system-level metrics."""
-        simulation = self.simulate(config, workload)
-        alone = self.alone_ipcs(workload, config)
-        return WorkloadResult(simulation=simulation, alone_ipcs=alone)
+        return self.run_many([(workload, config)])[0]
+
+    def run_many(
+        self, pairs: Sequence[tuple[Workload, SystemConfig]]
+    ) -> list[WorkloadResult]:
+        """Batched :meth:`run_workload`: one engine submission for everything.
+
+        The batch contains every main simulation *and* every distinct
+        alone-run simulation the weighted-speedup normalization needs, so a
+        parallel executor can fan the whole figure-level sweep out at once.
+        """
+        pairs = list(pairs)
+        plan: list[tuple[SystemConfig, Workload]] = [
+            (config, workload) for workload, config in pairs
+        ]
+        planned_alone: set[tuple] = set()
+        for workload, config in pairs:
+            alone_config = self._alone_config(config)
+            for benchmark in workload.benchmarks:
+                alone_key = (benchmark.name, alone_config.fingerprint())
+                if alone_key not in planned_alone:
+                    planned_alone.add(alone_key)
+                    plan.append((alone_config, self._alone_workload(benchmark)))
+        self.simulate_many(plan)
+        # Assembly is all cache hits now that the batch has run.
+        return [
+            WorkloadResult(
+                simulation=self._result_for(config, workload),
+                alone_ipcs=self.alone_ipcs(workload, config),
+            )
+            for workload, config in pairs
+        ]
 
     def compare(
         self,
@@ -101,18 +259,48 @@ class ExperimentRunner:
         mechanisms: Iterable[RefreshMechanism | str],
     ) -> MechanismComparison:
         """Run one workload under several refresh mechanisms."""
-        comparison = MechanismComparison(
-            workload=workload.name, density_gb=base_config.dram.density_gb
-        )
-        for mechanism in mechanisms:
-            config = base_config.with_mechanism(mechanism)
-            name = config.refresh.mechanism.value
-            comparison.results[name] = self.run_workload(workload, config)
-        return comparison
+        return self.compare_many([workload], base_config, mechanisms)[0]
 
+    def compare_many(
+        self,
+        workloads: Sequence[Workload],
+        base_config: SystemConfig,
+        mechanisms: Iterable[RefreshMechanism | str],
+    ) -> list[MechanismComparison]:
+        """Batched :meth:`compare`: every (workload, mechanism) in one batch."""
+        mechanisms = list(mechanisms)
+        configs = [base_config.with_mechanism(mechanism) for mechanism in mechanisms]
+        results = self.run_many(
+            [(workload, config) for workload in workloads for config in configs]
+        )
+        comparisons = []
+        for workload_index, workload in enumerate(workloads):
+            comparison = MechanismComparison(
+                workload=workload.name, density_gb=base_config.dram.density_gb
+            )
+            for mechanism_index, config in enumerate(configs):
+                name = config.refresh.mechanism.value
+                comparison.results[name] = results[
+                    workload_index * len(configs) + mechanism_index
+                ]
+            comparisons.append(comparison)
+        return comparisons
+
+    # -- bookkeeping -------------------------------------------------------------
     def cache_size(self) -> int:
-        """Number of distinct simulations performed so far."""
+        """Number of distinct simulations known to this runner."""
         return len(self._simulation_cache)
+
+    def summary(self) -> dict:
+        """Counters for run reporting: where every planned job came from."""
+        stats = self.executor.stats
+        return {
+            "jobs": stats.jobs + self.memory_hits,
+            "memory_hits": self.memory_hits,
+            "store_hits": stats.store_hits,
+            "simulated": stats.simulated,
+            "elapsed_s": stats.elapsed_s,
+        }
 
 
 # -- module-level conveniences ------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(argv):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestListCommand:
+    def test_lists_every_experiment(self):
+        code, out, _ = run_cli(["list"])
+        assert code == 0
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestRunCommand:
+    def test_simulation_free_experiment(self):
+        code, out, err = run_cli(["run", "figure5"])
+        assert code == 0
+        points = json.loads(out)
+        assert len(points) > 0
+        assert "0 simulated" in err  # run summary present, nothing simulated
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["run", "figure99"])
+
+    def test_output_file(self, tmp_path):
+        out_path = tmp_path / "figure5.json"
+        code, out, _ = run_cli(["run", "figure5", "--output", str(out_path)])
+        assert code == 0
+        assert out == ""
+        assert json.loads(out_path.read_text())
+
+    def test_second_invocation_hits_store(self, tmp_path):
+        store = tmp_path / "cache.jsonl"
+        argv = [
+            "run",
+            "figure7",
+            "--store",
+            str(store),
+            "--densities",
+            "32",
+            "--workloads-per-category",
+            "1",
+            "--cycles",
+            "1200",
+            "--warmup",
+            "200",
+        ]
+        # First invocation simulates in worker processes and warms the store.
+        code, first_out, first_err = run_cli(argv + ["--workers", "2"])
+        assert code == 0
+        assert store.exists()
+        first_summary = first_err.splitlines()[-2]
+        assert "— 0 simulated" not in first_summary
+
+        # A second, serial invocation (fresh runner, fresh store object —
+        # only the file is shared) must not simulate anything.
+        code, second_out, second_err = run_cli(argv)
+        assert code == 0
+        second_summary = second_err.splitlines()[-2]
+        assert "— 0 simulated" in second_summary
+        assert ", 0 store hits" not in second_summary
+        # ... and must reproduce the identical experiment output.
+        assert json.loads(second_out) == json.loads(first_out)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "figure5"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert process.returncode == 0, process.stderr
+        assert json.loads(process.stdout)

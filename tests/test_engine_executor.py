@@ -1,0 +1,189 @@
+"""Tests for the serial/parallel executors and the engine-backed runner."""
+
+import pytest
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.jobs import SimulationJob
+from repro.engine.progress import ProgressCollector
+from repro.engine.store import InMemoryStore
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.benchmark_suite import get_benchmark
+from repro.workloads.mixes import make_workload
+
+from tests.conftest import small_system, small_workload
+
+CYCLES = 1200
+WARMUP = 200
+
+MECHANISMS = ("refab", "refpb", "dsarp", "none")
+
+
+def job_batch() -> list[SimulationJob]:
+    return [
+        SimulationJob(
+            config=small_system(mechanism),
+            workload=small_workload(),
+            cycles=CYCLES,
+            warmup=WARMUP,
+            seed=0,
+        )
+        for mechanism in MECHANISMS
+    ]
+
+
+class TestSerialExecutor:
+    def test_results_in_batch_order(self):
+        results = SerialExecutor().run(job_batch())
+        assert [result.mechanism for result in results] == list(MECHANISMS)
+
+    def test_duplicate_jobs_simulated_once(self):
+        executor = SerialExecutor()
+        jobs = job_batch()
+        results = executor.run(jobs + jobs)
+        assert executor.stats.simulated == len(jobs)
+        assert executor.stats.jobs == 2 * len(jobs)
+        # Duplicates resolve to the same object.
+        for first, second in zip(results[: len(jobs)], results[len(jobs) :]):
+            assert second is first
+
+    def test_store_consulted_and_warmed(self):
+        store = InMemoryStore()
+        first = SerialExecutor()
+        first.run(job_batch(), store=store)
+        assert first.stats.simulated == len(MECHANISMS)
+        assert len(store) == len(MECHANISMS)
+
+        second = SerialExecutor()
+        results = second.run(job_batch(), store=store)
+        assert second.stats.simulated == 0
+        assert second.stats.store_hits == len(MECHANISMS)
+        assert [result.mechanism for result in results] == list(MECHANISMS)
+
+    def test_store_warmed_incrementally(self):
+        # Each completed job must be persisted immediately, so an
+        # interrupted batch still warms the store with finished work.
+        store = InMemoryStore()
+        jobs = job_batch()
+
+        class StopAfterFirst(Exception):
+            pass
+
+        def explode_after_first(event):
+            if event.index >= 1:
+                raise StopAfterFirst()
+
+        with pytest.raises(StopAfterFirst):
+            SerialExecutor().run(jobs, store=store, progress=explode_after_first)
+        assert len(store) == 2  # the two jobs that completed before the abort
+
+    def test_progress_events(self):
+        collector = ProgressCollector()
+        store = InMemoryStore()
+        SerialExecutor().run(job_batch(), store=store, progress=collector)
+        assert collector.simulated == len(MECHANISMS)
+        SerialExecutor().run(job_batch(), store=store, progress=collector)
+        assert collector.store_hits == len(MECHANISMS)
+        assert {event.total for event in collector.events} == {len(MECHANISMS)}
+
+
+class TestParallelExecutor:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identical_to_serial(self, workers):
+        serial = SerialExecutor().run(job_batch())
+        parallel = ParallelExecutor(workers=workers).run(job_batch())
+        assert parallel == serial
+
+    def test_store_warmed_by_parallel_run(self):
+        store = InMemoryStore()
+        executor = ParallelExecutor(workers=2)
+        executor.run(job_batch(), store=store)
+        assert executor.stats.simulated == len(MECHANISMS)
+        assert len(store) == len(MECHANISMS)
+
+
+class TestRunnerEngineIntegration:
+    def runner(self, **kwargs) -> ExperimentRunner:
+        kwargs.setdefault("cycles", CYCLES)
+        kwargs.setdefault("warmup", WARMUP)
+        return ExperimentRunner(**kwargs)
+
+    def test_simulate_many_matches_simulate(self):
+        pairs = [(small_system(mechanism), small_workload()) for mechanism in MECHANISMS]
+        batched = self.runner().simulate_many(pairs)
+        single = [self.runner().simulate(config, workload) for config, workload in pairs]
+        assert batched == single
+
+    def test_compare_many_matches_compare(self):
+        workloads = [
+            small_workload(("stream_copy", "random_access")),
+            small_workload(("mcf_like", "gcc_like")),
+        ]
+        config = small_system("refab")
+        batched = self.runner().compare_many(workloads, config, ("refab", "none"))
+        for workload, comparison in zip(workloads, batched):
+            expected = self.runner().compare(workload, config, ("refab", "none"))
+            assert comparison.workload == workload.name
+            assert comparison.weighted_speedup == expected.weighted_speedup
+
+    def test_parallel_runner_matches_serial_runner(self):
+        workloads = [
+            small_workload(("stream_copy", "random_access")),
+            small_workload(("mcf_like", "gcc_like")),
+        ]
+        config = small_system("refab")
+        serial = self.runner().compare_many(workloads, config, MECHANISMS)
+        parallel = self.runner(executor=ParallelExecutor(workers=2)).compare_many(
+            workloads, config, MECHANISMS
+        )
+        for a, b in zip(serial, parallel):
+            assert a.weighted_speedup == b.weighted_speedup
+            assert a.energy_per_access_nj == b.energy_per_access_nj
+
+    def test_shared_store_avoids_resimulation(self):
+        store = InMemoryStore()
+        workload = small_workload()
+        config = small_system("refab")
+
+        first = self.runner(store=store)
+        first.compare(workload, config, MECHANISMS)
+        simulated_once = first.executor.stats.simulated
+        assert simulated_once > 0
+
+        # A brand-new runner (fresh in-memory cache, as in a new process)
+        # resolves everything from the shared store.
+        second = self.runner(store=store)
+        second.compare(workload, config, MECHANISMS)
+        assert second.executor.stats.simulated == 0
+        assert second.executor.stats.store_hits == simulated_once
+        assert second.summary()["simulated"] == 0
+
+    def test_progress_events_share_one_index_space(self):
+        # Memory hits and executor events must use the same index/total
+        # numbering (the full planned batch), or [i/total] lines lie.
+        collector = ProgressCollector()
+        runner = self.runner(progress=collector)
+        refab, refpb = small_system("refab"), small_system("refpb")
+        workload = small_workload()
+        runner.simulate(refab, workload)
+        collector.events.clear()
+
+        # Batch of 3: a memory hit, a fresh job, and an in-batch duplicate.
+        runner.simulate_many([(refab, workload), (refpb, workload), (refpb, workload)])
+        assert {event.total for event in collector.events} == {3}
+        assert sorted(event.index for event in collector.events) == [0, 1, 2]
+        assert collector.simulated == 1
+        assert collector.memory_hits == 2
+
+    def test_summary_counts_memory_hits(self):
+        runner = self.runner()
+        config, workload = small_system("refab"), small_workload()
+        runner.simulate(config, workload)
+        runner.simulate(config, workload)
+        summary = runner.summary()
+        assert summary["simulated"] == 1
+        assert summary["memory_hits"] == 1
+        assert summary["jobs"] == 2

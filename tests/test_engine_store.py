@@ -1,0 +1,129 @@
+"""Tests for the engine result stores and result serialization."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.engine.jobs import SimulationJob, execute_job, fingerprint_digest
+from repro.engine.store import InMemoryStore, JsonlStore
+from repro.sim.results import SimulationResult
+from repro.workloads.mixes import Workload, make_workload_category
+
+from tests.conftest import quick_run, small_system, small_workload
+
+
+@pytest.fixture(scope="module")
+def result() -> SimulationResult:
+    return quick_run("refab", cycles=1500, warmup=300)
+
+
+def make_job(mechanism="refab", seed=0, cycles=1500, warmup=300) -> SimulationJob:
+    return SimulationJob(
+        config=small_system(mechanism),
+        workload=small_workload(),
+        cycles=cycles,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+class TestSerialization:
+    def test_simulation_result_round_trip(self, result):
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt == result
+
+    def test_to_dict_is_json_compatible(self, result):
+        rebuilt = SimulationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+
+    def test_workload_spec_round_trip(self):
+        workload = make_workload_category(50, index=1, num_cores=4)
+        rebuilt = Workload.from_dict(json.loads(json.dumps(workload.to_dict())))
+        assert rebuilt == workload
+        assert rebuilt.fingerprint() == workload.fingerprint()
+
+
+class TestJobs:
+    def test_job_is_picklable_and_runs(self):
+        job = make_job(cycles=800, warmup=100)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+        assert clone.key() == job.key()
+        result = execute_job(clone)
+        assert result.cycles == 800
+        assert result.mechanism == "refab"
+
+    def test_key_tracks_fingerprint(self):
+        assert make_job().key() == make_job().key()
+        assert make_job().key() != make_job(mechanism="dsarp").key()
+        assert make_job().key() != make_job(seed=7).key()
+        assert make_job().key() != make_job(cycles=1600).key()
+
+    def test_digest_is_stable_across_processes(self):
+        # sha256 of canonical JSON must not depend on interpreter hash
+        # randomization; pin one value so accidental format changes that
+        # would orphan every persisted store are caught.
+        assert fingerprint_digest(("a", 1, (2, True))) == (
+            "270979ccc8c0fa59c6c1a3e7b9710e15ff7b731418e0bad28f7a5ac6c2da7a27"
+        )
+
+
+class TestStores:
+    def test_in_memory_store(self, result):
+        store = InMemoryStore()
+        assert store.get("k") is None
+        assert "k" not in store
+        store.put("k", result)
+        assert store.get("k") == result
+        assert "k" in store
+        assert len(store) == 1
+
+    def test_jsonl_store_round_trip(self, result, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        store = JsonlStore(path)
+        assert len(store) == 0
+        store.put("key1", result)
+        assert store.get("key1") == result
+
+        reopened = JsonlStore(path)
+        assert len(reopened) == 1
+        assert reopened.get("key1") == result
+
+    def test_jsonl_store_last_write_wins(self, result, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        store = JsonlStore(path)
+        store.put("key1", result)
+        updated = SimulationResult.from_dict(result.to_dict())
+        updated.workload = "other"
+        store.put("key1", updated)
+
+        reopened = JsonlStore(path)
+        assert len(reopened) == 1
+        assert reopened.get("key1").workload == "other"
+        # The file keeps both records (append-only), the index keeps one.
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_jsonl_store_creates_parent_directories(self, result, tmp_path):
+        path = tmp_path / "nested" / "dir" / "cache.jsonl"
+        JsonlStore(path).put("key1", result)
+        assert JsonlStore(path).get("key1") == result
+
+    def test_jsonl_store_ignores_blank_lines(self, result, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        JsonlStore(path).put("key1", result)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert JsonlStore(path).get("key1") == result
+
+    def test_jsonl_store_skips_truncated_trailing_record(self, result, tmp_path):
+        # A process killed mid-append leaves a partial line; the store must
+        # stay readable (the lost result is simply re-simulated).
+        path = tmp_path / "cache.jsonl"
+        JsonlStore(path).put("key1", result)
+        with path.open("a") as handle:
+            handle.write('{"key": "key2", "result": {"trunc')
+        reopened = JsonlStore(path)
+        assert reopened.get("key1") == result
+        assert reopened.get("key2") is None
+        assert len(reopened) == 1

@@ -123,6 +123,21 @@ class TestExperimentRunner:
         assert runner.cache_size() == before
         assert ipc_8 == ipc_32 > 0
 
+    def test_alone_ipc_key_includes_seed(self):
+        # Regression: the alone-IPC cache used to omit the seed from its
+        # key even though the underlying simulation is keyed on it, so a
+        # runner whose seed changed (or runners sharing a cache) could
+        # serve a stale alone IPC computed under a different seed.
+        runner = ExperimentRunner(cycles=1500, warmup=300, seed=0)
+        benchmark = get_benchmark("stream_copy")
+        config = small_system("refab")
+        runner.alone_ipc(benchmark, config)
+        before = runner.cache_size()
+        runner.seed = 1
+        runner.alone_ipc(benchmark, config)
+        # A different seed is a different simulation, not a cache hit.
+        assert runner.cache_size() == before + 1
+
     def test_run_workload_produces_metrics(self):
         runner = ExperimentRunner(cycles=2000, warmup=500)
         workload = small_workload()
