@@ -56,6 +56,7 @@ from repro.sim.runner import (
     run_workload,
     run_mechanism_comparison,
 )
+from repro.sweep import Axis, SweepSpec, WorkloadSpec, run_sweep
 from repro.workloads import (
     Benchmark,
     Workload,
@@ -89,6 +90,10 @@ __all__ = [
     "ExperimentRunner",
     "run_workload",
     "run_mechanism_comparison",
+    "Axis",
+    "SweepSpec",
+    "WorkloadSpec",
+    "run_sweep",
     "Benchmark",
     "Workload",
     "benchmark_suite",

@@ -1,24 +1,32 @@
 """Command-line interface for running the paper's experiments.
 
 ``python -m repro run <experiment>`` executes any figure- or table-level
-experiment through the parallel engine::
+experiment through the parallel engine, and ``python -m repro sweep``
+executes a declarative design-space sweep::
 
     python -m repro list
     python -m repro run figure12 --workers 4 --store results/cache.jsonl
     python -m repro run table3 --cycles 8000 --output table3.json
+    python -m repro sweep examples/sweep_spec.json --workers 4 \
+        --store results/cache.jsonl --out results/sweeps/example
 
 ``--workers N`` fans simulations out over N worker processes (results are
 identical to a serial run).  ``--store PATH`` persists every simulation
 result to an append-only JSONL cache keyed by job fingerprint; a second
 invocation against the same store performs zero new simulations, which the
 run summary reports explicitly.
+
+The CLI is also installed as the ``repro`` console script (see
+``pyproject.toml``), so ``repro list`` works without ``python -m``.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
 import json
+import os
 import sys
 from dataclasses import dataclass
 from typing import Callable, Optional, TextIO
@@ -31,13 +39,30 @@ from repro.sim.experiments import ExperimentScale
 from repro.sim.runner import ExperimentRunner
 
 
+def _doc_summary(function: Callable) -> str:
+    """One-line summary of an experiment: its docstring's first line."""
+    doc = inspect.getdoc(function)
+    if not doc:
+        return ""
+    return doc.splitlines()[0].strip().rstrip(".")
+
+
 @dataclass(frozen=True)
 class Experiment:
-    """One runnable experiment: a name, a description and an entry point."""
+    """One runnable experiment: a name, its function and an entry point.
+
+    The ``list`` subcommand describes each experiment by the first line
+    of its function's docstring, so descriptions live exactly once — on
+    the experiment functions themselves.
+    """
 
     name: str
-    description: str
+    function: Callable
     run: Callable[[ExperimentRunner, ExperimentScale], object]
+
+    @property
+    def description(self) -> str:
+        return _doc_summary(self.function)
 
 
 def _simulation_free(function: Callable[[], object]):
@@ -63,77 +88,77 @@ EXPERIMENTS: dict[str, Experiment] = {
     for experiment in (
         Experiment(
             "figure5",
-            "Projected tRFCab versus DRAM density (no simulation)",
+            experiments.figure5_refresh_latency_trend,
             _simulation_free(experiments.figure5_refresh_latency_trend),
         ),
         Experiment(
             "figure6",
-            "% WS loss of REFab vs the no-refresh ideal, per category",
+            experiments.figure6_refab_performance_loss,
             _standard(experiments.figure6_refab_performance_loss),
         ),
         Experiment(
             "figure7",
-            "Average % WS loss of REFab and REFpb vs the ideal",
+            experiments.figure7_refab_vs_refpb_loss,
             _standard(experiments.figure7_refab_vs_refpb_loss),
         ),
         Experiment(
             "figure12",
-            "Per-workload WS normalized to REFab (main evaluation)",
+            experiments.figure12_workload_sweep,
             _standard(experiments.figure12_workload_sweep),
         ),
         Experiment(
             "figure13",
-            "Average % WS improvement over REFab for every mechanism",
+            experiments.figure13_all_mechanisms,
             _standard(experiments.figure13_all_mechanisms),
         ),
         Experiment(
             "figure14",
-            "Average energy per access for every mechanism",
+            experiments.figure14_energy_per_access,
             _standard(experiments.figure14_energy_per_access),
         ),
         Experiment(
             "figure15",
-            "DSARP gains by memory-intensity category",
+            experiments.figure15_memory_intensity,
             _standard(experiments.figure15_memory_intensity),
         ),
         Experiment(
             "figure16",
-            "DDR4 fine-granularity and adaptive refresh comparison",
+            experiments.figure16_fgr_comparison,
             _standard(experiments.figure16_fgr_comparison),
         ),
         Experiment(
             "table2",
-            "Max and gmean WS improvement over REFpb / REFab",
+            experiments.table2_improvement_summary,
             _standard(experiments.table2_improvement_summary),
         ),
         Experiment(
             "table3",
-            "DSARP vs REFab across core counts",
+            experiments.table3_core_count,
             _standard(experiments.table3_core_count),
         ),
         Experiment(
             "table4",
-            "SARPpb sensitivity to tFAW / tRRD",
+            experiments.table4_tfaw_sensitivity,
             _standard(experiments.table4_tfaw_sensitivity),
         ),
         Experiment(
             "table5",
-            "SARPpb sensitivity to subarrays per bank",
+            experiments.table5_subarray_sensitivity,
             _standard(experiments.table5_subarray_sensitivity),
         ),
         Experiment(
             "table6",
-            "DSARP improvement at 64 ms retention",
+            experiments.table6_refresh_interval,
             _standard(experiments.table6_refresh_interval),
         ),
         Experiment(
             "darp_components",
-            "Ablation: out-of-order refresh alone versus full DARP",
+            experiments.darp_component_breakdown,
             _standard(experiments.darp_component_breakdown),
         ),
         Experiment(
             "dsarp_additivity",
-            "Ablation: DARP, SARPpb and DSARP over REFab",
+            experiments.dsarp_additivity,
             _standard(experiments.dsarp_additivity),
         ),
     )
@@ -170,14 +195,46 @@ def _density_list(text: str) -> tuple[int, ...]:
     return densities
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every simulating subcommand (``run``, ``sweep``)."""
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the simulation fan-out (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="JSONL result store shared across runs (created if missing)",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=None, help="measured window in DRAM cycles"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="warmup window in DRAM cycles"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default: 0)"
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed simulation job",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="repro",
         description="Run the HPCA'14 DSARP reproduction experiments.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser(
+        "list", help="list the available experiments and built-in sweeps"
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument(
@@ -185,27 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS),
         help="which figure/table to reproduce",
     )
-    run_parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the simulation fan-out (default: 1, serial)",
-    )
-    run_parser.add_argument(
-        "--store",
-        metavar="PATH",
-        default=None,
-        help="JSONL result store shared across runs (created if missing)",
-    )
-    run_parser.add_argument(
-        "--cycles", type=int, default=None, help="measured window in DRAM cycles"
-    )
-    run_parser.add_argument(
-        "--warmup", type=int, default=None, help="warmup window in DRAM cycles"
-    )
-    run_parser.add_argument(
-        "--seed", type=int, default=0, help="simulation seed (default: 0)"
-    )
+    _add_engine_arguments(run_parser)
     run_parser.add_argument(
         "--workloads-per-category",
         type=int,
@@ -230,10 +267,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the experiment result JSON to a file instead of stdout",
     )
-    run_parser.add_argument(
-        "--progress",
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a declarative design-space sweep from a spec",
+        description=(
+            "Execute a multi-axis design-space sweep described by a JSON "
+            "SweepSpec file (or a built-in spec name; see 'repro list'), "
+            "then write a run directory with the spec, the per-cell results "
+            "and a Pareto/sensitivity summary."
+        ),
+    )
+    sweep_parser.add_argument(
+        "spec",
+        help="path to a SweepSpec JSON file, or a built-in spec name",
+    )
+    _add_engine_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "artifact directory for spec.json / results.jsonl / summary.md "
+            "(default: results/sweeps/<spec name>)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
         action="store_true",
-        help="print one line per completed simulation job",
+        help="print what the spec expands to without simulating",
     )
     return parser
 
@@ -250,15 +312,15 @@ def _build_scale(args: argparse.Namespace) -> ExperimentScale:
     return dataclasses.replace(scale, **overrides) if overrides else scale
 
 
-def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
-    experiment = EXPERIMENTS[args.experiment]
+def _build_runner(args: argparse.Namespace, stderr: TextIO) -> ExperimentRunner:
+    """Assemble the engine stack (executor, store, progress) from CLI args."""
     store = JsonlStore(args.store) if args.store else None
     if store is not None:
         stderr.write(f"store: {store.path} ({len(store)} cached results)\n")
     executor = (
         ParallelExecutor(workers=args.workers) if args.workers > 1 else SerialExecutor()
     )
-    runner = ExperimentRunner(
+    return ExperimentRunner(
         cycles=args.cycles,
         warmup=args.warmup,
         seed=args.seed,
@@ -266,6 +328,27 @@ def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> in
         store=store,
         progress=ProgressPrinter(stream=stderr) if args.progress else None,
     )
+
+
+def _write_run_summary(
+    runner: ExperimentRunner, args: argparse.Namespace, stderr: TextIO
+) -> None:
+    summary = runner.summary()
+    stderr.write(
+        f"run summary: {summary['jobs']} jobs planned — "
+        f"{summary['simulated']} simulated, "
+        f"{summary['store_hits']} store hits, "
+        f"{summary['memory_hits']} memory hits "
+        f"({summary['elapsed_s']:.2f}s in engine"
+        f", {args.workers} worker{'s' if args.workers != 1 else ''})\n"
+    )
+    if runner.store is not None:
+        stderr.write(f"store: {runner.store.path} now holds {len(runner.store)} results\n")
+
+
+def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    experiment = EXPERIMENTS[args.experiment]
+    runner = _build_runner(args, stderr)
     result = experiment.run(runner, _build_scale(args))
 
     payload = json.dumps(_to_jsonable(result), indent=2, sort_keys=True)
@@ -276,17 +359,53 @@ def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> in
     else:
         stdout.write(payload + "\n")
 
-    summary = runner.summary()
-    stderr.write(
-        f"run summary: {summary['jobs']} jobs planned — "
-        f"{summary['simulated']} simulated, "
-        f"{summary['store_hits']} store hits, "
-        f"{summary['memory_hits']} memory hits "
-        f"({summary['elapsed_s']:.2f}s in engine"
-        f", {args.workers} worker{'s' if args.workers != 1 else ''})\n"
+    _write_run_summary(runner, args, stderr)
+    return 0
+
+
+def _load_sweep_spec(text: str):
+    """Resolve the ``sweep`` positional: a spec file, run dir or builtin name."""
+    from repro.sweep import SpecError, SweepSpec
+    from repro.sweep.builtin import BUILTIN_SPECS, builtin_spec
+
+    if os.path.isdir(text):
+        # Run directories are advertised as re-runnable; accept the
+        # directory itself and use the spec it contains.
+        candidate = os.path.join(text, "spec.json")
+        if not os.path.exists(candidate):
+            raise SpecError(f"{text!r} is a directory without a spec.json")
+        return SweepSpec.load(candidate)
+    if os.path.exists(text):
+        return SweepSpec.load(text)
+    if text in BUILTIN_SPECS:
+        return builtin_spec(text, ExperimentScale.from_environment())
+    raise SpecError(
+        f"{text!r} is neither a spec file nor a built-in sweep "
+        f"(built-ins: {', '.join(sorted(BUILTIN_SPECS))})"
     )
-    if store is not None:
-        stderr.write(f"store: {store.path} now holds {len(store)} results\n")
+
+
+def _sweep_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    from repro.sweep import SpecError, describe_plan, run_sweep, summarize, write_run_dir
+
+    try:
+        spec = _load_sweep_spec(args.spec)
+    except (SpecError, OSError) as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    stderr.write(describe_plan(spec) + "\n")
+    if args.dry_run:
+        return 0
+
+    runner = _build_runner(args, stderr)
+    result = run_sweep(spec, runner=runner)
+    summary = summarize(result)
+
+    out_dir = args.out if args.out else os.path.join("results", "sweeps", spec.name)
+    written = write_run_dir(out_dir, result, summary=summary)
+    stdout.write(summary)
+    _write_run_summary(runner, args, stderr)
+    stderr.write(f"artifact directory: {written}\n")
     return 0
 
 
@@ -300,8 +419,20 @@ def main(
     stderr = stderr if stderr is not None else sys.stderr
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
+        from repro.sweep.builtin import BUILTIN_SPECS
+
+        width = max(
+            max(len(name) for name in EXPERIMENTS),
+            max(len(name) for name in BUILTIN_SPECS),
+        )
+        stdout.write("experiments (repro run <name>):\n")
         for name in sorted(EXPERIMENTS):
-            stdout.write(f"{name:<{width}}  {EXPERIMENTS[name].description}\n")
+            stdout.write(f"  {name:<{width}}  {EXPERIMENTS[name].description}\n")
+        stdout.write("\nbuilt-in sweeps (repro sweep <name>):\n")
+        for name in sorted(BUILTIN_SPECS):
+            description = BUILTIN_SPECS[name]().description
+            stdout.write(f"  {name:<{width}}  {description}\n")
         return 0
+    if args.command == "sweep":
+        return _sweep_command(args, stdout, stderr)
     return _run_command(args, stdout, stderr)

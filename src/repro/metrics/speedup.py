@@ -60,6 +60,18 @@ def geometric_mean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def average_percent_improvement(values: Iterable[float]) -> float:
+    """Average percentage improvement via the geometric mean of the ratios.
+
+    This is how the paper aggregates per-workload percentage gains (the
+    "gmean" rows of Tables 2 and 6): each percentage is converted back to
+    a ratio, the ratios are gmean-averaged, and the result converted back
+    to a percentage.
+    """
+    ratios = [1.0 + value / 100.0 for value in values]
+    return (geometric_mean(ratios) - 1.0) * 100.0
+
+
 def percent_improvement(value: float, baseline: float) -> float:
     """Percentage improvement of ``value`` over ``baseline``."""
     if baseline <= 0:

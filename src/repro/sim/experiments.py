@@ -14,12 +14,12 @@ once even though several figures need them.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.config.presets import paper_system
 from repro.config.refresh_config import RefreshMechanism
-from repro.metrics.speedup import geometric_mean
+from repro.metrics.speedup import average_percent_improvement, geometric_mean
 from repro.sim.projections import RefreshLatencyPoint, refresh_latency_trend
 from repro.sim.runner import ExperimentRunner, get_default_runner
 from repro.workloads.mixes import (
@@ -63,12 +63,6 @@ def _sweep_workloads(scale: ExperimentScale) -> list[Workload]:
 
 def _sensitivity_workloads(scale: ExperimentScale) -> list[Workload]:
     return memory_intensive_workloads(count=scale.sensitivity_workloads)
-
-
-def _average_improvement(values: Iterable[float]) -> float:
-    """Average percentage improvement via the geometric mean of the ratios."""
-    ratios = [1.0 + value / 100.0 for value in values]
-    return (geometric_mean(ratios) - 1.0) * 100.0
 
 
 # ---------------------------------------------------------------------------
@@ -203,9 +197,9 @@ def table2_improvement_summary(
                 over_refpb.append((norms[mechanism] / norms["refpb"] - 1.0) * 100.0)
             result[density][mechanism] = {
                 "max_refpb": max(over_refpb),
-                "gmean_refpb": _average_improvement(over_refpb),
+                "gmean_refpb": average_percent_improvement(over_refpb),
                 "max_refab": max(over_refab),
-                "gmean_refab": _average_improvement(over_refab),
+                "gmean_refab": average_percent_improvement(over_refab),
             }
     return result
 
@@ -243,7 +237,7 @@ def figure13_all_mechanisms(
             for mechanism in mechanisms:
                 improvements[mechanism].append((normalized[mechanism] - 1.0) * 100.0)
         result[density] = {
-            mechanism: _average_improvement(values)
+            mechanism: average_percent_improvement(values)
             for mechanism, values in improvements.items()
         }
     return result
@@ -334,40 +328,16 @@ def table3_core_count(
     density_gb: int = 32,
 ) -> dict[int, dict[str, float]]:
     """Table 3: DSARP vs REFab across core counts (WS, HS, fairness, energy)."""
-    runner = _runner(runner)
-    scale = scale or default_scale()
-    result: dict[int, dict[str, float]] = {}
-    for cores in core_counts:
-        workloads = memory_intensive_workloads(
-            count=scale.sensitivity_workloads, num_cores=cores
-        )
-        ws_gains, hs_gains, slowdown_reductions, energy_reductions = [], [], [], []
-        base_config = paper_system(density_gb=density_gb, num_cores=cores)
-        comparisons = runner.compare_many(workloads, base_config, ("refab", "dsarp"))
-        for comparison in comparisons:
-            refab = comparison.results["refab"]
-            dsarp = comparison.results["dsarp"]
-            ws_gains.append(
-                (dsarp.weighted_speedup / refab.weighted_speedup - 1.0) * 100.0
-            )
-            hs_gains.append(
-                (dsarp.harmonic_speedup / refab.harmonic_speedup - 1.0) * 100.0
-            )
-            slowdown_reductions.append(
-                (1.0 - dsarp.maximum_slowdown / refab.maximum_slowdown) * 100.0
-            )
-            energy_reductions.append(
-                (1.0 - dsarp.energy_per_access_nj / refab.energy_per_access_nj) * 100.0
-            )
-        result[cores] = {
-            "weighted_speedup_improvement": sum(ws_gains) / len(ws_gains),
-            "harmonic_speedup_improvement": sum(hs_gains) / len(hs_gains),
-            "maximum_slowdown_reduction": sum(slowdown_reductions)
-            / len(slowdown_reductions),
-            "energy_per_access_reduction": sum(energy_reductions)
-            / len(energy_reductions),
-        }
-    return result
+    # Delegated to the declarative sweep subsystem (a one-axis core-count
+    # spec); imported lazily because repro.sweep builds on this module.
+    from repro.sweep.builtin import table3_core_count_via_sweep
+
+    return table3_core_count_via_sweep(
+        runner=_runner(runner),
+        scale=scale or default_scale(),
+        core_counts=core_counts,
+        density_gb=density_gb,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -380,20 +350,14 @@ def table4_tfaw_sensitivity(
     density_gb: int = 32,
 ) -> dict[int, float]:
     """Table 4: % WS improvement of SARPpb over REFpb as tFAW/tRRD vary."""
-    runner = _runner(runner)
-    scale = scale or default_scale()
-    workloads = _sensitivity_workloads(scale)
-    result: dict[int, float] = {}
-    for tfaw in tfaw_values:
-        trrd = max(1, tfaw // 5)
-        gains = []
-        base = paper_system(density_gb=density_gb)
-        base = replace(base, dram=base.dram.with_tfaw(tfaw, trrd))
-        for comparison in runner.compare_many(workloads, base, ("refpb", "sarppb")):
-            normalized = comparison.normalized_to("refpb")
-            gains.append((normalized["sarppb"] - 1.0) * 100.0)
-        result[tfaw] = _average_improvement(gains)
-    return result
+    from repro.sweep.builtin import table4_tfaw_via_sweep
+
+    return table4_tfaw_via_sweep(
+        runner=_runner(runner),
+        scale=scale or default_scale(),
+        tfaw_values=tfaw_values,
+        density_gb=density_gb,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -406,18 +370,14 @@ def table5_subarray_sensitivity(
     density_gb: int = 32,
 ) -> dict[int, float]:
     """Table 5: % WS improvement of SARPpb over REFpb vs subarrays per bank."""
-    runner = _runner(runner)
-    scale = scale or default_scale()
-    workloads = _sensitivity_workloads(scale)
-    result: dict[int, float] = {}
-    for count in subarray_counts:
-        gains = []
-        base = paper_system(density_gb=density_gb, subarrays_per_bank=count)
-        for comparison in runner.compare_many(workloads, base, ("refpb", "sarppb")):
-            normalized = comparison.normalized_to("refpb")
-            gains.append((normalized["sarppb"] - 1.0) * 100.0)
-        result[count] = _average_improvement(gains)
-    return result
+    from repro.sweep.builtin import table5_subarrays_via_sweep
+
+    return table5_subarrays_via_sweep(
+        runner=_runner(runner),
+        scale=scale or default_scale(),
+        subarray_counts=subarray_counts,
+        density_gb=density_gb,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -429,28 +389,13 @@ def table6_refresh_interval(
     retention_ms: float = 64.0,
 ) -> dict[int, dict[str, float]]:
     """Table 6: DSARP improvement over REFpb / REFab at 64 ms retention."""
-    runner = _runner(runner)
-    scale = scale or default_scale()
-    workloads = _sensitivity_workloads(scale)
-    result: dict[int, dict[str, float]] = {}
-    for density in scale.densities:
-        base_config = paper_system(density_gb=density, retention_ms=retention_ms)
-        over_refab, over_refpb = [], []
-        for comparison in runner.compare_many(
-            workloads, base_config, ("refab", "refpb", "dsarp")
-        ):
-            normalized = comparison.normalized_to("refab")
-            over_refab.append((normalized["dsarp"] - 1.0) * 100.0)
-            over_refpb.append(
-                (normalized["dsarp"] / normalized["refpb"] - 1.0) * 100.0
-            )
-        result[density] = {
-            "max_refpb": max(over_refpb),
-            "gmean_refpb": _average_improvement(over_refpb),
-            "max_refab": max(over_refab),
-            "gmean_refab": _average_improvement(over_refab),
-        }
-    return result
+    from repro.sweep.builtin import table6_refresh_interval_via_sweep
+
+    return table6_refresh_interval_via_sweep(
+        runner=_runner(runner),
+        scale=scale or default_scale(),
+        retention_ms=retention_ms,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -519,8 +464,8 @@ def darp_component_breakdown(
             ooo_gains.append((ooo.weighted_speedup / base_ws - 1.0) * 100.0)
             darp_gains.append((darp.weighted_speedup / base_ws - 1.0) * 100.0)
         result[density] = {
-            "out_of_order_only": _average_improvement(ooo_gains),
-            "darp": _average_improvement(darp_gains),
+            "out_of_order_only": average_percent_improvement(ooo_gains),
+            "darp": average_percent_improvement(darp_gains),
         }
     return result
 
@@ -543,5 +488,5 @@ def dsarp_additivity(
         for mechanism in gains:
             gains[mechanism].append((normalized[mechanism] - 1.0) * 100.0)
     return {
-        mechanism: _average_improvement(values) for mechanism, values in gains.items()
+        mechanism: average_percent_improvement(values) for mechanism, values in gains.items()
     }

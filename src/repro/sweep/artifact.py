@@ -1,0 +1,64 @@
+"""Sweep run-directory artifacts.
+
+Every executed sweep can be written out as a self-contained run directory:
+
+* ``spec.json``    — the exact :class:`~repro.sweep.spec.SweepSpec` that ran
+  (re-runnable via ``python -m repro sweep <dir>/spec.json``),
+* ``results.jsonl`` — one JSON record per measured
+  :class:`~repro.sweep.compile.SweepCell`,
+* ``summary.md``   — the rendered Pareto / sensitivity / best-config
+  analysis (see :func:`repro.sweep.analyze.summarize`).
+
+:func:`load_run_dir` round-trips a directory back into a
+:class:`~repro.sweep.compile.SweepResult` so analyses can be re-rendered
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.sweep.analyze import summarize
+from repro.sweep.compile import SweepCell, SweepResult, expand_points
+from repro.sweep.spec import SweepSpec
+
+SPEC_FILE = "spec.json"
+RESULTS_FILE = "results.jsonl"
+SUMMARY_FILE = "summary.md"
+
+
+def write_run_dir(
+    out_dir: str | os.PathLike,
+    result: SweepResult,
+    summary: Optional[str] = None,
+) -> Path:
+    """Write a sweep's artifact directory; returns its path.
+
+    ``summary`` may be passed when the caller already rendered it
+    (the CLI prints the same text); otherwise it is generated here.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / SPEC_FILE).write_text(result.spec.to_json() + "\n", encoding="utf-8")
+    with (out / RESULTS_FILE).open("w", encoding="utf-8") as handle:
+        for cell in result.cells:
+            handle.write(json.dumps(cell.to_dict(), sort_keys=True) + "\n")
+    text = summary if summary is not None else summarize(result)
+    (out / SUMMARY_FILE).write_text(text, encoding="utf-8")
+    return out
+
+
+def load_run_dir(run_dir: str | os.PathLike) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from a run directory's artifacts."""
+    run = Path(run_dir)
+    spec = SweepSpec.load(run / SPEC_FILE)
+    cells = []
+    with (run / RESULTS_FILE).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                cells.append(SweepCell.from_dict(json.loads(line)))
+    return SweepResult(spec=spec, points=expand_points(spec), cells=cells)

@@ -1,0 +1,341 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a multi-axis design-space exploration as
+data: named axes over :class:`~repro.config.system.SystemConfig` knobs,
+the refresh mechanisms to compare at every point, and the workload set to
+drive each configuration with.  Specs are plain values — serializable to
+and from JSON — so sweeps can live in version-controlled files and be
+executed by the ``python -m repro sweep`` CLI, instead of each new
+combination of axes requiring a hand-written loop in
+:mod:`repro.sim.experiments`.
+
+The execution and analysis layers live next door:
+:mod:`repro.sweep.compile` expands a spec into deterministic
+:class:`~repro.engine.jobs.SimulationJob` batches, and
+:mod:`repro.sweep.analyze` post-processes the collected results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.config.refresh_config import RefreshMechanism
+from repro.workloads.mixes import INTENSITY_CATEGORIES
+
+#: Axis names applied as :func:`~repro.config.presets.paper_system` keywords.
+PRESET_AXES: tuple[str, ...] = (
+    "density_gb",
+    "num_cores",
+    "retention_ms",
+    "subarrays_per_bank",
+    "rows_per_bank",
+)
+
+#: Axis names applied as DRAM-timing overrides after the preset is built.
+TIMING_AXES: tuple[str, ...] = ("tfaw", "trrd")
+
+#: Axis names applied to the workload construction instead of the config.
+WORKLOAD_AXES: tuple[str, ...] = ("workload_seed",)
+
+#: Every axis name a spec may sweep over.
+KNOWN_AXES: tuple[str, ...] = PRESET_AXES + TIMING_AXES + WORKLOAD_AXES
+
+#: Supported expansion modes: the cross product of all axes, or a
+#: position-wise zip of equal-length axes.
+EXPANSIONS: tuple[str, ...] = ("grid", "zip")
+
+#: Supported workload-set kinds (see :class:`WorkloadSpec`).
+WORKLOAD_KINDS: tuple[str, ...] = ("intensive", "category_sweep")
+
+
+class SpecError(ValueError):
+    """A sweep spec is malformed (unknown axis, bad expansion, ...)."""
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named dimension of the design space."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if self.name not in KNOWN_AXES:
+            raise SpecError(
+                f"unknown axis {self.name!r}; supported axes: {', '.join(KNOWN_AXES)}"
+            )
+        if not self.values:
+            raise SpecError(f"axis {self.name!r} has no values")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Axis":
+        try:
+            return cls(name=data["name"], values=tuple(data["values"]))
+        except KeyError as missing:
+            raise SpecError(
+                f"axis entry {data!r} is missing its {missing.args[0]!r} key"
+            ) from None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which workloads to drive every design point with.
+
+    ``kind="intensive"`` builds ``count`` random memory-intensive
+    workloads (the paper's sensitivity-study set, Section 5);
+    ``kind="category_sweep"`` builds ``count`` workloads per
+    memory-intensity category (the figure-level sweep set).
+    """
+
+    kind: str = "intensive"
+    count: int = 2
+    num_cores: int = 8
+    seed: int = 0
+    categories: tuple[int, ...] = INTENSITY_CATEGORIES
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise SpecError(
+                f"unknown workload kind {self.kind!r}; "
+                f"expected one of {', '.join(WORKLOAD_KINDS)}"
+            )
+        if self.count < 1:
+            raise SpecError(f"workload count must be positive, got {self.count}")
+        if self.num_cores < 1:
+            raise SpecError(f"num_cores must be positive, got {self.num_cores}")
+        object.__setattr__(self, "categories", tuple(self.categories))
+        invalid = [c for c in self.categories if c not in INTENSITY_CATEGORIES]
+        if invalid:
+            # Caught at spec-load time so --dry-run cannot bless a spec
+            # that would crash once workloads are built.
+            raise SpecError(
+                f"invalid categories {invalid}; expected members of "
+                f"{INTENSITY_CATEGORIES}"
+            )
+        if not self.categories:
+            raise SpecError("a category_sweep needs at least one category")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "num_cores": self.num_cores,
+            "seed": self.seed,
+            "categories": list(self.categories),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        unknown = sorted(set(data) - {"kind", "count", "num_cores", "seed", "categories"})
+        if unknown:
+            raise SpecError(f"unknown workload keys: {', '.join(unknown)}")
+        return cls(
+            kind=data.get("kind", "intensive"),
+            count=data.get("count", 2),
+            num_cores=data.get("num_cores", 8),
+            seed=data.get("seed", 0),
+            categories=tuple(data.get("categories", INTENSITY_CATEGORIES)),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative multi-axis design-space sweep.
+
+    Parameters
+    ----------
+    name:
+        Identifier for the sweep (names the artifact directory).
+    axes:
+        The swept dimensions, expanded according to ``expansion``:
+        ``"grid"`` takes the cross product in declaration order,
+        ``"zip"`` pairs equal-length axes position-wise.
+    mechanisms:
+        Refresh mechanisms compared at every design point.
+    baseline:
+        The mechanism improvements are normalized to; must be one of
+        ``mechanisms``.
+    base:
+        Fixed configuration knobs shared by every point (same keys as the
+        axes); an axis value overrides a ``base`` entry of the same name.
+    workloads:
+        The workload set (see :class:`WorkloadSpec`).
+    """
+
+    name: str
+    axes: tuple[Axis, ...]
+    mechanisms: tuple[str, ...] = ("refpb", "sarppb")
+    baseline: str = "refpb"
+    expansion: str = "grid"
+    base: dict = field(default_factory=dict)
+    workloads: WorkloadSpec = field(default_factory=WorkloadSpec)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("a sweep spec needs a non-empty name")
+        object.__setattr__(
+            self, "axes", tuple(a if isinstance(a, Axis) else Axis(**a) for a in self.axes)
+        )
+        if not self.axes:
+            raise SpecError("a sweep spec needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SpecError(f"duplicate axes: {', '.join(sorted(duplicates))}")
+        if self.expansion not in EXPANSIONS:
+            raise SpecError(
+                f"unknown expansion {self.expansion!r}; "
+                f"expected one of {', '.join(EXPANSIONS)}"
+            )
+        if self.expansion == "zip":
+            lengths = {len(axis.values) for axis in self.axes}
+            if len(lengths) > 1:
+                raise SpecError(
+                    "zip expansion requires equal-length axes, got lengths "
+                    f"{sorted(len(a.values) for a in self.axes)}"
+                )
+        object.__setattr__(self, "mechanisms", tuple(self.mechanisms))
+        if not self.mechanisms:
+            raise SpecError("a sweep spec needs at least one mechanism")
+        for mechanism in self.mechanisms:
+            try:
+                RefreshMechanism(mechanism)
+            except ValueError:
+                valid = ", ".join(m.value for m in RefreshMechanism)
+                raise SpecError(
+                    f"unknown mechanism {mechanism!r}; expected one of {valid}"
+                ) from None
+        if self.baseline not in self.mechanisms:
+            raise SpecError(
+                f"baseline {self.baseline!r} is not among the swept mechanisms "
+                f"{self.mechanisms}"
+            )
+        for key in self.base:
+            if key not in KNOWN_AXES:
+                raise SpecError(
+                    f"unknown base knob {key!r}; supported knobs: "
+                    f"{', '.join(KNOWN_AXES)}"
+                )
+
+    # -- introspection -----------------------------------------------------
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def num_points(self) -> int:
+        """Number of design points the axes expand to."""
+        if self.expansion == "zip":
+            return len(self.axes[0].values)
+        product = 1
+        for axis in self.axes:
+            product *= len(axis.values)
+        return product
+
+    def with_axis_values(self, name: str, values: Sequence) -> "SweepSpec":
+        """Return a copy with one axis' values replaced."""
+        axes = tuple(
+            Axis(axis.name, tuple(values)) if axis.name == name else axis
+            for axis in self.axes
+        )
+        return replace(self, axes=axes)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "expansion": self.expansion,
+            "axes": [axis.to_dict() for axis in self.axes],
+            "mechanisms": list(self.mechanisms),
+            "baseline": self.baseline,
+            "base": dict(self.base),
+            "workloads": self.workloads.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        known_keys = {
+            "name",
+            "description",
+            "expansion",
+            "axes",
+            "mechanisms",
+            "baseline",
+            "base",
+            "workloads",
+        }
+        unknown = sorted(set(data) - known_keys)
+        if unknown:
+            # A typo'd key would otherwise silently fall back to defaults
+            # and run a different sweep than the author intended.
+            raise SpecError(
+                f"unknown spec keys: {', '.join(unknown)}; "
+                f"expected only: {', '.join(sorted(known_keys))}"
+            )
+        try:
+            raw_axes = data["axes"]
+        except KeyError:
+            raise SpecError("a sweep spec needs an 'axes' list") from None
+        axes = tuple(Axis.from_dict(axis) for axis in raw_axes)
+        workloads = data.get("workloads", {})
+        if not isinstance(workloads, dict):
+            raise SpecError(
+                f"'workloads' must be an object, got {type(workloads).__name__}"
+            )
+        workloads = WorkloadSpec.from_dict(workloads)
+        mechanisms = tuple(data.get("mechanisms", ("refpb", "sarppb")))
+        if not mechanisms:
+            raise SpecError("a sweep spec needs at least one mechanism")
+        return cls(
+            name=data.get("name", ""),
+            description=data.get("description", ""),
+            expansion=data.get("expansion", "grid"),
+            axes=axes,
+            mechanisms=mechanisms,
+            baseline=data.get("baseline", mechanisms[0]),
+            base=dict(data.get("base", {})),
+            workloads=workloads,
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"invalid sweep spec JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise SpecError("a sweep spec must be a JSON object")
+        return cls.from_dict(data)
+
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the spec to a JSON file; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "SweepSpec":
+        """Read a spec from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def point_key(point: dict) -> tuple:
+    """Canonical hashable identity of a design point (sorted axis items)."""
+    return tuple(sorted(point.items()))
+
+
+def describe_point(point: dict) -> str:
+    """Short human-readable rendering of a design point."""
+    return ", ".join(f"{name}={value}" for name, value in sorted(point.items()))

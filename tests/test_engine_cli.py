@@ -27,6 +27,34 @@ class TestListCommand:
         for name in EXPERIMENTS:
             assert name in out
 
+    def test_descriptions_come_from_docstrings(self):
+        code, out, _ = run_cli(["list"])
+        assert code == 0
+        for experiment in EXPERIMENTS.values():
+            summary = (experiment.function.__doc__ or "").splitlines()[0]
+            assert summary.strip().rstrip(".") in out
+
+
+class TestConsoleScript:
+    """The ``repro`` console script must stay wired to the CLI entry point."""
+
+    def test_pyproject_declares_the_entry_point(self):
+        import tomllib
+
+        pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        assert pyproject["project"]["scripts"]["repro"] == "repro.cli:main"
+
+    def test_entry_point_target_resolves_and_runs(self):
+        # Resolve the entry-point string the same way an installed script
+        # would, then invoke it; main() returns the process exit code.
+        import importlib
+
+        module_name, _, attribute = "repro.cli:main".partition(":")
+        entry = getattr(importlib.import_module(module_name), attribute)
+        stdout, stderr = io.StringIO(), io.StringIO()
+        assert entry(["list"], stdout=stdout, stderr=stderr) == 0
+        assert "figure12" in stdout.getvalue()
+
 
 class TestRunCommand:
     def test_simulation_free_experiment(self):

@@ -1,0 +1,129 @@
+"""Tests for subarray refresh-conflict accounting and experiment scaling.
+
+SARP's core premise (Section 4.3) is that a refresh occupies only one
+subarray of a bank, so only accesses hitting *that* subarray conflict.
+These tests pin the bookkeeping that premise rests on: the per-subarray
+counters in :mod:`repro.dram.subarray` and the conflict predicate in
+:class:`repro.dram.bank.Bank`.
+"""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.subarray import Subarray, build_subarrays
+from repro.sim.experiments import ExperimentScale
+
+
+def make_bank(**overrides) -> Bank:
+    kwargs = dict(index=0, rows=64, subarrays_per_bank=4, rows_per_refresh=1)
+    kwargs.update(overrides)
+    return Bank(**kwargs)
+
+
+class TestBuildSubarrays:
+    def test_partitions_rows_evenly(self):
+        subarrays = build_subarrays(4, 64)
+        assert [s.index for s in subarrays] == [0, 1, 2, 3]
+        assert all(s.rows == 16 for s in subarrays)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            build_subarrays(0, 64)
+
+    def test_rejects_indivisible_rows(self):
+        with pytest.raises(ValueError, match="divisible"):
+            build_subarrays(3, 64)
+
+
+class TestSubarrayCounters:
+    def test_counters_start_at_zero_and_accumulate(self):
+        subarray = Subarray(index=0, rows=16)
+        assert (subarray.refreshes, subarray.activations, subarray.refresh_conflicts) == (
+            0,
+            0,
+            0,
+        )
+        subarray.record_refresh()
+        subarray.record_activation()
+        subarray.record_activation()
+        subarray.record_conflict()
+        assert subarray.refreshes == 1
+        assert subarray.activations == 2
+        assert subarray.refresh_conflicts == 1
+
+
+class TestRefreshConflictAccounting:
+    def test_conflict_only_when_refreshing_subarray_is_hit(self):
+        bank = make_bank()
+        # Refresh starts at the row counter (row 0 -> subarray 0).
+        bank.do_refresh(cycle=0, duration=100, sarp_enabled=True)
+        assert bank.refreshing_subarray == 0
+        # Rows 0-15 live in the refreshing subarray: conflict.
+        assert bank.refresh_conflicts_with(cycle=50, row=0)
+        assert bank.refresh_conflicts_with(cycle=50, row=15)
+        # Rows of the other three subarrays can be served in parallel.
+        assert not bank.refresh_conflicts_with(cycle=50, row=16)
+        assert not bank.refresh_conflicts_with(cycle=50, row=63)
+
+    def test_no_conflict_once_refresh_completed(self):
+        bank = make_bank()
+        bank.do_refresh(cycle=0, duration=100, sarp_enabled=True)
+        assert not bank.refresh_conflicts_with(cycle=100, row=0)
+        bank.end_refresh_if_done(cycle=100)
+        assert bank.refreshing_subarray is None
+
+    def test_no_conflict_without_refresh_in_progress(self):
+        bank = make_bank()
+        assert not bank.refresh_conflicts_with(cycle=0, row=0)
+
+    def test_record_conflict_charges_the_hit_subarray(self):
+        bank = make_bank()
+        bank.do_refresh(cycle=0, duration=100, sarp_enabled=True)
+        bank.record_subarray_conflict(row=7)
+        bank.record_subarray_conflict(row=12)
+        assert bank.subarrays[0].refresh_conflicts == 2
+        assert all(s.refresh_conflicts == 0 for s in bank.subarrays[1:])
+
+    def test_refresh_advances_through_subarrays(self):
+        bank = make_bank(rows_per_refresh=16)
+        for expected_subarray in (0, 1, 2, 3):
+            bank.do_refresh(cycle=0, duration=10, sarp_enabled=True)
+            assert bank.refreshing_subarray == expected_subarray
+        assert bank.subarrays[0].refreshes == 1
+        assert bank.refresh_row_counter == 0  # wrapped around the bank
+
+    def test_refresh_and_activation_counters_are_per_subarray(self):
+        bank = make_bank()
+        bank.do_refresh(cycle=0, duration=10, sarp_enabled=True)
+
+        class _Timings:
+            tRCD = tRAS = tRC = 1
+
+        bank.do_activate(cycle=20, row=20, timings=_Timings())
+        assert bank.subarrays[0].refreshes == 1
+        assert bank.subarrays[1].activations == 1
+        assert bank.subarrays[0].activations == 0
+
+
+class TestExperimentScaleFromEnvironment:
+    def test_defaults_without_repro_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        scale = ExperimentScale.from_environment()
+        assert scale == ExperimentScale()
+        assert scale.workloads_per_category == 1
+        assert scale.sensitivity_workloads == 2
+        assert scale.densities == (8, 16, 32)
+
+    def test_repro_full_enlarges_both_workload_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        scale = ExperimentScale.from_environment()
+        assert scale.workloads_per_category == 4
+        assert scale.sensitivity_workloads == 4
+        # The evaluated densities are the paper's three either way.
+        assert scale.densities == (8, 16, 32)
+
+    def test_empty_string_means_disabled(self, monkeypatch):
+        # os.environ.get("REPRO_FULL") is falsy for the empty string, so
+        # REPRO_FULL= (unset-style) keeps the small default scale.
+        monkeypatch.setenv("REPRO_FULL", "")
+        assert ExperimentScale.from_environment() == ExperimentScale()

@@ -1,0 +1,152 @@
+"""Tables 3-6 must be bit-identical through the sweep path.
+
+:mod:`repro.sim.experiments` now delegates the paper's sensitivity tables
+to declarative sweeps (:mod:`repro.sweep.builtin`).  These tests pin the
+hand-rolled reference implementations the tables previously used and
+assert the sweep path reproduces their results *exactly* — same floats,
+not approximately — so the abstraction provably subsumes the legacy loops.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import paper_system
+from repro.metrics.speedup import average_percent_improvement
+from repro.sim.experiments import (
+    ExperimentScale,
+    table3_core_count,
+    table4_tfaw_sensitivity,
+    table5_subarray_sensitivity,
+    table6_refresh_interval,
+)
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.mixes import memory_intensive_workloads
+
+TINY_SCALE = ExperimentScale(
+    workloads_per_category=1, sensitivity_workloads=1, densities=(32,)
+)
+
+
+@pytest.fixture(scope="module")
+def shared_runner():
+    """One runner for legacy and sweep paths, so simulations are shared."""
+    return ExperimentRunner(cycles=1200, warmup=200)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations: the hand-rolled loops the tables used before
+# the sweep subsystem existed, copied verbatim (modulo local helpers).
+# ---------------------------------------------------------------------------
+def legacy_table3(runner, scale, core_counts=(2, 4, 8), density_gb=32):
+    result = {}
+    for cores in core_counts:
+        workloads = memory_intensive_workloads(
+            count=scale.sensitivity_workloads, num_cores=cores
+        )
+        ws_gains, hs_gains, slowdown_reductions, energy_reductions = [], [], [], []
+        base_config = paper_system(density_gb=density_gb, num_cores=cores)
+        comparisons = runner.compare_many(workloads, base_config, ("refab", "dsarp"))
+        for comparison in comparisons:
+            refab = comparison.results["refab"]
+            dsarp = comparison.results["dsarp"]
+            ws_gains.append(
+                (dsarp.weighted_speedup / refab.weighted_speedup - 1.0) * 100.0
+            )
+            hs_gains.append(
+                (dsarp.harmonic_speedup / refab.harmonic_speedup - 1.0) * 100.0
+            )
+            slowdown_reductions.append(
+                (1.0 - dsarp.maximum_slowdown / refab.maximum_slowdown) * 100.0
+            )
+            energy_reductions.append(
+                (1.0 - dsarp.energy_per_access_nj / refab.energy_per_access_nj) * 100.0
+            )
+        result[cores] = {
+            "weighted_speedup_improvement": sum(ws_gains) / len(ws_gains),
+            "harmonic_speedup_improvement": sum(hs_gains) / len(hs_gains),
+            "maximum_slowdown_reduction": sum(slowdown_reductions)
+            / len(slowdown_reductions),
+            "energy_per_access_reduction": sum(energy_reductions)
+            / len(energy_reductions),
+        }
+    return result
+
+
+def legacy_table4(runner, scale, tfaw_values=(5, 10, 15, 20, 25, 30), density_gb=32):
+    workloads = memory_intensive_workloads(count=scale.sensitivity_workloads)
+    result = {}
+    for tfaw in tfaw_values:
+        trrd = max(1, tfaw // 5)
+        gains = []
+        base = paper_system(density_gb=density_gb)
+        base = replace(base, dram=base.dram.with_tfaw(tfaw, trrd))
+        for comparison in runner.compare_many(workloads, base, ("refpb", "sarppb")):
+            normalized = comparison.normalized_to("refpb")
+            gains.append((normalized["sarppb"] - 1.0) * 100.0)
+        result[tfaw] = average_percent_improvement(gains)
+    return result
+
+
+def legacy_table5(runner, scale, subarray_counts=(1, 2, 4, 8, 16, 32, 64), density_gb=32):
+    workloads = memory_intensive_workloads(count=scale.sensitivity_workloads)
+    result = {}
+    for count in subarray_counts:
+        gains = []
+        base = paper_system(density_gb=density_gb, subarrays_per_bank=count)
+        for comparison in runner.compare_many(workloads, base, ("refpb", "sarppb")):
+            normalized = comparison.normalized_to("refpb")
+            gains.append((normalized["sarppb"] - 1.0) * 100.0)
+        result[count] = average_percent_improvement(gains)
+    return result
+
+
+def legacy_table6(runner, scale, retention_ms=64.0):
+    workloads = memory_intensive_workloads(count=scale.sensitivity_workloads)
+    result = {}
+    for density in scale.densities:
+        base_config = paper_system(density_gb=density, retention_ms=retention_ms)
+        over_refab, over_refpb = [], []
+        for comparison in runner.compare_many(
+            workloads, base_config, ("refab", "refpb", "dsarp")
+        ):
+            normalized = comparison.normalized_to("refab")
+            over_refab.append((normalized["dsarp"] - 1.0) * 100.0)
+            over_refpb.append(
+                (normalized["dsarp"] / normalized["refpb"] - 1.0) * 100.0
+            )
+        result[density] = {
+            "max_refpb": max(over_refpb),
+            "gmean_refpb": average_percent_improvement(over_refpb),
+            "max_refab": max(over_refab),
+            "gmean_refab": average_percent_improvement(over_refab),
+        }
+    return result
+
+
+class TestSweepSubsumesLegacyTables:
+    def test_table3_identical(self, shared_runner):
+        legacy = legacy_table3(shared_runner, TINY_SCALE, core_counts=(2, 4))
+        via_sweep = table3_core_count(
+            runner=shared_runner, scale=TINY_SCALE, core_counts=(2, 4)
+        )
+        assert via_sweep == legacy  # exact equality, not approx
+
+    def test_table4_identical(self, shared_runner):
+        legacy = legacy_table4(shared_runner, TINY_SCALE, tfaw_values=(10, 20))
+        via_sweep = table4_tfaw_sensitivity(
+            runner=shared_runner, scale=TINY_SCALE, tfaw_values=(10, 20)
+        )
+        assert via_sweep == legacy
+
+    def test_table5_identical(self, shared_runner):
+        legacy = legacy_table5(shared_runner, TINY_SCALE, subarray_counts=(1, 8))
+        via_sweep = table5_subarray_sensitivity(
+            runner=shared_runner, scale=TINY_SCALE, subarray_counts=(1, 8)
+        )
+        assert via_sweep == legacy
+
+    def test_table6_identical(self, shared_runner):
+        legacy = legacy_table6(shared_runner, TINY_SCALE)
+        via_sweep = table6_refresh_interval(runner=shared_runner, scale=TINY_SCALE)
+        assert via_sweep == legacy

@@ -1,0 +1,243 @@
+"""Tests for sweep spec construction, validation and compilation."""
+
+import json
+
+import pytest
+
+from repro.config.presets import paper_system
+from repro.sweep import (
+    Axis,
+    SpecError,
+    SweepSpec,
+    WorkloadSpec,
+    build_config,
+    build_workloads,
+    describe_point,
+    expand_points,
+    point_key,
+)
+
+
+def two_axis_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        name="test",
+        axes=(Axis("tfaw", (10, 20)), Axis("subarrays_per_bank", (4, 8))),
+        mechanisms=("refpb", "sarppb"),
+        baseline="refpb",
+        base={"density_gb": 32},
+        workloads=WorkloadSpec(kind="intensive", count=1, num_cores=4),
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestAxis:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SpecError, match="unknown axis"):
+            Axis("voltage", (1, 2))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecError, match="no values"):
+            Axis("tfaw", ())
+
+
+class TestSpecValidation:
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            two_axis_spec(axes=(Axis("tfaw", (10,)), Axis("tfaw", (20,))))
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(SpecError, match="at least one axis"):
+            two_axis_spec(axes=())
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SpecError, match="unknown mechanism"):
+            two_axis_spec(mechanisms=("refpb", "quantum"))
+
+    def test_baseline_must_be_swept(self):
+        with pytest.raises(SpecError, match="baseline"):
+            two_axis_spec(baseline="refab")
+
+    def test_unknown_expansion_rejected(self):
+        with pytest.raises(SpecError, match="unknown expansion"):
+            two_axis_spec(expansion="latin_hypercube")
+
+    def test_zip_requires_equal_lengths(self):
+        with pytest.raises(SpecError, match="equal-length"):
+            two_axis_spec(
+                expansion="zip",
+                axes=(Axis("tfaw", (10, 20, 30)), Axis("subarrays_per_bank", (4, 8))),
+            )
+
+    def test_unknown_base_knob_rejected(self):
+        with pytest.raises(SpecError, match="unknown base knob"):
+            two_axis_spec(base={"voltage": 1.2})
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown workload kind"):
+            WorkloadSpec(kind="spec2017")
+
+    def test_invalid_categories_rejected_at_load_time(self):
+        with pytest.raises(SpecError, match="invalid categories"):
+            WorkloadSpec(kind="category_sweep", categories=(30,))
+        with pytest.raises(SpecError, match="at least one category"):
+            WorkloadSpec(kind="category_sweep", categories=())
+
+    def test_non_positive_num_cores_rejected(self):
+        with pytest.raises(SpecError, match="num_cores must be positive"):
+            WorkloadSpec(num_cores=0)
+
+
+class TestExpansion:
+    def test_grid_is_cross_product_last_axis_fastest(self):
+        points = expand_points(two_axis_spec())
+        assert points == [
+            {"tfaw": 10, "subarrays_per_bank": 4},
+            {"tfaw": 10, "subarrays_per_bank": 8},
+            {"tfaw": 20, "subarrays_per_bank": 4},
+            {"tfaw": 20, "subarrays_per_bank": 8},
+        ]
+
+    def test_zip_pairs_positionwise(self):
+        spec = two_axis_spec(expansion="zip")
+        assert expand_points(spec) == [
+            {"tfaw": 10, "subarrays_per_bank": 4},
+            {"tfaw": 20, "subarrays_per_bank": 8},
+        ]
+        assert spec.num_points() == 2
+
+    def test_num_points_matches_expansion(self):
+        spec = two_axis_spec()
+        assert spec.num_points() == len(expand_points(spec)) == 4
+
+    def test_point_key_is_order_insensitive(self):
+        assert point_key({"a_x": 1, "b": 2}) == point_key({"b": 2, "a_x": 1})
+
+    def test_describe_point(self):
+        assert describe_point({"tfaw": 10, "subarrays_per_bank": 4}) == (
+            "subarrays_per_bank=4, tfaw=10"
+        )
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = two_axis_spec()
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load_round_trip(self, tmp_path):
+        spec = two_axis_spec()
+        path = spec.save(tmp_path / "spec.json")
+        assert SweepSpec.load(path) == spec
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(SpecError, match="invalid sweep spec JSON"):
+            SweepSpec.from_json("{not json")
+        with pytest.raises(SpecError, match="JSON object"):
+            SweepSpec.from_json("[1, 2]")
+        with pytest.raises(SpecError, match="axes"):
+            SweepSpec.from_json(json.dumps({"name": "x"}))
+
+    def test_empty_mechanisms_rejected_cleanly(self):
+        data = two_axis_spec().to_dict()
+        data["mechanisms"] = []
+        with pytest.raises(SpecError, match="at least one mechanism"):
+            SweepSpec.from_json(json.dumps(data))
+
+    def test_unknown_spec_keys_rejected(self):
+        data = two_axis_spec().to_dict()
+        data["mechanism"] = ["refab", "dsarp"]  # typo'd key must not be ignored
+        with pytest.raises(SpecError, match="unknown spec keys: mechanism"):
+            SweepSpec.from_json(json.dumps(data))
+
+    def test_unknown_workload_keys_rejected(self):
+        data = two_axis_spec().to_dict()
+        data["workloads"]["cores"] = 4
+        with pytest.raises(SpecError, match="unknown workload keys: cores"):
+            SweepSpec.from_json(json.dumps(data))
+
+    def test_non_dict_workloads_rejected(self):
+        data = two_axis_spec().to_dict()
+        data["workloads"] = "intensive"
+        with pytest.raises(SpecError, match="'workloads' must be an object"):
+            SweepSpec.from_json(json.dumps(data))
+
+    def test_malformed_axis_entry_names_the_missing_key(self):
+        data = two_axis_spec().to_dict()
+        data["axes"] = [{"values": [10]}]
+        with pytest.raises(SpecError, match="missing its 'name' key"):
+            SweepSpec.from_json(json.dumps(data))
+
+    def test_with_axis_values(self):
+        spec = two_axis_spec().with_axis_values("tfaw", (5,))
+        assert dict(zip(spec.axis_names(), (a.values for a in spec.axes)))["tfaw"] == (5,)
+
+
+class TestBuildConfig:
+    def test_preset_knobs_applied(self):
+        spec = two_axis_spec(
+            axes=(Axis("density_gb", (8, 16)), Axis("num_cores", (2, 4))),
+            base={"retention_ms": 64.0},
+        )
+        config = build_config(spec, {"density_gb": 16, "num_cores": 2})
+        assert config.dram.density_gb == 16
+        assert config.cpu.num_cores == 2
+        assert config.dram.retention_ms == 64.0
+
+    def test_tfaw_axis_derives_trrd(self):
+        config = build_config(two_axis_spec(), {"tfaw": 20, "subarrays_per_bank": 8})
+        assert config.dram.timings.tFAW == 20
+        assert config.dram.timings.tRRD == 4
+        # The paper's pairing floors at 1 for the tightest tFAW values.
+        config = build_config(two_axis_spec(), {"tfaw": 4, "subarrays_per_bank": 8})
+        assert config.dram.timings.tRRD == 1
+
+    def test_explicit_trrd_overrides_derivation(self):
+        spec = two_axis_spec(base={"density_gb": 32, "trrd": 7})
+        config = build_config(spec, {"tfaw": 20, "subarrays_per_bank": 8})
+        assert config.dram.timings.tRRD == 7
+
+    def test_matches_paper_system_for_preset_only_points(self):
+        spec = two_axis_spec(axes=(Axis("subarrays_per_bank", (4,)),))
+        config = build_config(spec, {"subarrays_per_bank": 4})
+        assert config == paper_system(density_gb=32, subarrays_per_bank=4)
+
+
+class TestBuildWorkloads:
+    def test_intensive_kind_counts_and_cores(self):
+        spec = two_axis_spec()
+        workloads = build_workloads(spec, {"tfaw": 10, "subarrays_per_bank": 4})
+        assert len(workloads) == 1
+        assert workloads[0].num_cores == 4
+
+    def test_num_cores_axis_overrides_workload_spec(self):
+        spec = two_axis_spec(axes=(Axis("num_cores", (2, 8)),))
+        workloads = build_workloads(spec, {"num_cores": 2})
+        assert all(w.num_cores == 2 for w in workloads)
+
+    def test_workload_seed_axis_changes_mixes(self):
+        spec = two_axis_spec(axes=(Axis("workload_seed", (0, 1)),))
+        first = build_workloads(spec, {"workload_seed": 0})
+        second = build_workloads(spec, {"workload_seed": 1})
+        assert [w.fingerprint() for w in first] != [w.fingerprint() for w in second]
+
+    def test_base_workload_seed_is_honored(self):
+        # A fixed workload_seed in `base` must build the same workloads as
+        # the equivalent single-value axis, not silently use the default.
+        base_spec = two_axis_spec(base={"density_gb": 32, "workload_seed": 7})
+        axis_spec = two_axis_spec(
+            axes=(Axis("workload_seed", (7,)), Axis("tfaw", (10,)))
+        )
+        from_base = build_workloads(base_spec, {"tfaw": 10, "subarrays_per_bank": 4})
+        from_axis = build_workloads(axis_spec, {"workload_seed": 7, "tfaw": 10})
+        assert [w.fingerprint() for w in from_base] == [
+            w.fingerprint() for w in from_axis
+        ]
+
+    def test_category_sweep_kind(self):
+        spec = two_axis_spec(
+            workloads=WorkloadSpec(
+                kind="category_sweep", count=1, num_cores=4, categories=(0, 100)
+            )
+        )
+        workloads = build_workloads(spec, {"tfaw": 10, "subarrays_per_bank": 4})
+        assert [w.category for w in workloads] == [0, 100]
