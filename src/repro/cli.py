@@ -219,6 +219,16 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=0, help="simulation seed (default: 0)"
     )
     parser.add_argument(
+        "--kernel",
+        choices=("event", "cycle"),
+        default=None,
+        help=(
+            "execution kernel: 'event' skips provably idle cycles in one "
+            "jump, 'cycle' is the legacy per-cycle loop; both produce "
+            "bit-identical results (default: the config's kernel, 'event')"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print one line per completed simulation job",
@@ -327,6 +337,7 @@ def _build_runner(args: argparse.Namespace, stderr: TextIO) -> ExperimentRunner:
         executor=executor,
         store=store,
         progress=ProgressPrinter(stream=stderr) if args.progress else None,
+        kernel=args.kernel,
     )
 
 

@@ -24,6 +24,24 @@ class SystemConfig:
     cpu: CPUConfig = field(default_factory=CPUConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     refresh: RefreshConfig = field(default_factory=RefreshConfig)
+    #: Execution kernel: ``"event"`` advances time in one jump across
+    #: provably idle spans (identical results, much faster), ``"cycle"``
+    #: is the legacy tick-every-cycle loop kept as the differential
+    #: reference.  Excluded from :meth:`fingerprint` on purpose — the two
+    #: kernels are bit-identical, so cached results are shared.
+    kernel: str = "event"
+
+    KERNELS = ("event", "cycle")
+
+    def __post_init__(self) -> None:
+        if self.kernel not in self.KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {self.KERNELS}"
+            )
+
+    def with_kernel(self, kernel: str) -> "SystemConfig":
+        """Return a copy running on a different execution kernel."""
+        return replace(self, kernel=kernel)
 
     def with_mechanism(self, mechanism: RefreshMechanism | str, **kwargs) -> "SystemConfig":
         """Return a copy configured for a different refresh mechanism.

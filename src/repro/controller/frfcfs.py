@@ -25,10 +25,17 @@ class FRFCFSScheduler:
 
     def __init__(self, controller):
         self.controller = controller
+        #: SARP subarray conflicts recorded during the most recent
+        #: :meth:`select` call.  When a cycle turns out to be a system-wide
+        #: no-op, the event kernel replays exactly these conflicts for every
+        #: skipped cycle (the candidate set and refresh state are frozen, so
+        #: each skipped cycle would have recorded the identical conflicts).
+        self.last_conflicts: list[Command] = []
 
     # -- public API ---------------------------------------------------------
     def select(self, cycle: int) -> Optional[tuple[Command, Optional[MemRequest]]]:
         """Choose the demand command to issue this cycle, if any."""
+        self.last_conflicts = []
         ctl = self.controller
         queues = ctl.queues
         serve_writes = ctl.drain.should_serve_writes(
@@ -52,6 +59,8 @@ class FRFCFSScheduler:
         policy = ctl.refresh_policy
         channel = ctl.channel_id
         queue_map = queues.writes if writes else queues.reads
+        blocks_demand = policy.blocks_demand
+        ranks = device.channels[channel].ranks
 
         hit_candidates: list[tuple[int, int, MemRequest]] = []
         row_candidates: list[tuple[int, int, MemRequest]] = []
@@ -59,12 +68,13 @@ class FRFCFSScheduler:
             if not queue:
                 continue
             rank_i, bank_i = bank_key
-            if policy.blocks_demand(cycle, rank_i, bank_i):
+            if blocks_demand(cycle, rank_i, bank_i):
                 continue
-            bank = device.bank(channel, rank_i, bank_i)
-            if bank.open_row is not None:
+            bank = ranks[rank_i].banks[bank_i]
+            open_row = bank.open_row
+            if open_row is not None:
                 for req in queue:
-                    if req.row == bank.open_row:
+                    if req.location.row == open_row:
                         hit_candidates.append((req.arrival_cycle, req.request_id, req))
                         break
                 else:
@@ -78,17 +88,22 @@ class FRFCFSScheduler:
         window = ctl.config.controller.scheduling_window
 
         # First-ready: column commands for open-row hits, oldest first.
+        # Legality does not depend on the autoprecharge choice, so a cheap
+        # probe (always keep-open) is checked first and the real command —
+        # whose keep-open decision needs a queue scan — is only built for
+        # the one candidate that issues.
         hit_candidates.sort()
         for _, _, req in hit_candidates[:window]:
-            command = self._column_command(req, writes)
-            if device.can_issue(command, cycle):
+            probe = self._probe_column_command(req)
+            if device.can_issue(probe, cycle):
+                command = self._column_command(req, writes)
                 return command, req
 
         # Then row commands (activate or precharge), oldest first.
         row_candidates.sort()
         for _, _, req in row_candidates[:window]:
             rank_i, bank_i = req.bank_key
-            bank = device.bank(channel, rank_i, bank_i)
+            bank = ranks[rank_i].banks[bank_i]
             if bank.open_row is None:
                 command = Command(
                     kind=CommandType.ACT,
@@ -102,6 +117,7 @@ class FRFCFSScheduler:
                     return command, None
                 if bank.refresh_conflicts_with(cycle, req.row):
                     device.record_subarray_conflict(command)
+                    self.last_conflicts.append(command)
             else:
                 command = Command(
                     kind=CommandType.PRE,
@@ -113,7 +129,101 @@ class FRFCFSScheduler:
                     return command, None
         return None
 
+    # -- event horizon (cycle-skipping kernel) ----------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which demand scheduling can change
+        without a queue mutation (``None``: never).
+
+        Mirrors :meth:`_select_from` exactly: for each bank holding queued
+        demand in the queue map currently in force (and not quiesced by
+        the refresh policy), the command class FR-FCFS would try — column
+        hit, precharge, or activate — is frozen along with the queues, so
+        only that class's gating deadline is watched, plus the shared-bus
+        deadlines and the rank activation windows where an ACTIVATE is
+        wanted.  Stale deadlines of untouched banks cannot flip any
+        ``can_issue`` outcome the frozen tick evaluated.
+        """
+        ctl = self.controller
+        queues = ctl.queues
+        device = ctl.device
+        policy = ctl.refresh_policy
+        timings = device.timings
+        channel = device.channels[ctl.channel_id]
+        serve_writes = ctl.drain.should_serve_writes(
+            queues.write_count, queues.read_count
+        )
+        queue_map = queues.writes if serve_writes else queues.reads
+        demand_keys = [key for key, queue in queue_map.items() if queue]
+        if not demand_keys:
+            return None
+        candidates = channel.bus_deadlines(now, timings)
+        by_rank: dict[int, list[int]] = {}
+        for rank_index, bank_index in demand_keys:
+            by_rank.setdefault(rank_index, []).append(bank_index)
+        for rank_index, bank_indices in by_rank.items():
+            rank = channel.ranks[rank_index]
+            # Rank-level refresh occupancy gates demand to the rank (and,
+            # under SARP, inflates its activation windows).
+            if rank.refab_until > now:
+                candidates.append(rank.refab_until)
+            if rank.pb_refresh_until > now:
+                candidates.append(rank.pb_refresh_until)
+            need_activate = False
+            for bank_index in bank_indices:
+                if policy.blocks_demand(now, rank_index, bank_index):
+                    continue
+                bank = rank.banks[bank_index]
+                open_row = bank.open_row
+                if open_row is None:
+                    need_activate = True
+                    if bank.t_act > now:
+                        candidates.append(bank.t_act)
+                    if bank.refresh_until > now:
+                        candidates.append(bank.refresh_until)
+                elif any(
+                    request.location.row == open_row
+                    for request in queue_map[(rank_index, bank_index)]
+                ):
+                    deadline = bank.t_wr if serve_writes else bank.t_rd
+                    if deadline > now:
+                        candidates.append(deadline)
+                else:
+                    if bank.t_pre > now:
+                        candidates.append(bank.t_pre)
+                    if bank.refresh_until > now:
+                        candidates.append(bank.refresh_until)
+            if need_activate:
+                tfaw, _ = device._effective_tfaw_trrd(rank, now)
+                if rank.next_act > now:
+                    candidates.append(rank.next_act)
+                if len(rank.act_history) == rank.act_history.maxlen:
+                    deadline = rank.act_history[0] + tfaw
+                    if deadline > now:
+                        candidates.append(deadline)
+        return min(candidates) if candidates else None
+
     # -- helpers ---------------------------------------------------------------
+    def _probe_column_command(self, request: MemRequest) -> Command:
+        """A keep-open column command used only for the legality check.
+
+        ``can_issue`` treats RD/RDA (and WR/WRA) identically — the
+        autoprecharge flag changes the command's *effects*, not its
+        legality — so the probe avoids :meth:`_another_hit_pending`'s
+        queue scan for candidates that cannot issue anyway.  The kind is
+        keyed off the request itself: hit candidates always come from the
+        queue map matching the serve-writes mode.
+        """
+        loc = request.location
+        return Command(
+            kind=CommandType.WR if request.is_write else CommandType.RD,
+            channel=loc.channel,
+            rank=loc.rank,
+            bank=loc.bank,
+            row=loc.row,
+            column=loc.column,
+            request=request,
+        )
+
     def _column_command(self, request: MemRequest, writes: bool) -> Command:
         """Build the column command serving ``request``.
 

@@ -86,6 +86,29 @@ class ChannelController:
         self.refresh_policy.bind(self)
         self.stats = ControllerStats()
         self._pending_reads: list[tuple[int, int, MemRequest]] = []
+        #: True when the most recent :meth:`tick` issued a DRAM command.
+        #: The event kernel uses it to detect system-wide no-op cycles.
+        self.last_tick_issued = False
+        #: Retirement counters for read/write requests.  Cores blocked on a
+        #: full queue sleep until the matching counter changes (queue space
+        #: can appear in no other way).
+        self.read_retires = 0
+        self.write_retires = 0
+        #: Event-kernel scheduling cache: cycles strictly below
+        #: ``_sleep_until`` are provably scheduling no-ops as long as the
+        #: request queues keep ``_sleep_queue_version``.  ``None`` means
+        #: "no self-scheduled event at all"; 0 means "not cached".
+        self._sleep_until: Optional[int] = 0
+        self._sleep_queue_version = -1
+        #: Whether the policy overrides the per-cycle replay hook (only
+        #: DARP does); lets the fast path skip a no-op method call.
+        #: Imported lazily to keep the substrate importable without the
+        #: policy layer (mirrors the factory import in MemorySystem).
+        from repro.core.base import RefreshPolicy
+
+        self._policy_replays = (
+            type(self.refresh_policy).skip_cycles is not RefreshPolicy.skip_cycles
+        )
 
     # -- request intake -----------------------------------------------------
     def can_accept(self, is_write: bool) -> bool:
@@ -117,6 +140,7 @@ class ChannelController:
         """Advance one DRAM cycle; returns reads whose data arrived."""
         completed = self._pop_completed_reads(cycle)
         self.drain.update(self.queues.write_count, self.queues.read_count)
+        self.last_tick_issued = True
 
         command = self.refresh_policy.pre_demand(cycle)
         if command is not None:
@@ -134,6 +158,8 @@ class ChannelController:
         command = self.refresh_policy.post_demand(cycle)
         if command is not None:
             self._issue(command, cycle)
+            return completed
+        self.last_tick_issued = False
         return completed
 
     # -- internals ----------------------------------------------------------------
@@ -147,9 +173,11 @@ class ChannelController:
         request.completion_cycle = completion_cycle
         if request.is_write:
             self.stats.served_writes += 1
+            self.write_retires += 1
             self.stats.total_write_latency += completion_cycle - request.arrival_cycle
         else:
             self.stats.served_reads += 1
+            self.read_retires += 1
             self.stats.total_read_latency += completion_cycle - request.arrival_cycle
             heapq.heappush(
                 self._pending_reads,
@@ -166,6 +194,135 @@ class ChannelController:
     def has_outstanding_work(self) -> bool:
         """True while any request is queued or awaiting completion."""
         return bool(self.queues.total_demand() or self._pending_reads)
+
+    # -- cycle-skipping kernel support ------------------------------------------
+    def tick_event(self, cycle: int) -> list[MemRequest]:
+        """Event-kernel tick: identical behaviour to :meth:`tick`, faster.
+
+        After a tick that issued nothing, scheduling is a pure function of
+        the cycle number until either the channel's next timing event or a
+        queue mutation.  While that holds, this fast path skips the whole
+        pre-demand / FR-FCFS / post-demand scan and replays only the
+        per-cycle side effects the full tick would have produced (data
+        arrivals, the writeback-mode cycle counter, re-recorded SARP
+        conflicts, DARP's random draws).  :meth:`tick` itself is left
+        untouched so the cycle kernel remains an independent reference for
+        the differential suite.
+        """
+        sleep_until = self._sleep_until
+        if (
+            sleep_until is None or cycle < sleep_until
+        ) and self.queues.version == self._sleep_queue_version:
+            pending = self._pending_reads
+            completed = (
+                self._pop_completed_reads(cycle)
+                if pending and pending[0][0] <= cycle
+                else []
+            )
+            drain = self.drain
+            if drain.in_drain:
+                drain.skip_cycles(self.queues.write_count, 1)
+            conflicts = self.scheduler.last_conflicts
+            if conflicts:
+                for command in conflicts:
+                    self.device.record_subarray_conflict(command)
+            if self._policy_replays:
+                self.refresh_policy.skip_cycles(1)
+            self.last_tick_issued = False
+            return completed
+        completed = self.tick(cycle)
+        if self.last_tick_issued:
+            self._sleep_until = 0
+        else:
+            self._sleep_until = self._local_next_event(cycle)
+            self._sleep_queue_version = self.queues.version
+        return completed
+
+    def _local_next_event(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which this channel's scheduling
+        outcome can change without a queue mutation (``None``: never).
+
+        Combines the three sources of self-scheduled change: the refresh
+        policy's own schedule, the demand-side horizon the FR-FCFS
+        scheduler derives from its frozen candidate set, and the timing
+        state of banks the policy is currently trying to refresh (their
+        activity windows, refresh completions, and — for open banks — the
+        precharge that must clear them first).
+        """
+        candidates = []
+        policy = self.refresh_policy
+        policy_event = policy.next_event_cycle(now)
+        if policy_event is not None and policy_event > now:
+            if policy_event == now + 1:
+                # Nothing can be earlier; skip the horizon scan entirely
+                # (DARP returns this whenever a random draw could issue).
+                return policy_event
+            candidates.append(policy_event)
+
+        scheduler_event = self.scheduler.next_event_cycle(now)
+        if scheduler_event is not None:
+            candidates.append(scheduler_event)
+
+        # Refresh candidates need their bank free of activity (t_act,
+        # refresh markers) or a precharge first (t_pre); column deadlines
+        # can never gate a refresh.  Rank-level refresh occupancy gates
+        # the legality of further refreshes in the rank.
+        channel = self.device.channels[self.channel_id]
+        for rank_index, rank in enumerate(channel.ranks):
+            refresh_banks = policy.refresh_candidate_banks(rank_index)
+            if not refresh_banks:
+                continue
+            if rank.refab_until > now:
+                candidates.append(rank.refab_until)
+            if rank.pb_refresh_until > now:
+                candidates.append(rank.pb_refresh_until)
+            for bank_index in refresh_banks:
+                bank = rank.banks[bank_index]
+                if bank.t_act > now:
+                    candidates.append(bank.t_act)
+                if bank.refresh_until > now:
+                    candidates.append(bank.refresh_until)
+                if bank.open_row is not None and bank.t_pre > now:
+                    candidates.append(bank.t_pre)
+        return min(candidates) if candidates else None
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which this controller's observable
+        behaviour can differ from the no-op cycle just executed.
+
+        That is the earliest of: the next pending-read data arrival (which
+        wakes a core) and the refresh policy's own horizon (the next
+        scheduled refresh becoming due, or a policy-specific trigger such as
+        elastic refresh's idle threshold).  Device timing-window expiries
+        are accounted separately by :meth:`DRAMDevice.next_event_cycle`;
+        :meth:`MemorySystem.next_event_cycle` combines the two into the
+        conservative reference horizon.  The event kernel's hot path uses
+        the tighter cached horizons (:meth:`_local_next_event` via
+        :meth:`MemorySystem.next_skip_event`) instead.
+        """
+        candidates = []
+        if self._pending_reads:
+            arrival = self._pending_reads[0][0]
+            if arrival > now:
+                candidates.append(arrival)
+        policy_event = self.refresh_policy.next_event_cycle(now)
+        if policy_event is not None and policy_event > now:
+            candidates.append(policy_event)
+        return min(candidates) if candidates else None
+
+    def skip_idle_cycles(self, count: int) -> None:
+        """Account ``count`` skipped cycles after a no-op tick.
+
+        Replays exactly the per-cycle side effects the legacy kernel would
+        have produced over the span: the writeback-mode cycle counter, the
+        SARP subarray conflicts the scheduler re-records every stalled
+        cycle, and any policy-internal accounting (DARP's random idle-bank
+        draws).  Everything else is provably frozen until the next event.
+        """
+        self.drain.skip_cycles(self.queues.write_count, count)
+        for command in self.scheduler.last_conflicts:
+            self.device.record_subarray_conflict(command, count)
+        self.refresh_policy.skip_cycles(count)
 
 
 class MemorySystem:
@@ -190,6 +347,8 @@ class MemorySystem:
             )
             for ch in range(config.dram.organization.channels)
         ]
+        #: True when the most recent :meth:`tick` issued any DRAM command.
+        self.last_tick_issued = False
 
     # -- processor-side interface ------------------------------------------------
     def controller_for(self, address: int) -> ChannelController:
@@ -220,9 +379,74 @@ class MemorySystem:
         """Advance every controller one DRAM cycle; returns completed reads."""
         self.device.tick(cycle)
         completed: list[MemRequest] = []
+        issued = False
         for controller in self.controllers:
             completed.extend(controller.tick(cycle))
+            issued = issued or controller.last_tick_issued
+        self.last_tick_issued = issued
         return completed
+
+    # -- cycle-skipping kernel support ----------------------------------------
+    def tick_event(self, cycle: int) -> list[MemRequest]:
+        """Event-kernel tick: every controller advances via its fast path.
+
+        The per-cycle device sweep (:meth:`DRAMDevice.tick`) only clears
+        expired refresh markers lazily; every reader of those markers
+        checks the refresh deadline first, so the sweep can be elided
+        entirely without observable effect — the cycle kernel keeps it as
+        the reference behaviour.
+        """
+        completed: list[MemRequest] = []
+        issued = False
+        for controller in self.controllers:
+            completed.extend(controller.tick_event(cycle))
+            issued = issued or controller.last_tick_issued
+        self.last_tick_issued = issued
+        return completed
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which any memory-side state can
+        change, assuming no processor-side activity in between.
+
+        This is the *conservative reference* horizon — every timing window
+        of every bank/rank/channel plus all controller events — kept
+        deliberately simple so tests can check the tighter per-controller
+        horizons of the hot path against it.
+        """
+        candidates = []
+        device_event = self.device.next_event_cycle(now)
+        if device_event is not None:
+            candidates.append(device_event)
+        for controller in self.controllers:
+            controller_event = controller.next_event_cycle(now)
+            if controller_event is not None:
+                candidates.append(controller_event)
+        return min(candidates) if candidates else None
+
+    def next_skip_event(self, now: int) -> Optional[int]:
+        """Cheap skip horizon for the event kernel.
+
+        Only valid immediately after a :meth:`tick_event` in which no
+        controller issued a command: every controller then holds a fresh
+        (or still-valid) local horizon, so the earliest memory event is
+        the minimum of those horizons and the next pending read arrival —
+        no device rescan required.
+        """
+        candidates = []
+        for controller in self.controllers:
+            if controller._pending_reads:
+                arrival = controller._pending_reads[0][0]
+                if arrival > now:
+                    candidates.append(arrival)
+            sleep_until = controller._sleep_until
+            if sleep_until is not None and sleep_until > now:
+                candidates.append(sleep_until)
+        return min(candidates) if candidates else None
+
+    def skip_idle_cycles(self, count: int) -> None:
+        """Account ``count`` skipped cycles on every channel controller."""
+        for controller in self.controllers:
+            controller.skip_idle_cycles(count)
 
     # -- statistics ----------------------------------------------------------------
     def total_served(self) -> tuple[int, int]:

@@ -29,6 +29,9 @@ class RequestQueues:
         }
         self.read_count = 0
         self.write_count = 0
+        #: Bumped on every enqueue/remove; the event kernel uses it to
+        #: detect that a controller's scheduling inputs are unchanged.
+        self.version = 0
 
     # -- capacity ---------------------------------------------------------
     def read_full(self) -> bool:
@@ -44,6 +47,7 @@ class RequestQueues:
     def enqueue(self, request: MemRequest) -> None:
         """Add a request; the caller must have checked :meth:`can_accept`."""
         key = request.bank_key
+        self.version += 1
         if request.is_write:
             self.writes[key].append(request)
             self.write_count += 1
@@ -54,6 +58,7 @@ class RequestQueues:
     def remove(self, request: MemRequest) -> None:
         """Remove a serviced request from its queue."""
         key = request.bank_key
+        self.version += 1
         if request.is_write:
             self.writes[key].remove(request)
             self.write_count -= 1

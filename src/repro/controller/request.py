@@ -11,7 +11,7 @@ from repro.dram.address import PhysicalLocation
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """A single DRAM read or write request.
 

@@ -47,6 +47,17 @@ class WriteDrainState:
             self.drain_cycles += 1
         return self.in_drain
 
+    def skip_cycles(self, write_queue_occupancy: int, count: int) -> None:
+        """Account ``count`` skipped idle cycles with frozen queue occupancy.
+
+        After an :meth:`update` call the state machine is at a fixed point
+        for its inputs (it never re-enters drain in the same conditions it
+        just left), so the only per-cycle effect replaying ``count`` more
+        updates could have is the in-drain cycle counter.
+        """
+        if self.in_drain and write_queue_occupancy > self.config.write_low_watermark:
+            self.drain_cycles += count
+
     def should_serve_writes(self, write_queue_occupancy: int, read_queue_occupancy: int) -> bool:
         """True when the scheduler should pick from the write queue."""
         if self.in_drain:

@@ -102,3 +102,10 @@ class AdaptiveRefreshPolicy(RefreshPolicy):
 
     def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
         return self._pending_quarters[rank] > 0
+
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        # Owed refresh work is issued as rank-wide REFab commands (1x or
+        # 4x granularity), both of which involve every bank of the rank.
+        if self._pending_quarters[rank] > 0:
+            return tuple(range(self.num_banks))
+        return ()

@@ -62,3 +62,10 @@ class AllBankRefreshPolicy(RefreshPolicy):
         # A rank owing a refresh stops accepting new demand so it can drain
         # and start refreshing; this is the source of REFab's penalty.
         return self._pending[rank] > 0
+
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        # An owed REFab needs every bank precharged and past its t_act, and
+        # may first require precharges to any open bank of the rank.
+        if self._pending[rank] > 0:
+            return tuple(range(self.num_banks))
+        return ()

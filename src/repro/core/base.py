@@ -82,6 +82,47 @@ class RefreshPolicy(abc.ABC):
         """True when demand to (rank, bank) must wait for a pending refresh."""
         return False
 
+    # -- cycle-skipping kernel hooks ----------------------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which this policy's behaviour can
+        change *on its own* (without any demand-side or device event).
+
+        The base implementation reports the next scheduled refresh
+        becoming due.  Policies with additional time-driven triggers
+        (elastic refresh's idle threshold, DARP's randomized idle-bank
+        scan) override this; device timing-window expiries are covered by
+        :meth:`repro.dram.device.DRAMDevice.next_event_cycle` and need not
+        be repeated here.  ``None`` means "no self-scheduled event".
+        """
+        due = getattr(self, "_next_due", None)
+        if not due:
+            return None
+        earliest = min(due)
+        return earliest if earliest > now else None
+
+    def skip_cycles(self, count: int) -> None:
+        """Replay the per-cycle side effects of ``count`` skipped no-op cycles.
+
+        Called by the event kernel after a cycle in which this policy was
+        consulted and did nothing, for a span over which its inputs are
+        provably frozen.  The deterministic policies accumulate due
+        refreshes lazily from the cycle number, so they have nothing to
+        replay; DARP overrides this to keep its RNG stream bit-identical.
+        """
+
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        """Banks of ``rank`` this policy may try to act on *right now*.
+
+        The event kernel watches the timing deadlines of exactly these
+        banks (plus every bank with queued demand) while a controller
+        sleeps: a pending refresh that is currently illegal can only
+        become issuable when one of its target banks' windows expires.
+        Policies with no owed refresh work return an empty tuple, letting
+        the controller ignore stale scoreboard deadlines entirely.  The
+        base implementation is maximally conservative.
+        """
+        return tuple(range(self.num_banks))
+
     # -- reporting ---------------------------------------------------------------
     def stats_dict(self) -> dict:
         return self.stats.as_dict()

@@ -50,6 +50,10 @@ class DARPPolicy(RefreshPolicy):
         #: budget under load and is therefore initialized with a backlog.
         self._debt = [[0] * self.num_banks for _ in range(self.num_ranks)]
         self._rng = random.Random(config.refresh.scheduler_seed + channel_id)
+        #: Bumped whenever any debt changes; keys the replay-pool cache.
+        self._debt_version = 0
+        #: Cached post-demand pools: (queue version, debt version, pools).
+        self._pool_cache: "tuple[int, int, list[tuple[int, list[int]]]] | None" = None
 
     # -- bookkeeping ---------------------------------------------------------------
     def refresh_debt(self, rank: int, bank: int) -> int:
@@ -63,6 +67,7 @@ class DARPPolicy(RefreshPolicy):
             while cycle >= self._next_due[rank]:
                 nominal = self._round_robin[rank]
                 self._debt[rank][nominal] += 1
+                self._debt_version += 1
                 if (
                     out_of_order
                     and self._debt[rank][nominal] < self.refresh_config.max_postpone
@@ -77,6 +82,7 @@ class DARPPolicy(RefreshPolicy):
         command = self._per_bank_command(rank, bank)
         if self.device.can_issue(command, cycle):
             self._debt[rank][bank] -= 1
+            self._debt_version += 1
             self.stats.per_bank_issued += 1
             return command
         return None
@@ -182,6 +188,95 @@ class DARPPolicy(RefreshPolicy):
     def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
         """Quiesce only banks whose refresh can no longer be postponed."""
         return self._debt[rank][bank] >= self.refresh_config.max_postpone
+
+    # -- cycle-skipping kernel hooks --------------------------------------------
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        """Banks DARP may refresh this cycle: forced, owed-idle, write-mode
+        or post-demand candidates.
+
+        With a pull-in budget any bank can be refreshed ahead of schedule,
+        so every bank is a candidate; without one, only banks with
+        positive debt (owed refreshes) can be targeted by any of the four
+        selection paths.
+        """
+        if self.refresh_config.max_pullin > 0:
+            return tuple(range(self.num_banks))
+        debts = self._debt[rank]
+        return tuple(bank for bank in range(self.num_banks) if debts[bank] > 0)
+
+    def _post_demand_pools(self) -> list[tuple[int, list[int]]]:
+        """The per-rank candidate pools :meth:`post_demand` would draw from.
+
+        Built with exactly the same selection code as :meth:`post_demand`
+        so a replayed ``choice`` consumes the RNG stream identically
+        (consumption depends on the pool length).  The pools are a pure
+        function of the demand queues and the debt table, so they are
+        cached under those two versions — the event kernel queries them
+        every no-op tick and every replayed sleep cycle.
+        """
+        version = self.controller.queues.version
+        cache = self._pool_cache
+        if (
+            cache is not None
+            and cache[0] == version
+            and cache[1] == self._debt_version
+        ):
+            return cache[2]
+        max_pullin = self.refresh_config.max_pullin
+        pools = []
+        for rank in range(self.num_ranks):
+            debts = self._debt[rank]
+            idle_banks = [
+                bank
+                for bank in range(self.num_banks)
+                if self.controller.demand_count(rank, bank) == 0
+                and debts[bank] > -max_pullin
+            ]
+            if not idle_banks:
+                continue
+            owed = [bank for bank in idle_banks if debts[bank] > 0]
+            pools.append((rank, owed if owed else idle_banks))
+        self._pool_cache = (version, self._debt_version, pools)
+        return pools
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Next due refresh — or "right now" when a random draw could issue.
+
+        :meth:`post_demand` draws a *random* pool bank each cycle, so a
+        cycle in which the drawn bank happened to be blocked proves
+        nothing about the other pool banks.  If any pool bank could accept
+        a REFpb on the very next cycle, skipping is unsafe (a different
+        draw might issue); the kernel is told the next event is ``now + 1``
+        and simply keeps stepping.  Otherwise every pool bank stays
+        blocked until a device timing deadline, which the device horizon
+        already covers.
+        """
+        if self.refresh_config.enable_out_of_order:
+            for rank, pool in self._post_demand_pools():
+                for bank in pool:
+                    command = self._per_bank_command(rank, bank)
+                    if self.device.can_issue(command, now + 1):
+                        return now + 1
+        return super().next_event_cycle(now)
+
+    def skip_cycles(self, count: int) -> None:
+        """Advance the RNG exactly as ``count`` fruitless cycles would have.
+
+        During a skipped span the pools are frozen and no draw can issue
+        (guaranteed by :meth:`next_event_cycle`), but the legacy kernel
+        would still have consumed one ``choice`` per non-empty pool per
+        cycle.  Replaying those draws keeps the RNG stream — and therefore
+        every future refresh decision — bit-identical across kernels.
+        """
+        if not self.refresh_config.enable_out_of_order:
+            return
+        pools = self._post_demand_pools()
+        if not pools:
+            return
+        choice = self._rng.choice
+        for _ in range(count):
+            for _, pool in pools:
+                choice(pool)
 
     def _write_mode_candidate(self, rank: int) -> Optional[int]:
         """Bank with the lowest demand count whose pull-in budget allows a refresh."""

@@ -14,6 +14,7 @@ our implementation reproduces that behaviour.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.core.base import RefreshPolicy
@@ -125,3 +126,32 @@ class ElasticRefreshPolicy(RefreshPolicy):
 
     def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
         return self._pending[rank] >= self._effective_postpone
+
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        # Elastic refresh issues (and prepares) rank-wide REFab commands
+        # whenever any refresh is owed.
+        if self._pending[rank] > 0:
+            return tuple(range(self.num_banks))
+        return ()
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Next due refresh, or the idle threshold of an idle rank expiring.
+
+        With the demand queues frozen, an idle rank's accumulated idle
+        time keeps growing by one per cycle; the first cycle satisfying
+        ``idle_time >= threshold`` is an event the kernel must not skip
+        past, because :meth:`post_demand` would start issuing then.
+        """
+        candidates = []
+        base = super().next_event_cycle(now)
+        if base is not None:
+            candidates.append(base)
+        for rank in range(self.num_ranks):
+            if self._pending[rank] <= 0 or not self._was_idle[rank]:
+                continue
+            if self.controller.rank_demand_count(rank) > 0:
+                continue
+            trigger = self._idle_since[rank] + math.ceil(self._idle_threshold(rank))
+            if trigger > now:
+                candidates.append(trigger)
+        return min(candidates) if candidates else None

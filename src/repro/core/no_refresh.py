@@ -22,3 +22,6 @@ class NoRefreshPolicy(RefreshPolicy):
 
     def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
         return False
+
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        return ()

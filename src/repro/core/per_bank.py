@@ -71,3 +71,9 @@ class PerBankRefreshPolicy(RefreshPolicy):
         # Only the bank at the head of the round-robin schedule is quiesced.
         pending = self.pending_bank(rank)
         return pending is not None and pending == bank
+
+    def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
+        # Strict round-robin: only the head of the queue can be refreshed
+        # (or precharged in preparation) this cycle.
+        pending = self.pending_bank(rank)
+        return () if pending is None else (pending,)

@@ -24,6 +24,19 @@ from repro.config.cpu_config import CPUConfig
 from repro.controller.request import MemRequest
 from repro.workloads.trace import TraceEntry
 
+#: :meth:`Core.tick` outcome: the core changed no state at all — it is
+#: blocked on a memory-side event and will repeat the identical non-cycle
+#: until one occurs.  (Falsy, so the return still reads as "did anything
+#: change" in boolean context.)
+CORE_BLOCKED = 0
+#: The tick consisted purely of a full budget of non-memory (gap)
+#: instructions: no fetch, no cache access, no writeback.  Such ticks can
+#: be replayed in closed form by :meth:`Core.skip_gap_cycles`.
+CORE_GAP = 1
+#: Anything else: the core touched the memory system, its trace, or its
+#: cache, so the next cycle cannot be predicted without executing it.
+CORE_ACTIVE = 2
+
 
 @dataclass
 class CoreStats:
@@ -85,6 +98,13 @@ class Core:
         self._gap_remaining = 0
         self._current_entry: Optional[TraceEntry] = None
         self._executed_seq = 0
+        #: Why the most recent :data:`CORE_BLOCKED` tick stalled:
+        #: ``("completion",)`` — waiting for one of this core's own DRAM
+        #: reads (window full, MSHRs exhausted, or a dependent load);
+        #: ``("read_queue", ch)`` / ``("write_queue", ch)`` — waiting for
+        #: space in channel ``ch``'s queue.  The event kernel sleeps the
+        #: core until exactly that wake-up.
+        self.block_reason: Optional[tuple] = None
 
     # -- memory completion ------------------------------------------------
     def complete_load(self, request: MemRequest) -> None:
@@ -102,31 +122,61 @@ class Core:
         return len(self._pending_loads)
 
     # -- execution ----------------------------------------------------------
-    def tick(self, cycle: int) -> None:
-        """Execute up to one DRAM cycle's worth of instructions."""
+    def tick(self, cycle: int) -> int:
+        """Execute up to one DRAM cycle's worth of instructions.
+
+        Returns one of :data:`CORE_BLOCKED` (no state changed at all — the
+        core is waiting on a memory-side event and will repeat the
+        identical non-cycle until one occurs), :data:`CORE_GAP` (the tick
+        was exactly one full budget of non-memory instructions, which the
+        event kernel may batch-replay), or :data:`CORE_ACTIVE` (anything
+        else).  The value is truthy exactly when the core changed state,
+        so boolean callers still read it as "did anything happen".
+        """
         budget = self.config.insts_per_dram_cycle
+        full_budget = budget
         progressed = False
+        changed = False
+        other_than_gap = False
+        gap_retired = 0
         while budget > 0:
+            writeback_was_pending = self._pending_writeback is not None
             if not self._drain_writeback(cycle):
+                self.block_reason = (
+                    "write_queue",
+                    self.memory.controller_for(self._pending_writeback).channel_id,
+                )
                 break
+            if writeback_was_pending:
+                changed = True
+                other_than_gap = True
             if self._window_full():
+                self.block_reason = ("completion",)
                 break
             if self._gap_remaining > 0:
                 step = min(budget, self._gap_remaining, self._window_headroom())
                 self._gap_remaining -= step
                 self._retire(step)
                 budget -= step
+                gap_retired += step
                 progressed = True
                 continue
             if self._current_entry is None:
                 self._fetch_next_entry()
+                changed = True
+                other_than_gap = True
                 continue
             if not self._execute_memory_access(cycle):
                 break
             budget -= 1
             progressed = True
+            other_than_gap = True
         if not progressed:
             self.stats.stall_cycles += 1
+            return CORE_ACTIVE if changed else CORE_BLOCKED
+        if not other_than_gap and gap_retired == full_budget:
+            return CORE_GAP
+        return CORE_ACTIVE
 
     # -- internals ---------------------------------------------------------------
     def _retire(self, count: int) -> None:
@@ -178,14 +228,20 @@ class Core:
         # are still outstanding; they are what makes a workload sensitive to
         # the latency a refresh adds to an individual request.
         if entry.depends and self._pending_loads:
+            self.block_reason = ("completion",)
             return False
 
         # Loads: check MSHR and read-queue capacity before touching the
         # cache so a stalled access can be retried without side effects.
         if not self.llc.contains(line_address):
             if len(self._pending_loads) >= self.config.mshrs_per_core:
+                self.block_reason = ("completion",)
                 return False
             if not self.memory.can_accept(line_address, False):
+                self.block_reason = (
+                    "read_queue",
+                    self.memory.controller_for(line_address).channel_id,
+                )
                 return False
         result = self.llc.access(line_address, is_write=False)
         self.stats.loads += 1
@@ -207,6 +263,61 @@ class Core:
         # The eviction is buffered and drained at the next opportunity;
         # execution stalls if a second eviction arrives before then.
         self._pending_writeback = writeback_address
+
+    # -- cycle-skipping kernel support ---------------------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle at which this core can do something that is not a
+        replayable continuation of the tick it just executed.
+
+        After a :data:`CORE_BLOCKED` tick the core has no self-scheduled
+        events (``None``): it is waiting on the memory system, whose
+        wake-ups the controller horizons report.  After a
+        :data:`CORE_GAP` tick the core keeps retiring full budgets of gap
+        instructions for :meth:`pure_gap_ticks` more cycles; the first
+        cycle beyond those may fetch, access memory, or stall.  The event
+        kernel therefore combines this with the tick's status: after
+        ``CORE_GAP`` it uses ``now + 1 + pure_gap_ticks()`` directly (even
+        when zero ticks remain, which forbids skipping).
+        """
+        ticks = self.pure_gap_ticks()
+        return now + 1 + ticks if ticks else None
+
+    def pure_gap_ticks(self) -> int:
+        """Upcoming ticks that are provably a full gap-instruction budget.
+
+        Mirrors the conditions of one tick's gap branch: no buffered
+        writeback, and both the remaining gap and (with outstanding loads)
+        the shrinking instruction-window headroom cover a whole budget.
+        Without outstanding loads the headroom does not shrink as the core
+        runs ahead, so only the gap bounds the run.
+        """
+        if self._pending_writeback is not None:
+            return 0
+        budget = self.config.insts_per_dram_cycle
+        bound = self._gap_remaining
+        if self._pending_loads:
+            bound = min(bound, self._window_headroom())
+        return bound // budget
+
+    def skip_gap_cycles(self, count: int) -> None:
+        """Batch-replay ``count`` pure-gap ticks in closed form.
+
+        Each replayed tick retires exactly one instruction budget out of
+        the current gap — the same arithmetic the per-cycle loop performs,
+        just without the loop.
+        """
+        instructions = count * self.config.insts_per_dram_cycle
+        self._gap_remaining -= instructions
+        self._retire(instructions)
+
+    def skip_stalled_cycles(self, count: int) -> None:
+        """Account ``count`` skipped cycles during which this core stalled.
+
+        The event kernel only skips spans in which every core's tick is a
+        provable no-op; the legacy kernel would have charged one stall
+        cycle per tick, so the batched accounting is exactly that.
+        """
+        self.stats.stall_cycles += count
 
     # -- reporting ----------------------------------------------------------------
     def ipc(self, elapsed_dram_cycles: int) -> float:

@@ -146,6 +146,31 @@ class Bank:
         if self.refreshing_subarray is not None and cycle >= self.refresh_until:
             self.refreshing_subarray = None
 
-    def record_subarray_conflict(self, row: int) -> None:
+    def record_subarray_conflict(self, row: int, count: int = 1) -> None:
         """Record that an access to ``row`` was blocked by a refresh."""
-        self.subarrays[self.subarray_of(row)].record_conflict()
+        self.subarrays[self.subarray_of(row)].record_conflict(count)
+
+    # -- event horizon (cycle-skipping kernel) -----------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which a timing window of this
+        bank expires.
+
+        The scoreboard deadlines (``t_act``/``t_rd``/``t_wr``/``t_pre``)
+        and the refresh-completion cycle are the only times at which a
+        command that is illegal now can become legal without any other
+        state change, so they bound how far the event kernel may safely
+        skip.  Deadlines already in the past are irrelevant: the
+        conditions they guard are monotone in the cycle number.
+        """
+        candidates = [
+            deadline
+            for deadline in (
+                self.t_act,
+                self.t_rd,
+                self.t_wr,
+                self.t_pre,
+                self.refresh_until,
+            )
+            if deadline > now
+        ]
+        return min(candidates) if candidates else None

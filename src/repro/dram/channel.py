@@ -15,6 +15,27 @@ from repro.dram.rank import Rank
 
 
 @dataclass
+class ChannelStats:
+    """Measurement counters owned by one channel.
+
+    Owning the counters (instead of spreading bare attributes over the
+    channel) lets the simulator's warmup reset call a single
+    :meth:`reset` — new counters added here can never be silently missed
+    by the measurement-window reset.
+    """
+
+    read_bursts: int = 0
+    write_bursts: int = 0
+    busy_cycles: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (used when the warmup window ends)."""
+        self.read_bursts = 0
+        self.write_bursts = 0
+        self.busy_cycles = 0
+
+
+@dataclass
 class Channel:
     """State of a single DRAM channel."""
 
@@ -28,13 +49,24 @@ class Channel:
     #: End cycle of the most recent write data burst.
     last_write_burst_end: int = -(10**9)
 
-    # -- statistics -------------------------------------------------------
-    read_bursts: int = 0
-    write_bursts: int = 0
-    busy_cycles: int = 0
+    #: Measurement counters (reset together at the end of warmup).
+    stats: ChannelStats = field(default_factory=ChannelStats)
 
     def rank(self, index: int) -> Rank:
         return self.ranks[index]
+
+    # -- statistics accessors (kept for call-site brevity) ------------------
+    @property
+    def read_bursts(self) -> int:
+        return self.stats.read_bursts
+
+    @property
+    def write_bursts(self) -> int:
+        return self.stats.write_bursts
+
+    @property
+    def busy_cycles(self) -> int:
+        return self.stats.busy_cycles
 
     # -- data-bus arbitration ----------------------------------------------
     def can_read_burst(self, command_cycle: int, timings) -> bool:
@@ -64,8 +96,8 @@ class Channel:
         burst_end = burst_start + timings.tBL
         self.bus_busy_until = burst_end
         self.last_read_burst_end = burst_end
-        self.read_bursts += 1
-        self.busy_cycles += timings.tBL
+        self.stats.read_bursts += 1
+        self.stats.busy_cycles += timings.tBL
         return burst_end
 
     def occupy_write_burst(self, command_cycle: int, timings) -> int:
@@ -74,8 +106,8 @@ class Channel:
         burst_end = burst_start + timings.tBL
         self.bus_busy_until = burst_end
         self.last_write_burst_end = burst_end
-        self.write_bursts += 1
-        self.busy_cycles += timings.tBL
+        self.stats.write_bursts += 1
+        self.stats.busy_cycles += timings.tBL
         return burst_end
 
     def tick(self, cycle: int) -> None:
@@ -83,8 +115,50 @@ class Channel:
         for rank in self.ranks:
             rank.tick(cycle)
 
+    # -- event horizon (cycle-skipping kernel) -----------------------------
+    def bus_deadlines(self, now: int, timings) -> list[int]:
+        """Command-cycle deadlines after ``now`` at which a blocked burst
+        can clear one of the bus constraints.
+
+        A column command issued at cycle ``c`` reaches the bus ``tCL`` (or
+        ``tCWL``) cycles later, so the first command cycle clearing a bus
+        constraint is that constraint's bus deadline minus the command
+        type's CAS latency.  Reads and writes see different latencies, so
+        both exact deadlines are listed per constraint — a merged bound
+        would be either unsound (too late for one type) or could fall
+        into the past and be filtered while the other type's true flip is
+        still ahead.  Single source of truth for this arithmetic: the
+        scheduler's demand horizon uses it too.
+        """
+        return [
+            deadline
+            for deadline in (
+                self.bus_busy_until - timings.tCL,
+                self.bus_busy_until - timings.tCWL,
+                self.last_write_burst_end + timings.tWTR - timings.tCL,
+                self.last_read_burst_end + timings.tRTW - timings.tCWL,
+            )
+            if deadline > now
+        ]
+
+    def next_event_cycle(self, now: int, timings, tfaw_of_rank=None) -> "int | None":
+        """Earliest cycle after ``now`` at which channel state can change:
+        the bus deadlines plus every rank's timing windows.
+
+        ``tfaw_of_rank`` maps a rank to the tFAW window *currently in
+        force* (the device passes the SARP-inflated value while the rank
+        refreshes); it defaults to the base timing.
+        """
+        candidates = self.bus_deadlines(now, timings)
+        for rank in self.ranks:
+            tfaw = timings.tFAW if tfaw_of_rank is None else tfaw_of_rank(rank)
+            rank_event = rank.next_event_cycle(now, tfaw)
+            if rank_event is not None:
+                candidates.append(rank_event)
+        return min(candidates) if candidates else None
+
     def utilization(self, elapsed_cycles: int) -> float:
         """Fraction of cycles the data bus carried a burst."""
         if elapsed_cycles <= 0:
             return 0.0
-        return self.busy_cycles / elapsed_cycles
+        return self.stats.busy_cycles / elapsed_cycles

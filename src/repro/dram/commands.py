@@ -8,7 +8,13 @@ from typing import Optional
 
 
 class CommandType(enum.Enum):
-    """DRAM commands the memory controller can place on the command bus."""
+    """DRAM commands the memory controller can place on the command bus.
+
+    The classification flags (``is_column``, ``is_read``, ...) are plain
+    attributes precomputed once below rather than properties: they sit on
+    the innermost scheduling loops, where a property call plus set
+    membership per query is measurable.
+    """
 
     ACT = "activate"
     RD = "read"
@@ -19,34 +25,18 @@ class CommandType(enum.Enum):
     REFAB = "refresh_all_bank"
     REFPB = "refresh_per_bank"
 
-    @property
-    def is_column(self) -> bool:
-        """True for column (data-transferring) commands."""
-        return self in {
-            CommandType.RD,
-            CommandType.WR,
-            CommandType.RDA,
-            CommandType.WRA,
-        }
 
-    @property
-    def is_read(self) -> bool:
-        return self in {CommandType.RD, CommandType.RDA}
-
-    @property
-    def is_write(self) -> bool:
-        return self in {CommandType.WR, CommandType.WRA}
-
-    @property
-    def is_refresh(self) -> bool:
-        return self in {CommandType.REFAB, CommandType.REFPB}
-
-    @property
-    def autoprecharges(self) -> bool:
-        return self in {CommandType.RDA, CommandType.WRA}
+for _member in CommandType:
+    #: True for column (data-transferring) commands.
+    _member.is_column = _member.name in ("RD", "WR", "RDA", "WRA")
+    _member.is_read = _member.name in ("RD", "RDA")
+    _member.is_write = _member.name in ("WR", "WRA")
+    _member.is_refresh = _member.name in ("REFAB", "REFPB")
+    _member.autoprecharges = _member.name in ("RDA", "WRA")
+del _member
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """A single DRAM command targeting a location in the hierarchy.
 

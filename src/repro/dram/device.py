@@ -110,6 +110,41 @@ class DRAMDevice:
         for channel in self.channels:
             channel.tick(cycle)
 
+    # -- event horizon (cycle-skipping kernel) --------------------------------
+    def next_event_cycle_for_channel(self, index: int, now: int) -> "int | None":
+        """Earliest cycle after ``now`` at which one channel's timing state
+        can change.
+
+        Passes each rank the tFAW window *currently in force* — the
+        SARP-inflated value while the rank refreshes — because a deadline
+        computed from the base window can already lie in the past while
+        the inflated window's expiry (the cycle an ACTIVATE actually
+        becomes legal) is still ahead.
+        """
+        channel = self.channels[index]
+        return channel.next_event_cycle(
+            now,
+            self.timings,
+            tfaw_of_rank=lambda rank: self._effective_tfaw_trrd(rank, now)[0],
+        )
+
+    def next_event_cycle(self, now: int) -> "int | None":
+        """Earliest cycle after ``now`` at which any timing window expires.
+
+        With the demand queues frozen (no command issued, no request
+        enqueued or retired), every ``can_issue`` outcome is a monotone
+        function of the cycle number that can only flip when one of the
+        bank/rank/channel scoreboard deadlines passes.  The minimum over
+        those deadlines therefore bounds how far the event kernel may
+        advance in one jump without missing a state change.
+        """
+        candidates = []
+        for index in range(len(self.channels)):
+            channel_event = self.next_event_cycle_for_channel(index, now)
+            if channel_event is not None:
+                candidates.append(channel_event)
+        return min(candidates) if candidates else None
+
     # -- effective activation-rate limits ------------------------------------
     def _effective_tfaw_trrd(self, rank: Rank, cycle: int) -> tuple[int, int]:
         """tFAW/tRRD in force, inflated under SARP while a refresh runs."""
@@ -249,11 +284,16 @@ class DRAMDevice:
         raise ValueError(f"unknown command type {kind!r}")
 
     # -- SARP helpers ------------------------------------------------------------
-    def record_subarray_conflict(self, command: Command) -> None:
-        """Record that a demand access was blocked by a refreshing subarray."""
+    def record_subarray_conflict(self, command: Command, count: int = 1) -> None:
+        """Record that a demand access was blocked by a refreshing subarray.
+
+        ``count`` lets the event kernel account a whole span of skipped
+        cycles at once: a conflict that held during an idle cycle holds
+        identically for every cycle of the skipped span.
+        """
         bank = self.bank(command.channel, command.rank, command.bank)
-        bank.record_subarray_conflict(command.row)
-        self.stats.subarray_conflicts += 1
+        bank.record_subarray_conflict(command.row, count)
+        self.stats.subarray_conflicts += count
 
     # -- verification helpers ------------------------------------------------------
     def refresh_counts_per_bank(self) -> dict[tuple[int, int, int], int]:

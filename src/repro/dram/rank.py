@@ -87,6 +87,33 @@ class Rank:
         for bank in self.banks:
             bank.end_refresh_if_done(cycle)
 
+    # -- event horizon (cycle-skipping kernel) -----------------------------
+    def next_event_cycle(self, now: int, tfaw: int) -> "int | None":
+        """Earliest cycle after ``now`` at which rank-level state can change.
+
+        Covers the rank's own timing windows (tRRD spacing, the tFAW
+        rolling window, refresh completions) and every bank's scoreboard.
+        ``tfaw`` must be the window *currently in force* — under SARP the
+        device passes the inflated value while the rank refreshes, and the
+        refresh-completion candidates below cover the reversion to the
+        base value.  (``next_act`` needs no such care: it was recorded as
+        an absolute cycle using the tRRD in force at issue time.)
+        """
+        candidates = [
+            deadline
+            for deadline in (self.next_act, self.refab_until, self.pb_refresh_until)
+            if deadline > now
+        ]
+        if len(self.act_history) == self.act_history.maxlen:
+            deadline = self.act_history[0] + tfaw
+            if deadline > now:
+                candidates.append(deadline)
+        for bank in self.banks:
+            bank_event = bank.next_event_cycle(now)
+            if bank_event is not None:
+                candidates.append(bank_event)
+        return min(candidates) if candidates else None
+
     # -- convenience ------------------------------------------------------
     def all_banks_precharged(self, cycle: int) -> bool:
         """True when every bank is precharged and able to accept a refresh."""

@@ -32,8 +32,8 @@ class Subarray:
     def record_activation(self) -> None:
         self.activations += 1
 
-    def record_conflict(self) -> None:
-        self.refresh_conflicts += 1
+    def record_conflict(self, count: int = 1) -> None:
+        self.refresh_conflicts += count
 
 
 def build_subarrays(subarrays_per_bank: int, rows_per_bank: int) -> list[Subarray]:

@@ -69,6 +69,13 @@ class ExperimentRunner:
     progress:
         Optional callback receiving one
         :class:`~repro.engine.progress.JobEvent` per resolved job.
+    kernel:
+        Optional execution-kernel override (``"event"`` or ``"cycle"``)
+        applied to every configuration this runner simulates.  The two
+        kernels produce bit-identical results (enforced by the
+        differential suite in ``tests/test_kernel_equivalence.py``), so
+        the kernel is not part of the result fingerprint and cached
+        results are shared across kernels.
     """
 
     def __init__(
@@ -79,6 +86,7 @@ class ExperimentRunner:
         executor: Optional[JobExecutor] = None,
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
+        kernel: Optional[str] = None,
     ):
         self.cycles = cycles if cycles is not None else default_cycles()
         self.warmup = warmup if warmup is not None else default_warmup()
@@ -86,12 +94,19 @@ class ExperimentRunner:
         self.executor = executor if executor is not None else SerialExecutor()
         self.store = store
         self.progress = progress
+        if kernel is not None and kernel not in SystemConfig.KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {SystemConfig.KERNELS}"
+            )
+        self.kernel = kernel
         self.memory_hits = 0
         self._simulation_cache: dict[tuple, SimulationResult] = {}
         self._alone_ipc_cache: dict[tuple, float] = {}
 
     # -- job planning ------------------------------------------------------------
     def _job(self, config: SystemConfig, workload: Workload) -> SimulationJob:
+        if self.kernel is not None and config.kernel != self.kernel:
+            config = config.with_kernel(self.kernel)
         return SimulationJob(
             config=config,
             workload=workload,

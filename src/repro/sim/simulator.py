@@ -15,7 +15,7 @@ from repro.cache.llc import LastLevelCache
 from repro.config.system import SystemConfig
 from repro.controller.memory_controller import MemorySystem
 from repro.core.base import RefreshStats
-from repro.cpu.core_model import Core
+from repro.cpu.core_model import CORE_ACTIVE, CORE_GAP, Core
 from repro.dram.device import DeviceStats
 from repro.controller.memory_controller import ControllerStats
 from repro.power.dram_power import DRAMPowerModel
@@ -58,6 +58,13 @@ class Simulator:
                 )
             )
         self._current_cycle = 0
+        #: Event-kernel core-sleep records, one per core:
+        #: ``None`` (awake) or ``(kind, channel, counter, first_unaccounted)``
+        #: where ``kind`` is "completion"/"read_queue"/"write_queue",
+        #: ``counter`` snapshots the matching retirement counter at sleep
+        #: time, and ``first_unaccounted`` is the first cycle whose stall
+        #: has not yet been added to the core's statistics.
+        self._core_sleep: list = [None] * len(self.cores)
 
     def _functional_warmup(
         self,
@@ -91,25 +98,155 @@ class Simulator:
     # -- execution -------------------------------------------------------------
     def step(self) -> None:
         """Advance the whole system by one DRAM cycle."""
-        cycle = self._current_cycle
+        self._tick(self._current_cycle)
+        self._current_cycle += 1
+
+    def _tick(self, cycle: int) -> bool:
+        """Advance every component one DRAM cycle; True if anything happened.
+
+        "Anything happened" means an observable state change: a read's
+        data arrived, a controller issued a DRAM command, or a core made
+        progress (retired instructions, fetched a trace entry, or drained
+        a writeback).  When it returns False the whole system is provably
+        frozen until the next timing event, which is what licenses the
+        event kernel to skip ahead.
+        """
         completed = self.memory.tick(cycle)
         for request in completed:
             self.cores[request.core_id].complete_load(request)
+        activity = bool(completed) or self.memory.last_tick_issued
         for core in self.cores:
-            core.tick(cycle)
-        self._current_cycle += 1
+            if core.tick(cycle):
+                activity = True
+        return activity
+
+    def _wake_core(self, core_id: int, cycle: int) -> None:
+        """End a core's sleep, charging the stalls the slept span accrued."""
+        record = self._core_sleep[core_id]
+        if record is None:
+            return
+        self._core_sleep[core_id] = None
+        self.cores[core_id].skip_stalled_cycles(cycle - record[3])
+
+    def _flush_core_sleep(self) -> None:
+        """Materialize lazily accumulated stall cycles of sleeping cores.
+
+        Called at measurement boundaries (warmup reset, end of run) so
+        the statistics match the legacy kernel's exactly; the cores stay
+        asleep, accounting restarting at the current cycle.
+        """
+        cycle = self._current_cycle
+        for core_id, record in enumerate(self._core_sleep):
+            if record is not None:
+                self.cores[core_id].skip_stalled_cycles(cycle - record[3])
+                self._core_sleep[core_id] = record[:3] + (cycle,)
+
+    def _step_event(self, limit: int) -> None:
+        """One event-kernel step: tick what can act, sleep what provably can't.
+
+        Three levels of cycle-skipping compose here, each licensed by a
+        frozen-state argument and each replaying exactly the per-cycle
+        side effects the legacy loop would have produced:
+
+        * controllers micro-sleep between their own timing events while
+          their queues are untouched (inside
+          :meth:`~repro.controller.memory_controller.ChannelController.tick_event`);
+        * a core whose tick changed nothing sleeps until its recorded
+          wake-up — a data arrival for its own loads, or space in the one
+          queue that rejected it — accruing stall cycles lazily;
+        * when additionally no command issued and every awake core is in
+          pure gap retirement, the whole system jumps to the earliest
+          event (clamped to ``limit`` so measurement windows end exactly
+          where the legacy kernel's do).
+        """
+        cycle = self._current_cycle
+        memory = self.memory
+        sleep = self._core_sleep
+        cores = self.cores
+        completed = memory.tick_event(cycle)
+        if completed:
+            for request in completed:
+                core_id = request.core_id
+                if sleep[core_id] is not None:
+                    self._wake_core(core_id, cycle)
+                cores[core_id].complete_load(request)
+        controllers = memory.controllers
+        active = bool(completed) or memory.last_tick_issued
+        gap_cores = None
+        for core_id, core in enumerate(cores):
+            record = sleep[core_id]
+            if record is not None:
+                kind = record[0]
+                if kind == "completion":
+                    continue
+                controller = controllers[record[1]]
+                counter = (
+                    controller.read_retires
+                    if kind == "read_queue"
+                    else controller.write_retires
+                )
+                if counter == record[2]:
+                    continue
+                self._wake_core(core_id, cycle)
+            status = core.tick(cycle)
+            if status == CORE_ACTIVE:
+                active = True
+            elif status == CORE_GAP:
+                if gap_cores is None:
+                    gap_cores = [core]
+                else:
+                    gap_cores.append(core)
+            else:
+                reason = core.block_reason
+                if reason[0] == "completion":
+                    sleep[core_id] = ("completion", -1, -1, cycle + 1)
+                else:
+                    controller = controllers[reason[1]]
+                    counter = (
+                        controller.read_retires
+                        if reason[0] == "read_queue"
+                        else controller.write_retires
+                    )
+                    sleep[core_id] = (reason[0], reason[1], counter, cycle + 1)
+        self._current_cycle = cycle + 1
+        if active:
+            return
+        next_event = memory.next_skip_event(cycle)
+        target = limit if next_event is None else min(next_event, limit)
+        if gap_cores is not None:
+            for core in gap_cores:
+                horizon = cycle + 1 + core.pure_gap_ticks()
+                if horizon < target:
+                    target = horizon
+        skipped = target - cycle - 1
+        if skipped <= 0:
+            return
+        memory.skip_idle_cycles(skipped)
+        if gap_cores is not None:
+            for core in gap_cores:
+                core.skip_gap_cycles(skipped)
+        self._current_cycle = target
+
+    def _advance_to(self, limit: int) -> None:
+        """Advance the system to ``limit`` using the configured kernel."""
+        if self.config.kernel == "event":
+            while self._current_cycle < limit:
+                self._step_event(limit)
+        else:
+            while self._current_cycle < limit:
+                self.step()
 
     def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
         """Run ``warmup`` + ``cycles`` DRAM cycles and report the measured window."""
         if cycles <= 0:
             raise ValueError("cycles must be positive")
-        for _ in range(warmup):
-            self.step()
+        self._advance_to(self._current_cycle + warmup)
         if warmup:
+            self._flush_core_sleep()
             self._reset_measurement_state()
         start_cycle = self._current_cycle
-        for _ in range(cycles):
-            self.step()
+        self._advance_to(start_cycle + cycles)
+        self._flush_core_sleep()
         elapsed = self._current_cycle - start_cycle
         return self._build_result(elapsed, warmup)
 
@@ -123,9 +260,7 @@ class Simulator:
             controller.stats = ControllerStats()
             controller.refresh_policy.stats = RefreshStats()
         for channel in self.memory.device.channels:
-            channel.read_bursts = 0
-            channel.write_bursts = 0
-            channel.busy_cycles = 0
+            channel.stats.reset()
 
     def _build_result(self, elapsed: int, warmup: int) -> SimulationResult:
         core_results = []

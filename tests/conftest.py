@@ -15,6 +15,24 @@ from repro.workloads.benchmark_suite import get_benchmark
 from repro.workloads.mixes import make_workload
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the checked-in golden JSON fixtures under tests/golden/ "
+            "with freshly computed values instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 def small_system(mechanism: str = "refab", density_gb: int = 32, **kwargs):
     """A 2-core version of the paper's system for quick end-to-end tests."""
     return paper_system(
