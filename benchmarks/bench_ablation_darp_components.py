@@ -3,30 +3,14 @@
 The paper attributes DARP's gain to both of its components: out-of-order
 per-bank refresh alone improves over REFab, and adding write-refresh
 parallelization (full DARP) adds further benefit on top.
+
+Thin shim over the ``ablation_darp_components`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.tables import format_table
-from repro.sim.experiments import darp_component_breakdown
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_darp_component_breakdown(benchmark, record_result):
-    result = run_once(benchmark, darp_component_breakdown)
-    rows = [
-        [f"{density}Gb", f"{entry['out_of_order_only']:+.1f}", f"{entry['darp']:+.1f}"]
-        for density, entry in sorted(result.items())
-    ]
-    text = format_table(
-        ["Density", "Out-of-order only (% over REFab)", "Full DARP (% over REFab)"],
-        rows,
-        title="Section 6.1.2: DARP component breakdown",
-    )
-    record_result("ablation_darp_components", text)
-
-    for density, entry in result.items():
-        # Out-of-order refresh alone already improves over REFab.
-        assert entry["out_of_order_only"] > 0
-        # Full DARP is at least comparable to its out-of-order component
-        # (write-refresh parallelization should not hurt).
-        assert entry["darp"] >= entry["out_of_order_only"] - 1.5
+    run_registered(benchmark, record_result, "ablation_darp_components")

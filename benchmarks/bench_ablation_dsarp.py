@@ -3,28 +3,14 @@
 The paper observes that combining DARP with SARPpb (DSARP) yields additive
 benefit: DSARP performs at least as well as the better of its two
 components, with the gap widening at high density.
+
+Thin shim over the ``ablation_dsarp_additivity`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.tables import format_table
-from repro.sim.experiments import dsarp_additivity
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_dsarp_additivity(benchmark, record_result):
-    result = run_once(benchmark, dsarp_additivity)
-    rows = [[name, f"{value:+.2f}"] for name, value in result.items()]
-    text = format_table(
-        ["Mechanism", "WS improvement over REFab (%)"],
-        rows,
-        title="DSARP additivity ablation (32 Gb)",
-    )
-    record_result("ablation_dsarp_additivity", text)
-
-    # Every component improves over REFab at 32 Gb.
-    assert result["darp"] > 0
-    assert result["sarppb"] > 0
-    # The combination is at least as good as DARP alone (within noise) and
-    # improves on REFab by more than either component degrades.
-    assert result["dsarp"] >= result["darp"] - 1.0
-    assert result["dsarp"] > 0
+    run_registered(benchmark, record_result, "ablation_dsarp_additivity")

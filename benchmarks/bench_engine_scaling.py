@@ -1,50 +1,18 @@
 """Engine scaling: a figure12-style sweep at 1 versus N worker processes.
 
-Runs the same workload sweep twice — once through the serial executor and
-once fanned out over all available cores — with fresh runners and no
+Runs the same workload sweep twice -- once through the serial executor and
+once fanned out over all available cores -- with fresh runners and no
 shared store, so the wall-clock ratio measures pure engine scaling.  The
-speedup is recorded in ``results/engine_scaling.txt`` and the two runs'
-results are asserted identical, which is the engine's core guarantee.
+two runs' results are asserted identical, which is the engine's core
+guarantee.
+
+Thin shim over the ``engine_scaling`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from __future__ import annotations
-
-import os
-from time import perf_counter
-
-from repro.engine.executor import ParallelExecutor, SerialExecutor
-from repro.sim.experiments import ExperimentScale, figure12_workload_sweep
-from repro.sim.runner import ExperimentRunner
-
-SCALE = ExperimentScale(workloads_per_category=1, densities=(32,))
+from conftest import run_registered
 
 
-def _sweep(executor) -> tuple[dict, float]:
-    runner = ExperimentRunner(executor=executor)
-    start = perf_counter()
-    result = figure12_workload_sweep(runner=runner, scale=SCALE)
-    return result, perf_counter() - start
-
-
-def test_engine_scaling(record_result):
-    workers = os.cpu_count() or 1
-    serial_result, serial_s = _sweep(SerialExecutor())
-    parallel_result, parallel_s = _sweep(ParallelExecutor(workers=workers))
-
-    # Parallel fan-out must not change any result.
-    assert parallel_result == serial_result
-
-    speedup = serial_s / parallel_s
-    lines = [
-        "Engine scaling (figure12-style sweep, 1 density x 5 workloads)",
-        f"  serial   (1 worker):   {serial_s:8.2f} s",
-        f"  parallel ({workers} workers):  {parallel_s:8.2f} s",
-        f"  speedup:               {speedup:8.2f} x",
-    ]
-    record_result("engine_scaling", "\n".join(lines))
-
-    if workers > 1:
-        # The sweep is embarrassingly parallel; anything below parity means
-        # the fan-out machinery itself is broken (pickling storms, workers
-        # running serially, ...).  Leave headroom for loaded CI machines.
-        assert speedup > 0.9
+def test_engine_scaling(benchmark, record_result):
+    run_registered(benchmark, record_result, "engine_scaling")

@@ -1,19 +1,12 @@
-"""Figure 5: refresh latency (tRFCab) scaling trend versus DRAM density."""
+"""Figure 5: refresh latency (tRFCab) scaling trend versus DRAM density.
 
-from repro.analysis.figures import format_figure5
-from repro.sim.experiments import figure5_refresh_latency_trend
+Thin shim over the ``figure05_trfc_trend`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
+"""
 
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_figure5_refresh_latency_trend(benchmark, record_result):
-    points = run_once(benchmark, figure5_refresh_latency_trend)
-    record_result("figure05_trfc_trend", format_figure5(points))
-
-    by_density = {p.density_gb: p for p in points}
-    # The paper's Projection 2 values: 530 ns (16 Gb), 890 ns (32 Gb), 1.6 us (64 Gb).
-    assert round(by_density[16].projection2_ns) == 530
-    assert round(by_density[32].projection2_ns) == 890
-    assert round(by_density[64].projection2_ns) == 1610
-    # Projection 1 is the more pessimistic extrapolation.
-    assert by_density[64].projection1_ns > by_density[64].projection2_ns
+    run_registered(benchmark, record_result, "figure05_trfc_trend")

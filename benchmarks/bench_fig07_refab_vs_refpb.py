@@ -2,21 +2,14 @@
 
 The paper shows per-bank refresh recovering part of all-bank refresh's loss
 at every density, while still leaving a significant gap at 32 Gb.
+
+Thin shim over the ``figure07_refab_vs_refpb`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.figures import format_figure7
-from repro.sim.experiments import figure7_refab_vs_refpb_loss
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_figure7_refab_vs_refpb_loss(benchmark, record_result):
-    result = run_once(benchmark, figure7_refab_vs_refpb_loss)
-    record_result("figure07_refab_vs_refpb", format_figure7(result))
-
-    for density, losses in result.items():
-        # Per-bank refresh always loses less than all-bank refresh.
-        assert losses["refpb"] < losses["refab"]
-    # Both penalties grow with density.
-    assert result[32]["refab"] > result[8]["refab"]
-    assert result[32]["refpb"] >= result[8]["refpb"]
+    run_registered(benchmark, record_result, "figure07_refab_vs_refpb")

@@ -2,28 +2,14 @@
 
 The paper plots, for every workload and density, the weighted speedup of
 REFpb, DARP, SARPpb and DSARP normalized to all-bank refresh.
+
+Thin shim over the ``figure12_workload_sweep`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.figures import format_figure12
-from repro.metrics.speedup import geometric_mean
-from repro.sim.experiments import figure12_workload_sweep
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_figure12_workload_sweep(benchmark, record_result):
-    sweep = run_once(benchmark, figure12_workload_sweep)
-    record_result("figure12_workload_sweep", format_figure12(sweep))
-
-    for density, per_workload in sweep.items():
-        dsarp = geometric_mean([norms["dsarp"] for norms in per_workload.values()])
-        refpb = geometric_mean([norms["refpb"] for norms in per_workload.values()])
-        # DSARP improves over REFab on average, and beats REFpb on average.
-        assert dsarp > 1.0
-        assert dsarp >= refpb
-    # The benefit of DSARP over REFab grows with density (the paper's headline trend).
-    dsarp_by_density = {
-        density: geometric_mean([n["dsarp"] for n in per_workload.values()])
-        for density, per_workload in sweep.items()
-    }
-    assert dsarp_by_density[32] > dsarp_by_density[8]
+    run_registered(benchmark, record_result, "figure12_workload_sweep")

@@ -3,25 +3,14 @@
 The paper reports DSARP reducing energy per access versus REFab by
 3.0 % / 5.2 % / 9.0 % at 8 / 16 / 32 Gb, mostly by amortizing background
 energy over a shorter execution.
+
+Thin shim over the ``figure14_energy`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.figures import format_figure14
-from repro.sim.experiments import figure14_energy_per_access
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_figure14_energy_per_access(benchmark, record_result):
-    result = run_once(benchmark, figure14_energy_per_access)
-    record_result("figure14_energy", format_figure14(result))
-
-    for density, energies in result.items():
-        # Refresh costs energy: the ideal no-refresh system is cheapest.
-        assert energies["none"] <= energies["refab"]
-        # DSARP reduces energy per access relative to all-bank refresh.
-        assert energies["dsarp"] < energies["refab"]
-    # The energy penalty of REFab grows with density, so DSARP's relative
-    # saving grows too (paper: 3.0 % -> 9.0 %).
-    saving_8 = 1 - result[8]["dsarp"] / result[8]["refab"]
-    saving_32 = 1 - result[32]["dsarp"] / result[32]["refab"]
-    assert saving_32 > saving_8
+    run_registered(benchmark, record_result, "figure14_energy")

@@ -2,20 +2,14 @@
 
 The paper shows DSARP's gain over REFab growing with the fraction of
 memory-intensive benchmarks in the workload, at every density.
+
+Thin shim over the ``figure15_memory_intensity`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.figures import format_figure15
-from repro.sim.experiments import figure15_memory_intensity
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_figure15_memory_intensity(benchmark, record_result):
-    result = run_once(benchmark, figure15_memory_intensity)
-    record_result("figure15_memory_intensity", format_figure15(result))
-
-    # DSARP's gain over REFab for memory-intensive workloads exceeds the
-    # gain for non-intensive workloads at the highest density.
-    assert result[100][32]["vs_refab"] > result[0][32]["vs_refab"]
-    # And the intensive-workload gain grows with density.
-    assert result[100][32]["vs_refab"] > result[100][8]["vs_refab"]
+    run_registered(benchmark, record_result, "figure15_memory_intensity")

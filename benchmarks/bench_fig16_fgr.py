@@ -4,24 +4,14 @@ The paper shows FGR 2x/4x *degrading* performance relative to REFab
 (because tRFC does not scale down with the increased refresh rate), the
 adaptive-refresh policy staying within ~1 % of REFab, and DSARP clearly
 outperforming all of them.
+
+Thin shim over the ``figure16_fgr`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.figures import format_figure16
-from repro.sim.experiments import figure16_fgr_comparison
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_figure16_fgr_comparison(benchmark, record_result):
-    result = run_once(benchmark, figure16_fgr_comparison)
-    record_result("figure16_fgr", format_figure16(result))
-
-    for density, normalized in result.items():
-        # Fine-granularity refresh at 4x rate is worse than plain REFab.
-        assert normalized["fgr4x"] < 1.0
-        # 4x is worse than 2x (its aggregate refresh overhead is larger).
-        assert normalized["fgr4x"] <= normalized["fgr2x"] + 0.02
-        # DSARP beats REFab, FGR and AR.
-        assert normalized["dsarp"] > 1.0
-        assert normalized["dsarp"] > normalized["fgr2x"]
-        assert normalized["dsarp"] > normalized["ar"]
+    run_registered(benchmark, record_result, "figure16_fgr")

@@ -1,124 +1,20 @@
 """Cycle-kernel versus event-kernel wall time on the Table 2 configuration.
 
-Measures the same simulations under both execution kernels — asserting
-bit-identical results while timing them — on the paper's Table 1/Table 2
-system (8-core parameters, 32 Gb DDR3, REFab/DSARP mechanisms) at the
-default measured window:
+Measures the same simulations under both execution kernels -- asserting
+bit-identical results while timing them -- on the paper's Table 1/Table 2
+system (8-core parameters, 32 Gb DDR3, REFab/DSARP mechanisms).  The
+headline number is the fully dependent pointer-chase cell, which the
+acceptance gate requires to be at least 3x at the full measured window
+(the gate is skipped under a reduced ``REPRO_CYCLES`` window, where the
+skippable idle stretches shrink to startup noise).
 
-* the latency-bound *alone* runs Table 2's weighted-speedup normalization
-  performs (one core chasing pointers is where refresh latency hurts most,
-  and where the event kernel's cycle skipping shines: the core sleeps on
-  its outstanding load, the controller sleeps between timing events, and
-  the kernel jumps straight across the wait);
-* the 8-core memory-intensive mix cells, where queues mutate nearly every
-  cycle and the skip machinery must at least pay for itself.
-
-The headline number is the fully dependent pointer-chase cell — the purest
-latency-bound workload the Table 2 system can run — which the acceptance
-gate requires to be at least 3x; every row is recorded in
-``results/kernel_speedup.txt``.
+Thin shim over the ``kernel_speedup`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from __future__ import annotations
-
-from time import perf_counter
-
-from repro.config.presets import paper_system
-from repro.sim.runner import DEFAULT_CYCLES, DEFAULT_WARMUP
-from repro.sim.simulator import Simulator
-from repro.workloads.benchmark_suite import MB, Benchmark, get_benchmark
-from repro.workloads.mixes import make_workload, make_workload_category
-
-DENSITY_GB = 32
-
-#: The most latency-sensitive intensive benchmarks (high dependent-load
-#: fractions): the alone-run leg of the Table 2 pipeline.
-ALONE_BENCHMARKS = ("mcf_like", "random_access", "tpcc_like")
-
-#: A fully dependent pointer chase: every load waits for the previous one,
-#: so the window is dominated by exactly the stalls the paper studies —
-#: cores waiting out DRAM latency (and, at 32 Gb, tRFC-long refreshes)
-#: while no command can legally issue.  This is the headline cell: the
-#: purest latency-bound workload the Table 2 system can run.
-POINTER_CHASE = Benchmark(
-    "pointer_chase",
-    "random",
-    256 * MB,
-    memory_fraction=0.02,
-    write_fraction=0.20,
-    intensive=True,
-    dependent_fraction=1.0,
-)
+from conftest import run_registered
 
 
-def _timed_pair(config, workload) -> tuple[float, float]:
-    """Run (config, workload) under both kernels; returns their wall times.
-
-    Results must be bit-identical — this benchmark doubles as an
-    end-to-end differential check at full window length.
-    """
-    times = {}
-    results = {}
-    for kernel in ("cycle", "event"):
-        simulator = Simulator(config.with_kernel(kernel), workload)
-        start = perf_counter()
-        results[kernel] = simulator.run(DEFAULT_CYCLES, warmup=DEFAULT_WARMUP)
-        times[kernel] = perf_counter() - start
-    assert results["event"].to_dict() == results["cycle"].to_dict()
-    return times["cycle"], times["event"]
-
-
-def test_kernel_speedup(record_result):
-    lines = [
-        f"Event-kernel speedup on the Table 2 configuration "
-        f"({DENSITY_GB} Gb, {DEFAULT_CYCLES} + {DEFAULT_WARMUP} warmup cycles; "
-        f"results verified bit-identical per cell)",
-    ]
-
-    # -- headline: latency-bound pointer chase ------------------------------
-    config = paper_system(density_gb=DENSITY_GB, mechanism="refab", num_cores=1)
-    workload = make_workload([POINTER_CHASE], name="alone_pointer_chase", seed=0)
-    cycle_s, event_s = _timed_pair(config, workload)
-    headline = cycle_s / event_s
-    lines.append(
-        f"  pointer chase (headline) refab: cycle {cycle_s:6.2f} s -> "
-        f"event {event_s:6.2f} s  ({headline:4.2f}x)"
-    )
-
-    # -- latency-bound alone runs (Table 2's normalization leg) ------------
-    alone_cycle = alone_event = 0.0
-    for name in ALONE_BENCHMARKS:
-        config = paper_system(density_gb=DENSITY_GB, mechanism="refab", num_cores=1)
-        workload = make_workload([get_benchmark(name)], name=f"alone_{name}", seed=0)
-        cycle_s, event_s = _timed_pair(config, workload)
-        alone_cycle += cycle_s
-        alone_event += event_s
-        lines.append(
-            f"  alone {name:14s} refab: cycle {cycle_s:6.2f} s -> "
-            f"event {event_s:6.2f} s  ({cycle_s / event_s:4.2f}x)"
-        )
-    alone_speedup = alone_cycle / alone_event
-    lines.append(
-        f"  alone leg total:            cycle {alone_cycle:6.2f} s -> "
-        f"event {alone_event:6.2f} s  ({alone_speedup:4.2f}x)"
-    )
-
-    # -- 8-core intensive mix cells (context rows) --------------------------
-    for mechanism in ("refab", "dsarp"):
-        config = paper_system(
-            density_gb=DENSITY_GB, mechanism=mechanism, num_cores=8
-        )
-        workload = make_workload_category(100, index=0, num_cores=8)
-        cycle_s, event_s = _timed_pair(config, workload)
-        lines.append(
-            f"  8-core intensive {mechanism:6s}: cycle {cycle_s:6.2f} s -> "
-            f"event {event_s:6.2f} s  ({cycle_s / event_s:4.2f}x)"
-        )
-
-    lines.append(f"  headline (pointer chase, latency-bound): {headline:4.2f}x")
-    record_result("kernel_speedup", "\n".join(lines))
-
-    # Acceptance gate: the event kernel must be at least 3x faster on the
-    # latency-bound Table 2 cell (and never lose on the saturated ones by
-    # more than the skip machinery's bookkeeping margin).
-    assert headline >= 3.0, f"expected >= 3x on the latency-bound cell, got {headline:.2f}x"
+def test_kernel_speedup(benchmark, record_result):
+    run_registered(benchmark, record_result, "kernel_speedup")

@@ -1,62 +1,19 @@
 """Sweep caching: cold versus warm-store wall time for a design-space sweep.
 
 Runs the example two-axis sweep (tFAW x subarrays-per-bank, SARPpb vs
-REFpb) twice against the same JSONL store — once cold (every simulation
-performed) and once warm (every result recalled from the store) — with
+REFpb) twice against the same JSONL store -- once cold (every simulation
+performed) and once warm (every result recalled from the store) -- with
 fresh runners each time, so the wall-clock ratio measures what the
 persistent store buys a re-sweep.  The warm run must perform **zero**
-simulations and reproduce identical cells; the measured times are
-recorded in ``results/sweep_cache.txt``.
+simulations and reproduce identical cells.
+
+Thin shim over the ``sweep_cache`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from __future__ import annotations
-
-from time import perf_counter
-
-from repro.engine.store import JsonlStore
-from repro.sim.runner import ExperimentRunner
-from repro.sweep import Axis, SweepSpec, WorkloadSpec, run_sweep
-
-SPEC = SweepSpec(
-    name="bench_sweep_cache",
-    description="tFAW x subarrays-per-bank grid for the cache benchmark",
-    axes=(Axis("tfaw", (10, 20, 30)), Axis("subarrays_per_bank", (4, 8))),
-    mechanisms=("refpb", "sarppb"),
-    baseline="refpb",
-    base={"density_gb": 32},
-    workloads=WorkloadSpec(kind="intensive", count=2, num_cores=4),
-)
+from conftest import run_registered
 
 
-def _sweep(store_path) -> tuple[list[dict], dict, float]:
-    runner = ExperimentRunner(store=JsonlStore(store_path))
-    start = perf_counter()
-    result = run_sweep(SPEC, runner=runner)
-    elapsed = perf_counter() - start
-    return [cell.to_dict() for cell in result.cells], runner.summary(), elapsed
-
-
-def test_sweep_cache(record_result, tmp_path):
-    store_path = tmp_path / "sweep_cache.jsonl"
-    cold_cells, cold_summary, cold_s = _sweep(store_path)
-    warm_cells, warm_summary, warm_s = _sweep(store_path)
-
-    # The warm re-sweep must be pure store hits with identical results.
-    assert cold_summary["simulated"] > 0
-    assert warm_summary["simulated"] == 0
-    assert warm_cells == cold_cells
-
-    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
-    lines = [
-        "Sweep store caching (6 points x 2 workloads x 2 mechanisms)",
-        f"  cold (all simulated):     {cold_s:8.2f} s "
-        f"({cold_summary['simulated']} simulations)",
-        f"  warm (all store hits):    {warm_s:8.2f} s "
-        f"({warm_summary['store_hits']} store hits)",
-        f"  re-sweep speedup:         {speedup:8.1f} x",
-    ]
-    record_result("sweep_cache", "\n".join(lines))
-
-    # A warm re-sweep that is not dramatically faster than the cold run
-    # means store resolution is broken somewhere.
-    assert warm_s < cold_s
+def test_sweep_cache(benchmark, record_result):
+    run_registered(benchmark, record_result, "sweep_cache")

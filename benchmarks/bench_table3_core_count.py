@@ -3,21 +3,14 @@
 The paper reports weighted-speedup, harmonic-speedup, fairness and energy
 improvements of DSARP over REFab that grow with core count (16 % / 20 % /
 27 % WS improvement for 2 / 4 / 8 cores at 32 Gb).
+
+Thin shim over the ``table3_core_count`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.tables import format_table3
-from repro.sim.experiments import table3_core_count
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_table3_core_count(benchmark, record_result):
-    result = run_once(benchmark, table3_core_count)
-    record_result("table3_core_count", format_table3(result))
-
-    for cores, entry in result.items():
-        # DSARP never degrades weighted speedup relative to REFab.
-        assert entry["weighted_speedup_improvement"] > 0
-        assert entry["energy_per_access_reduction"] > 0
-    # The benefit does not shrink as core count (memory pressure) grows.
-    assert result[8]["weighted_speedup_improvement"] >= result[2]["weighted_speedup_improvement"] * 0.5
+    run_registered(benchmark, record_result, "table3_core_count")

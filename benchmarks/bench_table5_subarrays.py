@@ -3,23 +3,14 @@
 With a single subarray per bank SARP cannot help at all (every access to a
 refreshing bank conflicts); the paper reports the gain growing from 0 % at
 one subarray to 16.9 % at 64 subarrays per bank, saturating beyond ~16.
+
+Thin shim over the ``table5_subarrays`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.tables import format_table5
-from repro.sim.experiments import table5_subarray_sensitivity
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_table5_subarray_sensitivity(benchmark, record_result):
-    result = run_once(benchmark, table5_subarray_sensitivity)
-    record_result("table5_subarrays", format_table5(result))
-
-    # One subarray per bank means SARP cannot parallelize anything.
-    assert abs(result[1]) < 1.5
-    # More subarrays reduce the probability of a subarray conflict, so the
-    # benefit at 64 subarrays exceeds the benefit at 1.
-    assert result[64] > result[1]
-    # And the large-subarray-count regime beats the single-subarray case by
-    # a clear margin (the paper's trend).
-    assert max(result[c] for c in (16, 32, 64)) > result[2]
+    run_registered(benchmark, record_result, "table5_subarrays")

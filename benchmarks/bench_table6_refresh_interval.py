@@ -4,21 +4,14 @@ Doubling the retention time halves the refresh rate, so every penalty (and
 therefore every gain) shrinks relative to the 32 ms results, but DSARP
 still improves over both baselines and the improvement still grows with
 density.
+
+Thin shim over the ``table6_refresh_interval`` entry of the declarative benchmark registry
+(:mod:`repro.bench.suite`), which owns the target, the trend checks and
+the text artifact; see ``benchmarks/conftest.py``.
 """
 
-from repro.analysis.tables import format_table6
-from repro.sim.experiments import table2_improvement_summary, table6_refresh_interval
-
-from conftest import run_once
+from conftest import run_registered
 
 
 def test_table6_refresh_interval(benchmark, record_result):
-    result = run_once(benchmark, table6_refresh_interval)
-    record_result("table6_refresh_interval", format_table6(result))
-
-    for density, entry in result.items():
-        assert entry["gmean_refab"] > -1.0  # never a real regression
-    # The improvement over REFab grows with density even at 64 ms.
-    assert result[32]["gmean_refab"] > result[8]["gmean_refab"]
-    # And DSARP still improves over REFab at the highest density.
-    assert result[32]["gmean_refab"] > 0
+    run_registered(benchmark, record_result, "table6_refresh_interval")

@@ -1,14 +1,18 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures.  The
-heavy lifting (the simulations) is measured once per benchmark via
-``benchmark.pedantic(..., rounds=1, iterations=1)``; the underlying
-:class:`~repro.sim.runner.ExperimentRunner` is shared across all benchmark
-files in the pytest session, so common baseline simulations (REFab, the
-alone runs, ...) are only performed once.
+Every ``bench_*.py`` script is a thin shim over the declarative benchmark
+registry (:mod:`repro.bench`): the registered :class:`~repro.bench.BenchSpec`
+supplies the target, the trend checks and the text formatting, while
+pytest-benchmark still owns the timing — so ``pytest benchmarks/`` and
+``repro bench run`` measure the same code path.  The shared
+:class:`~repro.sim.runner.ExperimentRunner` is process-wide, so common
+baseline simulations (REFab, the alone runs, ...) are only performed once
+per session.
 
-Each benchmark writes its formatted output to ``results/<name>.txt`` so the
-regenerated tables can be inspected and compared against the paper.
+Formatted outputs are written to the bench artifact directory
+(:func:`repro.bench.artifact_dir`): ``results/`` by default, or wherever
+``REPRO_BENCH_DIR`` points — CI uses a scratch directory so benchmark runs
+never dirty the working tree.
 """
 
 from __future__ import annotations
@@ -17,18 +21,21 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+from repro.bench import BenchContext, artifact_dir, get_spec
+from repro.sim.experiments import default_scale
+from repro.sim.runner import get_default_runner
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    directory = artifact_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
 
 
 @pytest.fixture
 def record_result(results_dir):
-    """Write a benchmark's formatted output to the results directory."""
+    """Write a benchmark's formatted output to the bench artifact directory."""
 
     def _record(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
@@ -40,4 +47,23 @@ def record_result(results_dir):
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+def run_registered(benchmark, record_result, name: str):
+    """Execute a registered benchmark spec under pytest-benchmark timing.
+
+    Mirrors :func:`repro.bench.run.run_specs` for a single spec: same
+    target, same checks, same text artifact — but timed by
+    pytest-benchmark and sharing the process-wide default runner.
+    """
+    spec = get_spec(name)
+    context = BenchContext(runner=get_default_runner(), scale=default_scale())
+    payload = run_once(benchmark, spec.target, context)
+    if spec.format is not None:
+        record_result(spec.artifact, spec.format(payload))
+    if spec.checks is not None:
+        spec.checks(payload, context)
+    return payload

@@ -33,7 +33,11 @@ def main() -> None:
         name="kv_mix",
     )
 
-    config = paper_system(density_gb=32, mechanism="dsarp", num_cores=workload.num_cores)
+    config = paper_system(
+        density_gb=32,
+        mechanism="dsarp",
+        num_cores=workload.num_cores,
+    )
     simulator = Simulator(config, workload)
     result = simulator.run(cycles=12000, warmup=1500)
 

@@ -28,10 +28,16 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for count in SUBARRAY_COUNTS:
-        config = paper_system(density_gb=32, subarrays_per_bank=count, num_cores=workload.num_cores)
+        config = paper_system(
+            density_gb=32,
+            subarrays_per_bank=count,
+            num_cores=workload.num_cores,
+        )
         comparison = runner.compare(workload, config, ("refpb", "sarppb"))
         improvement = comparison.improvement_percent("sarppb", "refpb")
-        conflicts = comparison.results["sarppb"].simulation.device_stats["subarray_conflicts"]
+        conflicts = comparison.results["sarppb"].simulation.device_stats[
+            "subarray_conflicts"
+        ]
         print(f"{count:>15d} {improvement:>15.1f}% {conflicts:>19d}")
     print("\nMore subarrays -> fewer conflicts with the refreshing subarray ->")
     print("larger SARP benefit, saturating once conflicts become rare (Table 5).")

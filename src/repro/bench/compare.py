@@ -1,0 +1,247 @@
+"""Baseline comparison: the benchmark regression gate.
+
+:func:`compare_documents` diffs a current :class:`~repro.bench.run.BenchDocument`
+against a committed baseline and classifies every benchmark:
+
+* **wall-clock regression** — the current wall time exceeds the baseline
+  by more than the allowed threshold (the global ``--max-regression``
+  fraction, overridden per benchmark by ``BenchSpec.max_regression``,
+  which the run harness embeds in the baseline record);
+* **noise floor** — benchmarks whose baseline *and* current wall times
+  are both under the floor are never flagged, so sub-millisecond
+  benchmarks (and zero-time degenerate records) cannot trip the
+  percentage gate on scheduler jitter;
+* **fidelity drift** — any relative difference in a gated metric beyond
+  ``fidelity_tolerance`` fails the comparison outright: the simulator's
+  numbers are deterministic, so drift means behavior changed;
+* **missing benchmarks** — a benchmark present in the baseline but
+  absent from the current run fails (a silently dropped benchmark is a
+  dropped gate); one present only in the current run is reported as new
+  and does not fail.
+
+Both documents must carry the same ``schema_version``; refusing to diff
+across schema changes keeps a stale committed baseline from producing
+nonsense verdicts after a format migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.run import BenchDocument, BenchRecord
+from repro.bench.spec import BenchError
+
+#: Default allowed wall-clock regression (fraction of the baseline time).
+DEFAULT_MAX_REGRESSION = 0.10
+#: Wall times under this floor (seconds) are never compared: percentage
+#: gates on near-zero times measure scheduler noise, not the code.
+DEFAULT_NOISE_FLOOR_S = 0.05
+#: Allowed relative drift in fidelity metrics.  Effectively bit-exact
+#: modulo float formatting: real behavior changes move metrics by far
+#: more, while JSON round-trips of IEEE doubles are exact.
+DEFAULT_FIDELITY_TOLERANCE = 1e-9
+
+#: Entry statuses, in descending severity.
+STATUS_MISSING = "missing"
+STATUS_FIDELITY = "fidelity-drift"
+STATUS_REGRESSION = "regression"
+STATUS_OK = "ok"
+STATUS_NOISE = "noise-floor"
+STATUS_NEW = "new"
+
+_FAILING = (STATUS_MISSING, STATUS_FIDELITY, STATUS_REGRESSION)
+
+
+@dataclass
+class ComparisonEntry:
+    """One benchmark's verdict inside a :class:`Comparison`."""
+
+    name: str
+    status: str
+    detail: str = ""
+    baseline_s: Optional[float] = None
+    current_s: Optional[float] = None
+    threshold: Optional[float] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in _FAILING
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        if self.baseline_s is None or self.current_s is None:
+            return None
+        if self.baseline_s == 0:
+            # A real slowdown from a zero-time baseline: infinite, and the
+            # report should say so rather than hide the column.
+            return float("inf") if self.current_s > 0 else 0.0
+        return (self.current_s / self.baseline_s - 1.0) * 100.0
+
+
+@dataclass
+class Comparison:
+    """Full verdict of a baseline diff."""
+
+    entries: list = field(default_factory=list)
+    max_regression: float = DEFAULT_MAX_REGRESSION
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S
+
+    @property
+    def failures(self) -> list:
+        return [entry for entry in self.entries if entry.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_markdown(self) -> str:
+        """Render the regression report (CI posts this as the job summary)."""
+        lines = [
+            "# Benchmark regression report",
+            "",
+            f"- gate: wall-clock regression > {self.max_regression * 100:.0f}% "
+            f"(per-benchmark overrides apply), any fidelity drift",
+            f"- noise floor: {self.noise_floor_s:.3f} s",
+            f"- verdict: {'PASS' if self.ok else 'FAIL'} "
+            f"({len(self.failures)} of {len(self.entries)} benchmarks failing)",
+            "",
+            "| benchmark | baseline (s) | current (s) | change | status |",
+            "|---|---:|---:|---:|---|",
+        ]
+        for entry in sorted(self.entries, key=lambda e: (not e.failed, e.name)):
+            baseline = "—" if entry.baseline_s is None else f"{entry.baseline_s:.3f}"
+            current = "—" if entry.current_s is None else f"{entry.current_s:.3f}"
+            change = "—" if entry.change_pct is None else f"{entry.change_pct:+.1f}%"
+            status = entry.status.upper() if entry.failed else entry.status
+            if entry.detail:
+                status = f"{status} — {entry.detail}"
+            lines.append(
+                f"| {entry.name} | {baseline} | {current} | {change} | {status} |"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _compare_metrics(
+    baseline: BenchRecord, current: BenchRecord, tolerance: float
+) -> Optional[str]:
+    """First fidelity drift between two records, or None when clean."""
+    for key in sorted(baseline.metrics):
+        if key not in current.metrics:
+            return f"metric {key!r} disappeared"
+        base_value = baseline.metrics[key]
+        current_value = current.metrics[key]
+        scale = max(abs(base_value), abs(current_value), 1e-12)
+        if abs(current_value - base_value) / scale > tolerance:
+            return f"metric {key!r} drifted: {base_value!r} -> {current_value!r}"
+    return None
+
+
+def compare_documents(
+    baseline: BenchDocument,
+    current: BenchDocument,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+    fidelity_tolerance: float = DEFAULT_FIDELITY_TOLERANCE,
+) -> Comparison:
+    """Diff two benchmark documents; raises :class:`BenchError` on schema skew."""
+    if max_regression <= 0:
+        raise BenchError(f"max_regression must be positive, got {max_regression}")
+    if noise_floor_s < 0:
+        raise BenchError(f"noise_floor_s must be >= 0, got {noise_floor_s}")
+    if baseline.schema_version != current.schema_version:
+        raise BenchError(
+            f"schema version mismatch: baseline v{baseline.schema_version} vs "
+            f"current v{current.schema_version}; refresh the baseline "
+            f"(see README: Benchmarking & regression gates)"
+        )
+    comparison = Comparison(max_regression=max_regression, noise_floor_s=noise_floor_s)
+    current_names = set(current.names())
+    for base_record in baseline.benchmarks:
+        record = current.record(base_record.name)
+        if record is None:
+            comparison.entries.append(
+                ComparisonEntry(
+                    name=base_record.name,
+                    status=STATUS_MISSING,
+                    detail="present in baseline but not in the current run",
+                    baseline_s=base_record.wall_clock_s,
+                )
+            )
+            continue
+        drift = _compare_metrics(base_record, record, fidelity_tolerance)
+        if drift is not None:
+            comparison.entries.append(
+                ComparisonEntry(
+                    name=base_record.name,
+                    status=STATUS_FIDELITY,
+                    detail=drift,
+                    baseline_s=base_record.wall_clock_s,
+                    current_s=record.wall_clock_s,
+                )
+            )
+            continue
+        comparison.entries.append(
+            _compare_wall_clock(base_record, record, max_regression, noise_floor_s)
+        )
+    for record in current.benchmarks:
+        if record.name not in {entry.name for entry in comparison.entries}:
+            comparison.entries.append(
+                ComparisonEntry(
+                    name=record.name,
+                    status=STATUS_NEW,
+                    detail="not in the baseline; refresh it to start gating",
+                    current_s=record.wall_clock_s,
+                )
+            )
+    # Guard against diffing disjoint documents (e.g. quick vs full tiers
+    # filtered down to nothing): an empty intersection gates nothing.
+    if not current_names.intersection(baseline.names()):
+        raise BenchError(
+            "baseline and current documents share no benchmarks; "
+            "nothing would be gated"
+        )
+    return comparison
+
+
+def _compare_wall_clock(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    max_regression: float,
+    noise_floor_s: float,
+) -> ComparisonEntry:
+    base_s, current_s = baseline.wall_clock_s, current.wall_clock_s
+    threshold = max_regression
+    # The spec's per-benchmark override rides along in both documents; the
+    # baseline's value wins so a PR cannot quietly raise its own gate.
+    if baseline.max_regression is not None:
+        threshold = baseline.max_regression
+    if base_s < noise_floor_s and current_s < noise_floor_s:
+        return ComparisonEntry(
+            name=baseline.name,
+            status=STATUS_NOISE,
+            detail="both runs under the noise floor",
+            baseline_s=base_s,
+            current_s=current_s,
+            threshold=threshold,
+        )
+    # base_s can still be ~0 with current_s above the floor; that is a real
+    # slowdown from nothing, which the ratio below makes infinite-ish and
+    # correctly flags.
+    ratio = (current_s / base_s - 1.0) if base_s > 0 else float("inf")
+    if ratio > threshold:
+        return ComparisonEntry(
+            name=baseline.name,
+            status=STATUS_REGRESSION,
+            detail=f"allowed {threshold * 100:.0f}%",
+            baseline_s=base_s,
+            current_s=current_s,
+            threshold=threshold,
+        )
+    return ComparisonEntry(
+        name=baseline.name,
+        status=STATUS_OK,
+        baseline_s=base_s,
+        current_s=current_s,
+        threshold=threshold,
+    )

@@ -1,0 +1,1033 @@
+"""The standard benchmark suite: one registered spec per paper artifact.
+
+Every entry here is the declarative port of one ``benchmarks/bench_*.py``
+script: the target reproduces the same table or figure through the shared
+:class:`~repro.bench.run.BenchContext` runner, ``checks`` carries the
+script's trend assertions, ``format`` renders the same ``results/*.txt``
+artifact, and ``metrics``/``timings`` expose the machine-readable numbers
+the old scripts only printed.  The scripts themselves are now thin shims
+over this registry (see ``benchmarks/conftest.py``), so the pytest
+invocation and the ``repro bench`` CLI measure identical code paths.
+
+Metric keys are flat strings (``dsarp_gmean_refab_32gb``) so result
+documents diff cleanly; only deterministic simulation outputs go into
+``metrics`` (compare gates them), while wall-clock-derived numbers
+(speedups, cache ratios) go into ``timings`` (recorded, never gated).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro.analysis import figures, tables
+from repro.bench.run import BenchContext
+from repro.bench.spec import BenchSpec, register
+from repro.config.presets import paper_system
+from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.store import JsonlStore
+from repro.metrics.speedup import geometric_mean
+from repro.sim import experiments
+from repro.sim.runner import DEFAULT_CYCLES, DEFAULT_WARMUP, ExperimentRunner
+from repro.sim.simulator import Simulator
+from repro.sweep import Axis, SweepSpec, WorkloadSpec, run_sweep
+from repro.workloads.benchmark_suite import MB, Benchmark, get_benchmark
+from repro.workloads.mixes import make_workload, make_workload_category
+
+
+def _full_window(context: BenchContext) -> bool:
+    """Whether the paper-trend assertions are meaningful for this run.
+
+    The trend checks encode full-window behavior (DSARP beating REFpb,
+    benefits growing with density, ...).  Under a reduced ``REPRO_CYCLES``
+    window — the CI quick tier — refresh penalties drown in startup noise
+    and the trends legitimately do not hold, so those checks self-skip and
+    the regression gate rests on fidelity metrics and wall clock instead.
+    Window-insensitive invariants (kernel identity, warm-store re-runs
+    performing zero simulations, Figure 5's closed-form values) always run.
+    """
+    return context.cycles >= DEFAULT_CYCLES
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: refresh-latency scaling trend (no simulation)
+# ---------------------------------------------------------------------------
+def _figure5(context: BenchContext):
+    """Figure 5: projected tRFCab versus DRAM density (no simulation)."""
+    return experiments.figure5_refresh_latency_trend()
+
+
+def _figure5_metrics(points) -> dict:
+    by_density = {p.density_gb: p for p in points}
+    return {
+        f"projection2_ns_{density}gb": by_density[density].projection2_ns
+        for density in (16, 32, 64)
+    } | {"projection1_ns_64gb": by_density[64].projection1_ns}
+
+
+def _figure5_checks(points, context: BenchContext) -> None:
+    by_density = {p.density_gb: p for p in points}
+    # The paper's Projection 2 values: 530 ns (16 Gb), 890 ns (32 Gb), 1.6 us (64 Gb).
+    assert round(by_density[16].projection2_ns) == 530
+    assert round(by_density[32].projection2_ns) == 890
+    assert round(by_density[64].projection2_ns) == 1610
+    # Projection 1 is the more pessimistic extrapolation.
+    assert by_density[64].projection1_ns > by_density[64].projection2_ns
+
+
+register(
+    BenchSpec(
+        name="figure05_trfc_trend",
+        target=_figure5,
+        metrics=_figure5_metrics,
+        checks=_figure5_checks,
+        format=figures.format_figure5,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: performance degradation due to all-bank refresh
+# ---------------------------------------------------------------------------
+def _figure6(context: BenchContext):
+    """Figure 6: % WS loss of REFab vs the no-refresh ideal."""
+    return experiments.figure6_refab_performance_loss(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure6_metrics(result) -> dict:
+    # Category -1 is the all-category average the paper quotes.
+    return {
+        f"avg_loss_pct_{density}gb": loss for density, loss in result[-1].items()
+    } | {
+        f"intensive_loss_pct_{density}gb": loss
+        for density, loss in result[100].items()
+    }
+
+
+def _figure6_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    average = result[-1]
+    # Refresh hurts, and hurts more at higher density (the paper's trend).
+    assert average[32] > average[8] > 0
+    # The most memory-intensive category suffers more than the least at 32 Gb.
+    assert result[100][32] > result[0][32]
+
+
+register(
+    BenchSpec(
+        name="figure06_refab_loss",
+        target=_figure6,
+        metrics=_figure6_metrics,
+        checks=_figure6_checks,
+        format=figures.format_figure6,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: REFab versus REFpb loss
+# ---------------------------------------------------------------------------
+def _figure7(context: BenchContext):
+    """Figure 7: % WS loss of REFab and REFpb versus the no-refresh ideal."""
+    return experiments.figure7_refab_vs_refpb_loss(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure7_metrics(result) -> dict:
+    return {
+        f"{mechanism}_loss_pct_{density}gb": loss
+        for density, losses in result.items()
+        for mechanism, loss in losses.items()
+    }
+
+
+def _figure7_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, losses in result.items():
+        # Per-bank refresh always loses less than all-bank refresh.
+        assert losses["refpb"] < losses["refab"]
+    # Both penalties grow with density.
+    assert result[32]["refab"] > result[8]["refab"]
+    assert result[32]["refpb"] >= result[8]["refpb"]
+
+
+register(
+    BenchSpec(
+        name="figure07_refab_vs_refpb",
+        target=_figure7,
+        metrics=_figure7_metrics,
+        checks=_figure7_checks,
+        format=figures.format_figure7,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: per-workload sweep
+# ---------------------------------------------------------------------------
+def _figure12(context: BenchContext):
+    """Figure 12: per-workload WS normalized to REFab, per density."""
+    return experiments.figure12_workload_sweep(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure12_metrics(sweep) -> dict:
+    metrics = {}
+    for density, per_workload in sweep.items():
+        for mechanism in ("refpb", "dsarp"):
+            values = [norms[mechanism] for norms in per_workload.values()]
+            metrics[f"{mechanism}_gmean_norm_{density}gb"] = geometric_mean(values)
+    return metrics
+
+
+def _figure12_checks(sweep, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, per_workload in sweep.items():
+        dsarp = geometric_mean([norms["dsarp"] for norms in per_workload.values()])
+        refpb = geometric_mean([norms["refpb"] for norms in per_workload.values()])
+        # DSARP improves over REFab on average, and beats REFpb on average.
+        assert dsarp > 1.0
+        assert dsarp >= refpb
+    # The benefit of DSARP over REFab grows with density (the headline trend).
+    dsarp_by_density = {
+        density: geometric_mean([n["dsarp"] for n in per_workload.values()])
+        for density, per_workload in sweep.items()
+    }
+    assert dsarp_by_density[32] > dsarp_by_density[8]
+
+
+register(
+    BenchSpec(
+        name="figure12_workload_sweep",
+        target=_figure12,
+        metrics=_figure12_metrics,
+        checks=_figure12_checks,
+        format=figures.format_figure12,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: all mechanisms
+# ---------------------------------------------------------------------------
+def _figure13(context: BenchContext):
+    """Figure 13: average % WS improvement over REFab for every mechanism."""
+    return experiments.figure13_all_mechanisms(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure13_metrics(result) -> dict:
+    return {
+        f"{mechanism}_improvement_pct_{density}gb": value
+        for density, improvements in result.items()
+        for mechanism, value in improvements.items()
+    }
+
+
+def _figure13_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, improvements in result.items():
+        # The ideal no-refresh system bounds everything (within noise).
+        for mechanism, value in improvements.items():
+            assert value <= improvements["none"] + 2.0, (density, mechanism)
+        # DSARP improves over REFab and over plain per-bank refresh.
+        assert improvements["dsarp"] > 0
+        assert improvements["dsarp"] >= improvements["refpb"] - 0.5
+        # Elastic refresh gives little benefit over REFab (paper: ~1.8 %).
+        assert improvements["elastic"] < improvements["dsarp"]
+    # Benefits grow with density.
+    assert result[32]["dsarp"] > result[8]["dsarp"]
+    assert result[32]["none"] > result[8]["none"]
+
+
+register(
+    BenchSpec(
+        name="figure13_all_mechanisms",
+        target=_figure13,
+        metrics=_figure13_metrics,
+        checks=_figure13_checks,
+        format=figures.format_figure13,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: energy per access
+# ---------------------------------------------------------------------------
+def _figure14(context: BenchContext):
+    """Figure 14: energy per memory access for every refresh mechanism."""
+    return experiments.figure14_energy_per_access(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure14_metrics(result) -> dict:
+    metrics = {}
+    for density, energies in result.items():
+        metrics[f"dsarp_saving_vs_refab_{density}gb"] = (
+            1.0 - energies["dsarp"] / energies["refab"]
+        )
+    return metrics
+
+
+def _figure14_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, energies in result.items():
+        # Refresh costs energy: the ideal no-refresh system is cheapest.
+        assert energies["none"] <= energies["refab"]
+        # DSARP reduces energy per access relative to all-bank refresh.
+        assert energies["dsarp"] < energies["refab"]
+    # The energy penalty of REFab grows with density, so DSARP's relative
+    # saving grows too (paper: 3.0 % -> 9.0 %).
+    saving_8 = 1 - result[8]["dsarp"] / result[8]["refab"]
+    saving_32 = 1 - result[32]["dsarp"] / result[32]["refab"]
+    assert saving_32 > saving_8
+
+
+register(
+    BenchSpec(
+        name="figure14_energy",
+        target=_figure14,
+        metrics=_figure14_metrics,
+        checks=_figure14_checks,
+        format=figures.format_figure14,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: memory-intensity sensitivity
+# ---------------------------------------------------------------------------
+def _figure15(context: BenchContext):
+    """Figure 15: DSARP improvement versus memory-intensity category."""
+    return experiments.figure15_memory_intensity(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure15_metrics(result) -> dict:
+    return {
+        f"vs_refab_pct_cat{category}_{density}gb": values["vs_refab"]
+        for category, by_density in result.items()
+        for density, values in by_density.items()
+    }
+
+
+def _figure15_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    # DSARP's gain over REFab for memory-intensive workloads exceeds the
+    # gain for non-intensive workloads at the highest density.
+    assert result[100][32]["vs_refab"] > result[0][32]["vs_refab"]
+    # And the intensive-workload gain grows with density.
+    assert result[100][32]["vs_refab"] > result[100][8]["vs_refab"]
+
+
+register(
+    BenchSpec(
+        name="figure15_memory_intensity",
+        target=_figure15,
+        metrics=_figure15_metrics,
+        checks=_figure15_checks,
+        format=figures.format_figure15,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: DDR4 fine-granularity refresh
+# ---------------------------------------------------------------------------
+def _figure16(context: BenchContext):
+    """Figure 16: FGR / adaptive refresh / DSARP normalized to REFab."""
+    return experiments.figure16_fgr_comparison(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _figure16_metrics(result) -> dict:
+    return {
+        f"{mechanism}_norm_{density}gb": value
+        for density, normalized in result.items()
+        for mechanism, value in normalized.items()
+    }
+
+
+def _figure16_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, normalized in result.items():
+        # Fine-granularity refresh at 4x rate is worse than plain REFab.
+        assert normalized["fgr4x"] < 1.0
+        # 4x is worse than 2x (its aggregate refresh overhead is larger).
+        assert normalized["fgr4x"] <= normalized["fgr2x"] + 0.02
+        # DSARP beats REFab, FGR and AR.
+        assert normalized["dsarp"] > 1.0
+        assert normalized["dsarp"] > normalized["fgr2x"]
+        assert normalized["dsarp"] > normalized["ar"]
+
+
+register(
+    BenchSpec(
+        name="figure16_fgr",
+        target=_figure16,
+        metrics=_figure16_metrics,
+        checks=_figure16_checks,
+        format=figures.format_figure16,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: improvement summary (the paper's headline numbers)
+# ---------------------------------------------------------------------------
+def _table2(context: BenchContext):
+    """Table 2: max and gmean WS improvement over REFpb and REFab."""
+    return experiments.table2_improvement_summary(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _table2_metrics(summary) -> dict:
+    # The DSARP rows are the paper's headline: 3.3 / 7.2 / 15.2 % gmean
+    # over REFpb at 8 / 16 / 32 Gb.
+    return {
+        f"{mechanism}_{kind}_{density}gb": value
+        for density, mechanisms in summary.items()
+        for mechanism, entry in mechanisms.items()
+        for kind, value in entry.items()
+    }
+
+
+def _table2_checks(summary, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, mechanisms in summary.items():
+        for name, entry in mechanisms.items():
+            # Max improvements bound the gmean improvements.
+            assert entry["max_refab"] >= entry["gmean_refab"]
+            assert entry["max_refpb"] >= entry["gmean_refpb"]
+        # DSARP improves over REFab on average at every density.
+        assert mechanisms["dsarp"]["gmean_refab"] > 0
+    # DSARP's benefit over REFab grows with DRAM density.
+    assert summary[32]["dsarp"]["gmean_refab"] > summary[8]["dsarp"]["gmean_refab"]
+
+
+register(
+    BenchSpec(
+        name="table2_summary",
+        target=_table2,
+        metrics=_table2_metrics,
+        checks=_table2_checks,
+        format=tables.format_table2,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: core-count sensitivity
+# ---------------------------------------------------------------------------
+def _table3(context: BenchContext):
+    """Table 3: DSARP benefit on 2-, 4- and 8-core systems."""
+    return experiments.table3_core_count(runner=context.runner, scale=context.scale)
+
+
+def _table3_metrics(result) -> dict:
+    return {
+        f"{kind}_{cores}core": value
+        for cores, entry in result.items()
+        for kind, value in entry.items()
+    }
+
+
+def _table3_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for cores, entry in result.items():
+        # DSARP never degrades weighted speedup relative to REFab.
+        assert entry["weighted_speedup_improvement"] > 0
+        assert entry["energy_per_access_reduction"] > 0
+    # The benefit does not shrink as core count (memory pressure) grows.
+    assert (
+        result[8]["weighted_speedup_improvement"]
+        >= result[2]["weighted_speedup_improvement"] * 0.5
+    )
+
+
+register(
+    BenchSpec(
+        name="table3_core_count",
+        target=_table3,
+        metrics=_table3_metrics,
+        checks=_table3_checks,
+        format=tables.format_table3,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: tFAW sensitivity
+# ---------------------------------------------------------------------------
+def _table4(context: BenchContext):
+    """Table 4: SARPpb benefit versus the tFAW activation window."""
+    return experiments.table4_tfaw_sensitivity(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _table4_metrics(result) -> dict:
+    return {f"improvement_pct_tfaw{tfaw}": value for tfaw, value in result.items()}
+
+
+def _table4_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    tfaws = sorted(result)
+    # SARPpb improves over REFpb at the default tFAW of 20 cycles.
+    assert result[20] > 0
+    # Tightening tFAW (larger values) never increases SARPpb's benefit
+    # beyond what the loosest setting achieves.
+    assert max(result.values()) >= result[tfaws[-1]]
+
+
+register(
+    BenchSpec(
+        name="table4_tfaw",
+        target=_table4,
+        metrics=_table4_metrics,
+        checks=_table4_checks,
+        format=tables.format_table4,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 5: subarray-count sensitivity
+# ---------------------------------------------------------------------------
+def _table5(context: BenchContext):
+    """Table 5: SARPpb benefit versus subarrays per bank."""
+    return experiments.table5_subarray_sensitivity(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _table5_metrics(result) -> dict:
+    return {
+        f"improvement_pct_{count}subarrays": value for count, value in result.items()
+    }
+
+
+def _table5_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    # One subarray per bank means SARP cannot parallelize anything.
+    assert abs(result[1]) < 1.5
+    # More subarrays reduce the probability of a subarray conflict, so the
+    # benefit at 64 subarrays exceeds the benefit at 1.
+    assert result[64] > result[1]
+    # And the large-subarray-count regime beats the single-subarray case by
+    # a clear margin (the paper's trend).
+    assert max(result[c] for c in (16, 32, 64)) > result[2]
+
+
+register(
+    BenchSpec(
+        name="table5_subarrays",
+        target=_table5,
+        metrics=_table5_metrics,
+        checks=_table5_checks,
+        format=tables.format_table5,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 6: 64 ms retention time
+# ---------------------------------------------------------------------------
+def _table6(context: BenchContext):
+    """Table 6: DSARP improvement with a 64 ms retention time."""
+    return experiments.table6_refresh_interval(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _table6_metrics(result) -> dict:
+    return {
+        f"{kind}_{density}gb": value
+        for density, entry in result.items()
+        for kind, value in entry.items()
+    }
+
+
+def _table6_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, entry in result.items():
+        assert entry["gmean_refab"] > -1.0  # never a real regression
+    # The improvement over REFab grows with density even at 64 ms.
+    assert result[32]["gmean_refab"] > result[8]["gmean_refab"]
+    # And DSARP still improves over REFab at the highest density.
+    assert result[32]["gmean_refab"] > 0
+
+
+register(
+    BenchSpec(
+        name="table6_refresh_interval",
+        target=_table6,
+        metrics=_table6_metrics,
+        checks=_table6_checks,
+        format=tables.format_table6,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Ablations: DARP components, DSARP additivity
+# ---------------------------------------------------------------------------
+def _darp_components(context: BenchContext):
+    """Section 6.1.2: out-of-order refresh alone versus full DARP."""
+    return experiments.darp_component_breakdown(
+        runner=context.runner, scale=context.scale
+    )
+
+
+def _darp_components_metrics(result) -> dict:
+    return {
+        f"{kind}_pct_{density}gb": value
+        for density, entry in result.items()
+        for kind, value in entry.items()
+    }
+
+
+def _darp_components_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    for density, entry in result.items():
+        # Out-of-order refresh alone already improves over REFab.
+        assert entry["out_of_order_only"] > 0
+        # Full DARP is at least comparable to its out-of-order component
+        # (write-refresh parallelization should not hurt).
+        assert entry["darp"] >= entry["out_of_order_only"] - 1.5
+
+
+def _darp_components_format(result) -> str:
+    rows = [
+        [f"{density}Gb", f"{entry['out_of_order_only']:+.1f}", f"{entry['darp']:+.1f}"]
+        for density, entry in sorted(result.items())
+    ]
+    return tables.format_table(
+        ["Density", "Out-of-order only (% over REFab)", "Full DARP (% over REFab)"],
+        rows,
+        title="Section 6.1.2: DARP component breakdown",
+    )
+
+
+register(
+    BenchSpec(
+        name="ablation_darp_components",
+        target=_darp_components,
+        metrics=_darp_components_metrics,
+        checks=_darp_components_checks,
+        format=_darp_components_format,
+    )
+)
+
+
+def _dsarp_additivity(context: BenchContext):
+    """Ablation: DARP + SARPpb additivity in DSARP at 32 Gb."""
+    return experiments.dsarp_additivity(runner=context.runner, scale=context.scale)
+
+
+def _dsarp_additivity_metrics(result) -> dict:
+    return {f"{name}_improvement_pct": value for name, value in result.items()}
+
+
+def _dsarp_additivity_checks(result, context: BenchContext) -> None:
+    if not _full_window(context):
+        return
+    # Every component improves over REFab at 32 Gb.
+    assert result["darp"] > 0
+    assert result["sarppb"] > 0
+    # The combination is at least as good as DARP alone (within noise) and
+    # improves on REFab by more than either component degrades.
+    assert result["dsarp"] >= result["darp"] - 1.0
+    assert result["dsarp"] > 0
+
+
+def _dsarp_additivity_format(result) -> str:
+    rows = [[name, f"{value:+.2f}"] for name, value in result.items()]
+    return tables.format_table(
+        ["Mechanism", "WS improvement over REFab (%)"],
+        rows,
+        title="DSARP additivity ablation (32 Gb)",
+    )
+
+
+register(
+    BenchSpec(
+        name="ablation_dsarp_additivity",
+        target=_dsarp_additivity,
+        metrics=_dsarp_additivity_metrics,
+        checks=_dsarp_additivity_checks,
+        format=_dsarp_additivity_format,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Engine scaling: serial versus parallel fan-out
+# ---------------------------------------------------------------------------
+ENGINE_SCALING_SCALE = experiments.ExperimentScale(
+    workloads_per_category=1, densities=(32,)
+)
+
+
+def _engine_scaling(context: BenchContext):
+    """Engine scaling: a figure12-style sweep at 1 versus N worker processes."""
+    workers = os.cpu_count() or 1
+
+    def sweep(executor):
+        runner = ExperimentRunner(executor=executor)
+        start = perf_counter()
+        result = experiments.figure12_workload_sweep(
+            runner=runner, scale=ENGINE_SCALING_SCALE
+        )
+        return result, perf_counter() - start
+
+    serial_result, serial_s = sweep(SerialExecutor())
+    parallel_result, parallel_s = sweep(ParallelExecutor(workers=workers))
+    return {
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "identical": parallel_result == serial_result,
+    }
+
+
+def _engine_scaling_metrics(payload) -> dict:
+    # Parallel fan-out must never change results: gate the identity bit.
+    return {"results_identical": 1.0 if payload["identical"] else 0.0}
+
+
+def _engine_scaling_timings(payload) -> dict:
+    return {
+        "serial_s": payload["serial_s"],
+        "parallel_s": payload["parallel_s"],
+        "speedup": payload["serial_s"] / payload["parallel_s"],
+        "workers": float(payload["workers"]),
+    }
+
+
+def _engine_scaling_checks(payload, context: BenchContext) -> None:
+    assert payload["identical"], "parallel fan-out changed experiment results"
+    if payload["workers"] > 1 and _full_window(context):
+        # The sweep is embarrassingly parallel; anything below parity means
+        # the fan-out machinery itself is broken (pickling storms, workers
+        # running serially, ...).  Leave headroom for loaded CI machines;
+        # at a reduced window the pool's startup overhead dominates and the
+        # ratio measures fork cost, not the engine, so it is full-window-only.
+        assert payload["serial_s"] / payload["parallel_s"] > 0.9
+
+
+def _engine_scaling_format(payload) -> str:
+    speedup = payload["serial_s"] / payload["parallel_s"]
+    return "\n".join(
+        [
+            "Engine scaling (figure12-style sweep, 1 density x 5 workloads)",
+            f"  serial   (1 worker):   {payload['serial_s']:8.2f} s",
+            f"  parallel ({payload['workers']} workers):  {payload['parallel_s']:8.2f} s",
+            f"  speedup:               {speedup:8.2f} x",
+        ]
+    )
+
+
+register(
+    BenchSpec(
+        name="engine_scaling",
+        target=_engine_scaling,
+        metrics=_engine_scaling_metrics,
+        timings=_engine_scaling_timings,
+        checks=_engine_scaling_checks,
+        format=_engine_scaling_format,
+        # Wall-clock depends on the machine's core count and load; gate
+        # loosely and rely on the timings trend instead.
+        max_regression=1.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Sweep caching: cold versus warm store
+# ---------------------------------------------------------------------------
+SWEEP_CACHE_SPEC = SweepSpec(
+    name="bench_sweep_cache",
+    description="tFAW x subarrays-per-bank grid for the cache benchmark",
+    axes=(Axis("tfaw", (10, 20, 30)), Axis("subarrays_per_bank", (4, 8))),
+    mechanisms=("refpb", "sarppb"),
+    baseline="refpb",
+    base={"density_gb": 32},
+    workloads=WorkloadSpec(kind="intensive", count=2, num_cores=4),
+)
+
+
+def _sweep_cache(context: BenchContext):
+    """Sweep caching: cold versus warm-store wall time for a design sweep."""
+
+    def sweep(store_path):
+        runner = ExperimentRunner(store=JsonlStore(store_path))
+        start = perf_counter()
+        result = run_sweep(SWEEP_CACHE_SPEC, runner=runner)
+        elapsed = perf_counter() - start
+        return [cell.to_dict() for cell in result.cells], runner.summary(), elapsed
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        store_path = Path(scratch) / "sweep_cache.jsonl"
+        cold_cells, cold_summary, cold_s = sweep(store_path)
+        warm_cells, warm_summary, warm_s = sweep(store_path)
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_summary": cold_summary,
+        "warm_summary": warm_summary,
+        "identical": warm_cells == cold_cells,
+    }
+
+
+def _sweep_cache_metrics(payload) -> dict:
+    # Deterministic plan sizes plus the warm-run invariant (zero sims).
+    return {
+        "results_identical": 1.0 if payload["identical"] else 0.0,
+        "cold_simulated": float(payload["cold_summary"]["simulated"]),
+        "warm_simulated": float(payload["warm_summary"]["simulated"]),
+    }
+
+
+def _sweep_cache_timings(payload) -> dict:
+    # Clamp the warm denominator so the speedup stays JSON-finite even if
+    # the warm leg ever rounds to a zero wall time.
+    warm = max(payload["warm_s"], 1e-9)
+    return {
+        "cold_s": payload["cold_s"],
+        "warm_s": payload["warm_s"],
+        "speedup": payload["cold_s"] / warm,
+    }
+
+
+def _sweep_cache_checks(payload, context: BenchContext) -> None:
+    # The warm re-sweep must be pure store hits with identical results.
+    assert payload["cold_summary"]["simulated"] > 0
+    assert payload["warm_summary"]["simulated"] == 0
+    assert payload["identical"]
+    # A warm re-sweep that is not dramatically faster than the cold run
+    # means store resolution is broken somewhere.
+    assert payload["warm_s"] < payload["cold_s"]
+
+
+def _sweep_cache_format(payload) -> str:
+    timings = _sweep_cache_timings(payload)
+    return "\n".join(
+        [
+            "Sweep store caching (6 points x 2 workloads x 2 mechanisms)",
+            f"  cold (all simulated):     {payload['cold_s']:8.2f} s "
+            f"({payload['cold_summary']['simulated']} simulations)",
+            f"  warm (all store hits):    {payload['warm_s']:8.2f} s "
+            f"({payload['warm_summary']['store_hits']} store hits)",
+            f"  re-sweep speedup:         {timings['speedup']:8.1f} x",
+        ]
+    )
+
+
+register(
+    BenchSpec(
+        name="sweep_cache",
+        target=_sweep_cache,
+        metrics=_sweep_cache_metrics,
+        timings=_sweep_cache_timings,
+        checks=_sweep_cache_checks,
+        format=_sweep_cache_format,
+        # The warm leg is sub-millisecond file reads; its ratio to the
+        # cold leg is what matters, so gate the wall clock loosely.
+        max_regression=1.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Kernel speedup: event versus cycle kernel
+# ---------------------------------------------------------------------------
+DENSITY_GB = 32
+
+#: The most latency-sensitive intensive benchmarks (high dependent-load
+#: fractions): the alone-run leg of the Table 2 pipeline.
+ALONE_BENCHMARKS = ("mcf_like", "random_access", "tpcc_like")
+
+#: A fully dependent pointer chase: every load waits for the previous one,
+#: so the window is dominated by exactly the stalls the paper studies —
+#: cores waiting out DRAM latency (and, at 32 Gb, tRFC-long refreshes)
+#: while no command can legally issue.  This is the headline cell: the
+#: purest latency-bound workload the Table 2 system can run.
+POINTER_CHASE = Benchmark(
+    "pointer_chase",
+    "random",
+    256 * MB,
+    memory_fraction=0.02,
+    write_fraction=0.20,
+    intensive=True,
+    dependent_fraction=1.0,
+)
+
+
+def _timed_pair(
+    config, workload, cycles: int, warmup: int
+) -> tuple[float, float, bool]:
+    """Run (config, workload) under both kernels; returns wall times + identity.
+
+    Results must be bit-identical — this benchmark doubles as an
+    end-to-end differential check at the measured window length.
+    """
+    times = {}
+    results = {}
+    for kernel in ("cycle", "event"):
+        simulator = Simulator(config.with_kernel(kernel), workload)
+        start = perf_counter()
+        results[kernel] = simulator.run(cycles, warmup=warmup)
+        times[kernel] = perf_counter() - start
+    identical = results["event"].to_dict() == results["cycle"].to_dict()
+    return times["cycle"], times["event"], identical
+
+
+def _kernel_speedup_at(cycles: int, warmup: int) -> dict:
+    rows = []
+    identical = True
+
+    def cell(label, config, workload):
+        nonlocal identical
+        cycle_s, event_s, same = _timed_pair(config, workload, cycles, warmup)
+        identical = identical and same
+        rows.append({"label": label, "cycle_s": cycle_s, "event_s": event_s})
+        return cycle_s, event_s
+
+    # -- headline: latency-bound pointer chase ------------------------------
+    config = paper_system(density_gb=DENSITY_GB, mechanism="refab", num_cores=1)
+    workload = make_workload([POINTER_CHASE], name="alone_pointer_chase", seed=0)
+    head_cycle, head_event = cell("pointer chase (headline) refab", config, workload)
+
+    # -- latency-bound alone runs (Table 2's normalization leg) ------------
+    alone_cycle = alone_event = 0.0
+    for name in ALONE_BENCHMARKS:
+        config = paper_system(density_gb=DENSITY_GB, mechanism="refab", num_cores=1)
+        workload = make_workload([get_benchmark(name)], name=f"alone_{name}", seed=0)
+        cycle_s, event_s = cell(f"alone {name} refab", config, workload)
+        alone_cycle += cycle_s
+        alone_event += event_s
+
+    # -- 8-core intensive mix cells (context rows) --------------------------
+    for mechanism in ("refab", "dsarp"):
+        config = paper_system(density_gb=DENSITY_GB, mechanism=mechanism, num_cores=8)
+        workload = make_workload_category(100, index=0, num_cores=8)
+        cell(f"8-core intensive {mechanism}", config, workload)
+
+    return {
+        "cycles": cycles,
+        "warmup": warmup,
+        "rows": rows,
+        "identical": identical,
+        "headline": head_cycle / head_event,
+        "alone_speedup": alone_cycle / alone_event,
+    }
+
+
+def _kernel_speedup(context: BenchContext):
+    """Cycle- versus event-kernel wall time on the Table 2 configuration."""
+    return _kernel_speedup_at(context.cycles, context.warmup)
+
+
+def _kernel_speedup_full(context: BenchContext):
+    """Kernel speedup at the paper's full measured window, with the 3x gate."""
+    return _kernel_speedup_at(DEFAULT_CYCLES, DEFAULT_WARMUP)
+
+
+def _kernel_speedup_metrics(payload) -> dict:
+    return {"results_identical": 1.0 if payload["identical"] else 0.0}
+
+
+def _kernel_speedup_timings(payload) -> dict:
+    timings = {
+        "headline_speedup": payload["headline"],
+        "alone_speedup": payload["alone_speedup"],
+    }
+    for row in payload["rows"]:
+        key = row["label"].replace(" ", "_").replace("(", "").replace(")", "")
+        timings[f"{key}_cycle_s"] = row["cycle_s"]
+        timings[f"{key}_event_s"] = row["event_s"]
+    return timings
+
+
+def _kernel_speedup_checks(payload, context: BenchContext) -> None:
+    assert payload["identical"], "event and cycle kernels diverged"
+    # The 3x acceptance gate only holds at the paper's full window: on a
+    # reduced REPRO_CYCLES window the skippable idle stretches shrink and
+    # the ratio is mostly startup noise.
+    if payload["cycles"] >= DEFAULT_CYCLES:
+        assert payload["headline"] >= 3.0, (
+            f"expected >= 3x on the latency-bound cell, got {payload['headline']:.2f}x"
+        )
+
+
+def _kernel_speedup_format(payload) -> str:
+    lines = [
+        f"Event-kernel speedup on the Table 2 configuration "
+        f"({DENSITY_GB} Gb, {payload['cycles']} + {payload['warmup']} warmup cycles; "
+        f"results verified bit-identical per cell)",
+    ]
+    for row in payload["rows"]:
+        speedup = row["cycle_s"] / row["event_s"]
+        lines.append(
+            f"  {row['label']:30s}: cycle {row['cycle_s']:6.2f} s -> "
+            f"event {row['event_s']:6.2f} s  ({speedup:4.2f}x)"
+        )
+    lines.append(f"  alone leg total speedup: {payload['alone_speedup']:4.2f}x")
+    lines.append(
+        f"  headline (pointer chase, latency-bound): {payload['headline']:4.2f}x"
+    )
+    return "\n".join(lines)
+
+
+register(
+    BenchSpec(
+        name="kernel_speedup",
+        target=_kernel_speedup,
+        metrics=_kernel_speedup_metrics,
+        timings=_kernel_speedup_timings,
+        checks=_kernel_speedup_checks,
+        format=_kernel_speedup_format,
+        # Runs both kernels back to back; the interesting number is their
+        # ratio (in timings), so allow the absolute wall more slack.
+        max_regression=0.5,
+    )
+)
+
+register(
+    BenchSpec(
+        name="kernel_speedup_full",
+        target=_kernel_speedup_full,
+        tier="full",
+        metrics=_kernel_speedup_metrics,
+        timings=_kernel_speedup_timings,
+        checks=_kernel_speedup_checks,
+        format=_kernel_speedup_format,
+        artifact="kernel_speedup",
+        max_regression=0.5,
+    )
+)

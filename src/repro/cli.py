@@ -1,14 +1,18 @@
 """Command-line interface for running the paper's experiments.
 
 ``python -m repro run <experiment>`` executes any figure- or table-level
-experiment through the parallel engine, and ``python -m repro sweep``
-executes a declarative design-space sweep::
+experiment through the parallel engine, ``python -m repro sweep``
+executes a declarative design-space sweep, and ``python -m repro bench``
+drives the performance-benchmark suite and its regression gate::
 
     python -m repro list
     python -m repro run figure12 --workers 4 --store results/cache.jsonl
     python -m repro run table3 --cycles 8000 --output table3.json
     python -m repro sweep examples/sweep_spec.json --workers 4 \
         --store results/cache.jsonl --out results/sweeps/example
+    python -m repro bench run --tier quick --workers 4 --json bench.json
+    python -m repro bench compare benchmarks/baseline.json bench.json \
+        --max-regression 25%
 
 ``--workers N`` fans simulations out over N worker processes (results are
 identical to a serial run).  ``--store PATH`` persists every simulation
@@ -29,6 +33,7 @@ import json
 import os
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Optional, TextIO
 
 from repro.engine.executor import ParallelExecutor, SerialExecutor
@@ -183,6 +188,41 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _fraction(text: str) -> float:
+    """Parse a regression threshold: ``10%``, ``0.10`` and ``25%`` all work."""
+    raw = text.strip()
+    try:
+        if raw.endswith("%"):
+            value = float(raw[:-1]) / 100.0
+        else:
+            value = float(raw)
+            if value > 1:
+                # A bare 25 almost certainly means 25%, not a 2500%
+                # threshold that would disable the gate; make the caller
+                # say which one they want.
+                raise argparse.ArgumentTypeError(
+                    f"ambiguous threshold {text!r}: write {raw}% for a "
+                    f"percentage or a fraction <= 1 (e.g. {float(raw) / 100})"
+                )
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a fraction (0.25) or percentage (25%), got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"threshold must be positive, got {text!r}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value
+
+
 def _density_list(text: str) -> tuple[int, ...]:
     try:
         densities = tuple(int(part) for part in text.split(",") if part.strip())
@@ -307,6 +347,91 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print what the spec expands to without simulating",
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the performance-benchmark suite and its regression gate",
+        description=(
+            "Drive the declarative benchmark registry (repro.bench): list "
+            "the registered benchmarks, run a tier and emit a "
+            "schema-versioned BENCH_<date>.json document, or compare two "
+            "documents and fail on wall-clock regressions or fidelity drift."
+        ),
+    )
+    bench_subparsers = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_subparsers.add_parser("list", help="list the registered benchmarks")
+
+    bench_run = bench_subparsers.add_parser(
+        "run", help="run a benchmark tier and write the JSON document"
+    )
+    bench_run.add_argument(
+        "--tier",
+        choices=("quick", "full"),
+        default="quick",
+        help=(
+            "quick runs the CI-sized suite; full additionally runs the "
+            "full-window benchmarks (default: quick)"
+        ),
+    )
+    bench_run.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="run only this registered benchmark (repeatable)",
+    )
+    bench_run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the result document here (default: "
+            "BENCH_<date>.json in the bench artifact directory)"
+        ),
+    )
+    bench_run.add_argument(
+        "--no-txt",
+        action="store_true",
+        help="skip writing the per-benchmark text artifacts",
+    )
+    _add_engine_arguments(bench_run)
+
+    bench_compare = bench_subparsers.add_parser(
+        "compare",
+        help="diff a current benchmark document against a baseline",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json document")
+    bench_compare.add_argument("current", help="current BENCH_*.json document")
+    bench_compare.add_argument(
+        "--max-regression",
+        type=_fraction,
+        default=None,
+        help=(
+            "allowed wall-clock regression as a fraction or percentage "
+            "(e.g. 0.25 or 25%%; default: 10%%); per-benchmark overrides "
+            "in the baseline still apply"
+        ),
+    )
+    bench_compare.add_argument(
+        "--noise-floor",
+        type=_nonnegative_float,
+        metavar="SECONDS",
+        default=None,
+        help="wall times under this floor are never gated (default: 0.05)",
+    )
+    bench_compare.add_argument(
+        "--fidelity-tolerance",
+        type=_nonnegative_float,
+        default=None,
+        help="allowed relative drift in fidelity metrics (default: 1e-9)",
+    )
+    bench_compare.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write the markdown regression report to a file",
+    )
     return parser
 
 
@@ -354,7 +479,9 @@ def _write_run_summary(
         f", {args.workers} worker{'s' if args.workers != 1 else ''})\n"
     )
     if runner.store is not None:
-        stderr.write(f"store: {runner.store.path} now holds {len(runner.store)} results\n")
+        stderr.write(
+            f"store: {runner.store.path} now holds {len(runner.store)} results\n"
+        )
 
 
 def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
@@ -397,7 +524,13 @@ def _load_sweep_spec(text: str):
 
 
 def _sweep_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
-    from repro.sweep import SpecError, describe_plan, run_sweep, summarize, write_run_dir
+    from repro.sweep import (
+        SpecError,
+        describe_plan,
+        run_sweep,
+        summarize,
+        write_run_dir,
+    )
 
     try:
         spec = _load_sweep_spec(args.spec)
@@ -418,6 +551,95 @@ def _sweep_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> 
     _write_run_summary(runner, args, stderr)
     stderr.write(f"artifact directory: {written}\n")
     return 0
+
+
+def _bench_list_command(stdout: TextIO) -> int:
+    from repro.bench import all_specs
+
+    specs = all_specs()
+    width = max(len(spec.name) for spec in specs)
+    stdout.write("registered benchmarks (repro bench run):\n")
+    for spec in specs:
+        stdout.write(f"  {spec.name:<{width}}  [{spec.tier:5s}]  {spec.description}\n")
+    return 0
+
+
+def _bench_run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    from repro.bench import (
+        BenchError,
+        all_specs,
+        default_json_path,
+        get_spec,
+        run_specs,
+    )
+
+    try:
+        if args.only:
+            # De-duplicate while preserving order: a repeated --only would
+            # otherwise produce duplicate records the document loader rejects.
+            specs = [get_spec(name) for name in dict.fromkeys(args.only)]
+        else:
+            specs = all_specs(args.tier)
+    except BenchError as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    runner = _build_runner(args, stderr)
+    document = run_specs(
+        specs,
+        tier=args.tier,
+        runner=runner,
+        workers=args.workers,
+        log=stderr,
+        write_text_artifacts=not args.no_txt,
+    )
+    json_path = Path(args.json) if args.json else default_json_path()
+    document.save(json_path)
+    _write_run_summary(runner, args, stderr)
+    failed = [record for record in document.benchmarks if not record.checks_passed]
+    stdout.write(
+        f"{len(document.benchmarks)} benchmarks run, {len(failed)} failed; "
+        f"document written to {json_path}\n"
+    )
+    for record in failed:
+        stdout.write(f"  FAILED {record.name}: {record.error}\n")
+    return 1 if failed else 0
+
+
+def _bench_compare_command(
+    args: argparse.Namespace, stdout: TextIO, stderr: TextIO
+) -> int:
+    from repro.bench import BenchDocument, BenchError, compare_documents
+
+    overrides = {}
+    if args.max_regression is not None:
+        overrides["max_regression"] = args.max_regression
+    if args.noise_floor is not None:
+        overrides["noise_floor_s"] = args.noise_floor
+    if args.fidelity_tolerance is not None:
+        overrides["fidelity_tolerance"] = args.fidelity_tolerance
+    try:
+        baseline = BenchDocument.load(args.baseline)
+        current = BenchDocument.load(args.current)
+        comparison = compare_documents(baseline, current, **overrides)
+    except (BenchError, OSError) as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    report = comparison.to_markdown()
+    stdout.write(report)
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(report, encoding="utf-8")
+        stderr.write(f"report written to {args.report}\n")
+    return 0 if comparison.ok else 1
+
+
+def _bench_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    if args.bench_command == "list":
+        return _bench_list_command(stdout)
+    if args.bench_command == "run":
+        return _bench_run_command(args, stdout, stderr)
+    return _bench_compare_command(args, stdout, stderr)
 
 
 def main(
@@ -446,4 +668,6 @@ def main(
         return 0
     if args.command == "sweep":
         return _sweep_command(args, stdout, stderr)
+    if args.command == "bench":
+        return _bench_command(args, stdout, stderr)
     return _run_command(args, stdout, stderr)

@@ -103,7 +103,11 @@ class RefreshConfig:
     scheduler_seed: int = 1
 
     @classmethod
-    def for_mechanism(cls, mechanism: RefreshMechanism | str, **kwargs) -> "RefreshConfig":
+    def for_mechanism(
+        cls,
+        mechanism: RefreshMechanism | str,
+        **kwargs,
+    ) -> "RefreshConfig":
         """Build a refresh configuration from a mechanism name."""
         if isinstance(mechanism, str):
             mechanism = RefreshMechanism(mechanism)

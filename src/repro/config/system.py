@@ -43,7 +43,11 @@ class SystemConfig:
         """Return a copy running on a different execution kernel."""
         return replace(self, kernel=kernel)
 
-    def with_mechanism(self, mechanism: RefreshMechanism | str, **kwargs) -> "SystemConfig":
+    def with_mechanism(
+        self,
+        mechanism: RefreshMechanism | str,
+        **kwargs,
+    ) -> "SystemConfig":
         """Return a copy configured for a different refresh mechanism.
 
         FGR mechanisms also change the DRAM refresh timings (tREFI / tRFC),

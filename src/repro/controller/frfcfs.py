@@ -80,7 +80,9 @@ class FRFCFSScheduler:
                 else:
                     # Open row does not serve any queued request: precharge.
                     oldest = queue[0]
-                    row_candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
+                    row_candidates.append(
+                        (oldest.arrival_cycle, oldest.request_id, oldest),
+                    )
             else:
                 oldest = queue[0]
                 row_candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
@@ -232,7 +234,9 @@ class FRFCFSScheduler:
         is kept open so the follow-up request gets a row hit.
         """
         ctl = self.controller
-        keep_open = not ctl.config.controller.closed_row or self._another_hit_pending(request)
+        keep_open = not ctl.config.controller.closed_row or self._another_hit_pending(
+            request,
+        )
         if request.is_write:
             kind = CommandType.WR if keep_open else CommandType.WRA
         else:

@@ -9,7 +9,7 @@ completed read requests so cores can wake up their pending loads.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config.system import SystemConfig
@@ -18,7 +18,7 @@ from repro.controller.queues import RequestQueues
 from repro.controller.request import MemRequest
 from repro.controller.write_drain import WriteDrainState
 from repro.dram.address import AddressMapper
-from repro.dram.commands import Command, CommandType
+from repro.dram.commands import Command
 from repro.dram.device import DRAMDevice
 
 

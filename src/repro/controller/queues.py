@@ -17,7 +17,12 @@ from repro.controller.request import MemRequest
 class RequestQueues:
     """Read and write request queues for one channel, organized per bank."""
 
-    def __init__(self, read_entries: int, write_entries: int, bank_keys: Iterable[tuple[int, int]]):
+    def __init__(
+        self,
+        read_entries: int,
+        write_entries: int,
+        bank_keys: Iterable[tuple[int, int]],
+    ):
         self.read_entries = read_entries
         self.write_entries = write_entries
         self.bank_keys = list(bank_keys)
@@ -90,7 +95,11 @@ class RequestQueues:
 
     def idle_banks(self, rank: Optional[int] = None) -> list[tuple[int, int]]:
         """Banks with no pending demand requests (optionally within a rank)."""
-        keys = self.bank_keys if rank is None else [k for k in self.bank_keys if k[0] == rank]
+        keys = (
+            self.bank_keys
+            if rank is None
+            else [k for k in self.bank_keys if k[0] == rank]
+        )
         return [key for key in keys if self.demand_count(key) == 0]
 
     def bank_with_fewest_demands(self, rank: int) -> tuple[int, int]:
@@ -103,7 +112,12 @@ class RequestQueues:
         candidates = [key for key in self.bank_keys if key[0] == rank]
         return min(candidates, key=self.demand_count)
 
-    def pending_row_hit(self, bank_key: tuple[int, int], row: int, writes: bool) -> bool:
+    def pending_row_hit(
+        self,
+        bank_key: tuple[int, int],
+        row: int,
+        writes: bool,
+    ) -> bool:
         """True if any queued request for ``bank_key`` targets ``row``."""
         queue = self.writes[bank_key] if writes else self.reads[bank_key]
         return any(req.row == row for req in queue)

@@ -58,7 +58,11 @@ class WriteDrainState:
         if self.in_drain and write_queue_occupancy > self.config.write_low_watermark:
             self.drain_cycles += count
 
-    def should_serve_writes(self, write_queue_occupancy: int, read_queue_occupancy: int) -> bool:
+    def should_serve_writes(
+        self,
+        write_queue_occupancy: int,
+        read_queue_occupancy: int,
+    ) -> bool:
         """True when the scheduler should pick from the write queue."""
         if self.in_drain:
             return True

@@ -37,7 +37,10 @@ class ElasticRefreshPolicy(RefreshPolicy):
         # let the policy push nearly all of its refresh work past the end of
         # the window, so the effective in-window credit is reduced by the
         # configured steady-state backlog.
-        backlog = min(config.refresh.steady_state_backlog, config.refresh.max_postpone - 1)
+        backlog = min(
+            config.refresh.steady_state_backlog,
+            config.refresh.max_postpone - 1,
+        )
         self._effective_postpone = config.refresh.max_postpone - backlog
         #: Cycle at which each rank last had pending demand requests.
         self._last_busy = [0] * self.num_ranks
@@ -54,7 +57,9 @@ class ElasticRefreshPolicy(RefreshPolicy):
             if busy:
                 if self._was_idle[rank]:
                     idle_length = cycle - self._idle_since[rank]
-                    self._avg_idle[rank] += (idle_length - self._avg_idle[rank]) / history
+                    self._avg_idle[rank] += (
+                        idle_length - self._avg_idle[rank]
+                    ) / history
                 self._was_idle[rank] = False
                 self._last_busy[rank] = cycle
             elif not self._was_idle[rank]:

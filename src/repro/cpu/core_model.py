@@ -16,7 +16,7 @@ The model is a deliberately simple but faithful abstraction of the paper's
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.cache.llc import LastLevelCache

@@ -16,7 +16,7 @@ completes).  The SARP modifications of Section 4.3 are implemented here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config.dram_config import DRAMConfig
 from repro.dram.bank import Bank

@@ -48,7 +48,9 @@ class Rank:
 
     def is_refreshing(self, cycle: int) -> bool:
         """True when any refresh operation is in progress in this rank."""
-        return self.is_under_all_bank_refresh(cycle) or self.is_under_per_bank_refresh(cycle)
+        return self.is_under_all_bank_refresh(cycle) or self.is_under_per_bank_refresh(
+            cycle,
+        )
 
     # -- activation-rate constraints --------------------------------------
     def can_activate(self, cycle: int, trrd: int, tfaw: int) -> bool:
@@ -67,7 +69,12 @@ class Rank:
         self.act_history.append(cycle)
 
     # -- refresh transitions ----------------------------------------------
-    def start_all_bank_refresh(self, cycle: int, duration: int, sarp_enabled: bool) -> None:
+    def start_all_bank_refresh(
+        self,
+        cycle: int,
+        duration: int,
+        sarp_enabled: bool,
+    ) -> None:
         """Begin an all-bank refresh: every bank refreshes concurrently."""
         self.refab_until = cycle + duration
         self.refab_count += 1

@@ -9,7 +9,7 @@ to the other subarrays of a refreshing bank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -46,4 +46,6 @@ def build_subarrays(subarrays_per_bank: int, rows_per_bank: int) -> list[Subarra
             f"({rows_per_bank} % {subarrays_per_bank} != 0)"
         )
     rows_per_subarray = rows_per_bank // subarrays_per_bank
-    return [Subarray(index=i, rows=rows_per_subarray) for i in range(subarrays_per_bank)]
+    return [
+        Subarray(index=i, rows=rows_per_subarray) for i in range(subarrays_per_bank)
+    ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
@@ -50,6 +50,24 @@ class ExecutorStats:
             "simulated": self.simulated,
             "elapsed_s": self.elapsed_s,
         }
+
+    def snapshot(self) -> "ExecutorStats":
+        """Immutable copy, for before/after delta accounting."""
+        return replace(self)
+
+    def delta(self, since: "ExecutorStats") -> "ExecutorStats":
+        """Counter movement since an earlier :meth:`snapshot`.
+
+        Lets callers (the benchmark harness, progress reporting) attribute
+        a slice of a long-lived executor's cumulative counters to one
+        phase of work without resetting shared state.
+        """
+        return ExecutorStats(
+            jobs=self.jobs - since.jobs,
+            store_hits=self.store_hits - since.store_hits,
+            simulated=self.simulated - since.simulated,
+            elapsed_s=self.elapsed_s - since.elapsed_s,
+        )
 
 
 class JobExecutor(ABC):

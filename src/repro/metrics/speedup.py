@@ -18,7 +18,10 @@ def _validate(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> None
         raise ValueError("alone IPCs must be positive")
 
 
-def weighted_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+def weighted_speedup(
+    shared_ipcs: Sequence[float],
+    alone_ipcs: Sequence[float],
+) -> float:
     """Weighted speedup: sum of per-core shared-to-alone IPC ratios.
 
     This is the paper's primary system-performance metric (Section 5).
@@ -27,7 +30,10 @@ def weighted_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) 
     return sum(s / a for s, a in zip(shared_ipcs, alone_ipcs))
 
 
-def harmonic_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+def harmonic_speedup(
+    shared_ipcs: Sequence[float],
+    alone_ipcs: Sequence[float],
+) -> float:
     """Harmonic speedup (Luo et al.): balances throughput and fairness."""
     _validate(shared_ipcs, alone_ipcs)
     n = len(shared_ipcs)
@@ -39,7 +45,10 @@ def harmonic_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) 
     return n / denominator
 
 
-def maximum_slowdown(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+def maximum_slowdown(
+    shared_ipcs: Sequence[float],
+    alone_ipcs: Sequence[float],
+) -> float:
     """Maximum slowdown: the worst per-core alone-to-shared IPC ratio."""
     _validate(shared_ipcs, alone_ipcs)
     worst = 0.0

@@ -85,7 +85,10 @@ class Simulator:
         """
         cache_lines = self.config.cache.size_bytes // self.config.cache.line_bytes
         if accesses is None:
-            footprint_lines = max(1, benchmark.footprint_bytes // self.config.cache.line_bytes)
+            footprint_lines = max(
+                1,
+                benchmark.footprint_bytes // self.config.cache.line_bytes,
+            )
             accesses = min(3 * cache_lines, 4 * footprint_lines)
         if accesses <= 0:
             return

@@ -211,7 +211,10 @@ def format_pareto(summaries: list[ConfigSummary]) -> str:
     )
 
 
-def format_sensitivity(tables: dict[str, dict[object, dict[str, float]]], baseline: str) -> str:
+def format_sensitivity(
+    tables: dict[str, dict[object, dict[str, float]]],
+    baseline: str,
+) -> str:
     """Text tables: one per swept axis, mechanisms as columns."""
     sections = []
     for axis_name, per_value in tables.items():

@@ -76,8 +76,14 @@ def build_workloads(spec: SweepSpec, point: dict) -> list[Workload]:
     workloads and the configuration together, as in the paper's Table 3.
     """
     workload_spec = spec.workloads
-    num_cores = point.get("num_cores", spec.base.get("num_cores", workload_spec.num_cores))
-    seed = point.get("workload_seed", spec.base.get("workload_seed", workload_spec.seed))
+    num_cores = point.get(
+        "num_cores",
+        spec.base.get("num_cores", workload_spec.num_cores),
+    )
+    seed = point.get(
+        "workload_seed",
+        spec.base.get("workload_seed", workload_spec.seed),
+    )
     if workload_spec.kind == "intensive":
         return memory_intensive_workloads(
             count=workload_spec.count, num_cores=num_cores, seed=seed
@@ -186,7 +192,10 @@ def plan_sweep(
     return points, pairs, provenance
 
 
-def run_sweep(spec: SweepSpec, runner: Optional["ExperimentRunner"] = None) -> SweepResult:
+def run_sweep(
+    spec: SweepSpec,
+    runner: Optional["ExperimentRunner"] = None,
+) -> SweepResult:
     """Execute a sweep spec end to end and collect its cells.
 
     The whole design space is submitted as a single engine batch

@@ -21,7 +21,7 @@ import json
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.config.refresh_config import RefreshMechanism
 from repro.workloads.mixes import INTENSITY_CATEGORIES
@@ -134,7 +134,9 @@ class WorkloadSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadSpec":
-        unknown = sorted(set(data) - {"kind", "count", "num_cores", "seed", "categories"})
+        unknown = sorted(
+            set(data) - {"kind", "count", "num_cores", "seed", "categories"},
+        )
         if unknown:
             raise SpecError(f"unknown workload keys: {', '.join(unknown)}")
         return cls(

@@ -73,7 +73,11 @@ class Workload:
         )
 
 
-def make_workload(benchmarks: list[Benchmark] | tuple[Benchmark, ...], name: str | None = None, seed: int = 0) -> Workload:
+def make_workload(
+    benchmarks: list[Benchmark] | tuple[Benchmark, ...],
+    name: str | None = None,
+    seed: int = 0,
+) -> Workload:
     """Build a workload from an explicit benchmark list."""
     benchmarks = tuple(benchmarks)
     if not benchmarks:

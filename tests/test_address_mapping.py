@@ -75,7 +75,13 @@ class TestEncodeDecodeRoundTrip:
     @settings(max_examples=200, deadline=None)
     def test_location_round_trip(self, channel, rank, bank, row, column):
         mapper = AddressMapper(DRAMOrganization())
-        loc = PhysicalLocation(channel=channel, rank=rank, bank=bank, row=row, column=column)
+        loc = PhysicalLocation(
+            channel=channel,
+            rank=rank,
+            bank=bank,
+            row=row,
+            column=column,
+        )
         assert mapper.decode(mapper.encode(loc)) == loc
 
 

@@ -79,7 +79,12 @@ class TestFigureFormatters:
 
 class TestTableFormatters:
     def test_table2(self):
-        entry = {"max_refpb": 1.0, "gmean_refpb": 0.5, "max_refab": 2.0, "gmean_refab": 1.0}
+        entry = {
+            "max_refpb": 1.0,
+            "gmean_refpb": 0.5,
+            "max_refab": 2.0,
+            "gmean_refab": 1.0,
+        }
         text = format_table2({8: {"darp": entry, "sarppb": entry, "dsarp": entry}})
         assert "DSARP" in text and "Gmean% vs REFab" in text
 
@@ -97,5 +102,10 @@ class TestTableFormatters:
         assert "Subarrays" in format_table5({1: 0.0, 8: 5.0})
 
     def test_table6(self):
-        entry = {"max_refpb": 1.0, "gmean_refpb": 0.5, "max_refab": 2.0, "gmean_refab": 1.0}
+        entry = {
+            "max_refpb": 1.0,
+            "gmean_refpb": 0.5,
+            "max_refab": 2.0,
+            "gmean_refab": 1.0,
+        }
         assert "64 ms" in format_table6({8: entry})

@@ -8,7 +8,12 @@ from repro.dram.rank import Rank
 
 
 def make_bank(index: int = 0, subarrays: int = 8, rows: int = 65536) -> Bank:
-    return Bank(index=index, rows=rows, subarrays_per_bank=subarrays, rows_per_refresh=8)
+    return Bank(
+        index=index,
+        rows=rows,
+        subarrays_per_bank=subarrays,
+        rows_per_refresh=8,
+    )
 
 
 def make_rank(num_banks: int = 8) -> Rank:
@@ -103,7 +108,9 @@ class TestBankRefresh:
         bank.do_refresh(0, duration=100, sarp_enabled=True)
         refreshing = bank.refreshing_subarray
         row_in_refreshing = refreshing * bank.rows_per_subarray
-        row_elsewhere = ((refreshing + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        row_elsewhere = (
+            (refreshing + 1) % bank.subarrays_per_bank
+        ) * bank.rows_per_subarray
         assert bank.refresh_conflicts_with(50, row_in_refreshing)
         assert not bank.refresh_conflicts_with(50, row_elsewhere)
         # After the refresh finishes there is no conflict.

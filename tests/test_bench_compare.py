@@ -1,0 +1,224 @@
+"""Tests for the benchmark baseline comparison (the regression gate)."""
+
+import pytest
+
+from repro.bench import BenchDocument, BenchError, BenchRecord, compare_documents
+from repro.bench.compare import (
+    STATUS_FIDELITY,
+    STATUS_MISSING,
+    STATUS_NEW,
+    STATUS_NOISE,
+    STATUS_OK,
+    STATUS_REGRESSION,
+)
+
+
+def record(name="bench_a", wall=1.0, metrics=None, max_regression=None):
+    return BenchRecord(
+        name=name,
+        tier="quick",
+        wall_clock_s=wall,
+        metrics=dict(metrics or {}),
+        max_regression=max_regression,
+    )
+
+
+def document(*records, schema_version=None):
+    doc = BenchDocument(
+        tier="quick", created_utc="2026-07-30T00:00:00Z", benchmarks=list(records)
+    )
+    if schema_version is not None:
+        doc.schema_version = schema_version
+    return doc
+
+
+def entry(comparison, name):
+    matches = [e for e in comparison.entries if e.name == name]
+    assert len(matches) == 1, comparison.entries
+    return matches[0]
+
+
+class TestWallClockGate:
+    def test_identical_documents_pass(self):
+        doc = document(record(wall=2.0, metrics={"m": 1.0}))
+        comparison = compare_documents(doc, doc)
+        assert comparison.ok
+        assert entry(comparison, "bench_a").status == STATUS_OK
+
+    def test_regression_beyond_threshold_fails(self):
+        comparison = compare_documents(
+            document(record(wall=1.0)),
+            document(record(wall=1.5)),
+            max_regression=0.25,
+        )
+        assert not comparison.ok
+        assert entry(comparison, "bench_a").status == STATUS_REGRESSION
+
+    def test_threshold_boundary_is_inclusive(self):
+        # Exactly at the allowed regression: not a failure (strictly greater
+        # trips the gate), so a stable benchmark cannot flap on equality.
+        comparison = compare_documents(
+            document(record(wall=1.0)),
+            document(record(wall=1.25)),
+            max_regression=0.25,
+        )
+        assert comparison.ok
+        # One tick above the boundary fails.
+        comparison = compare_documents(
+            document(record(wall=1.0)),
+            document(record(wall=1.2500001)),
+            max_regression=0.25,
+        )
+        assert not comparison.ok
+
+    def test_speedups_always_pass(self):
+        comparison = compare_documents(
+            document(record(wall=2.0)), document(record(wall=0.5))
+        )
+        assert comparison.ok
+
+    def test_per_benchmark_override_from_baseline_wins(self):
+        # The baseline grants this benchmark 100% slack; a 50% slowdown
+        # passes even though the global gate is 10%.
+        comparison = compare_documents(
+            document(record(wall=1.0, max_regression=1.0)),
+            document(record(wall=1.5)),
+            max_regression=0.10,
+        )
+        assert comparison.ok
+        assert entry(comparison, "bench_a").threshold == 1.0
+
+
+class TestNoiseFloor:
+    def test_sub_floor_times_are_never_gated(self):
+        # 10x slower, but both runs are well under the noise floor.
+        comparison = compare_documents(
+            document(record(wall=0.001)),
+            document(record(wall=0.010)),
+            noise_floor_s=0.05,
+        )
+        assert comparison.ok
+        assert entry(comparison, "bench_a").status == STATUS_NOISE
+
+    def test_zero_time_baseline_under_floor_is_noise(self):
+        # A degenerate zero-time record cannot produce a divide-by-zero or
+        # an infinite regression while the current time stays sub-floor.
+        comparison = compare_documents(
+            document(record(wall=0.0)),
+            document(record(wall=0.04)),
+            noise_floor_s=0.05,
+        )
+        assert comparison.ok
+        assert entry(comparison, "bench_a").status == STATUS_NOISE
+
+    def test_zero_time_baseline_with_real_current_time_fails(self):
+        # Growing from ~nothing to above the floor is a real slowdown.
+        comparison = compare_documents(
+            document(record(wall=0.0)),
+            document(record(wall=1.0)),
+            noise_floor_s=0.05,
+        )
+        assert not comparison.ok
+        failing = entry(comparison, "bench_a")
+        assert failing.status == STATUS_REGRESSION
+        # The report shows the infinite change instead of hiding the column.
+        assert failing.change_pct == float("inf")
+        assert "+inf%" in comparison.to_markdown()
+
+
+class TestMissingAndNew:
+    def test_benchmark_missing_from_current_fails(self):
+        comparison = compare_documents(
+            document(record("bench_a"), record("bench_b")),
+            document(record("bench_a")),
+        )
+        assert not comparison.ok
+        assert entry(comparison, "bench_b").status == STATUS_MISSING
+
+    def test_benchmark_missing_from_baseline_is_reported_new_not_failed(self):
+        comparison = compare_documents(
+            document(record("bench_a")),
+            document(record("bench_a"), record("bench_new")),
+        )
+        assert comparison.ok
+        assert entry(comparison, "bench_new").status == STATUS_NEW
+
+    def test_disjoint_documents_are_rejected(self):
+        with pytest.raises(BenchError, match="share no benchmarks"):
+            compare_documents(document(record("bench_a")), document(record("bench_b")))
+
+
+class TestFidelityGate:
+    def test_metric_drift_fails(self):
+        comparison = compare_documents(
+            document(record(metrics={"gmean": 1.50})),
+            document(record(metrics={"gmean": 1.51})),
+        )
+        assert not comparison.ok
+        failing = entry(comparison, "bench_a")
+        assert failing.status == STATUS_FIDELITY
+        assert "gmean" in failing.detail
+
+    def test_drift_within_tolerance_passes(self):
+        comparison = compare_documents(
+            document(record(metrics={"gmean": 1.5})),
+            document(record(metrics={"gmean": 1.5 + 1e-12})),
+        )
+        assert comparison.ok
+
+    def test_disappearing_metric_fails(self):
+        comparison = compare_documents(
+            document(record(metrics={"gmean": 1.5})),
+            document(record(metrics={})),
+        )
+        assert not comparison.ok
+        assert entry(comparison, "bench_a").status == STATUS_FIDELITY
+
+    def test_new_metric_in_current_is_fine(self):
+        comparison = compare_documents(
+            document(record(metrics={})),
+            document(record(metrics={"gmean": 1.5})),
+        )
+        assert comparison.ok
+
+
+class TestSchemaAndParameters:
+    def test_schema_version_mismatch_rejected(self):
+        with pytest.raises(BenchError, match="schema version mismatch"):
+            compare_documents(
+                document(record(), schema_version=1),
+                document(record(), schema_version=2),
+            )
+
+    def test_invalid_thresholds_rejected(self):
+        doc = document(record())
+        with pytest.raises(BenchError, match="max_regression"):
+            compare_documents(doc, doc, max_regression=0.0)
+        with pytest.raises(BenchError, match="noise_floor_s"):
+            compare_documents(doc, doc, noise_floor_s=-1.0)
+
+
+class TestMarkdownReport:
+    def test_report_contains_verdict_and_failing_rows_first(self):
+        comparison = compare_documents(
+            document(
+                record("bench_fast", wall=1.0),
+                record("bench_slow", wall=1.0),
+            ),
+            document(
+                record("bench_fast", wall=1.0),
+                record("bench_slow", wall=3.0),
+            ),
+            max_regression=0.25,
+        )
+        report = comparison.to_markdown()
+        assert "FAIL (1 of 2 benchmarks failing)" in report
+        assert "REGRESSION" in report
+        # Failing rows sort above passing rows.
+        assert report.index("bench_slow") < report.index("bench_fast")
+
+    def test_passing_report_says_pass(self):
+        doc = document(record(wall=1.0))
+        report = compare_documents(doc, doc).to_markdown()
+        assert "PASS" in report
+        assert "| bench_a |" in report

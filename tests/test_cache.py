@@ -84,7 +84,9 @@ class TestSetAssociativeCache:
             cache.access(address, is_write)
             assert cache.occupancy() <= capacity_lines
 
-    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200))
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200),
+    )
     @settings(max_examples=50, deadline=None)
     def test_most_recent_line_always_resident(self, addresses):
         cache = small_cache(size=2 * 1024, assoc=2, line=64)
@@ -107,7 +109,9 @@ class TestLastLevelCache:
         assert llc.line_address(130) == 128
 
     def test_contains_does_not_disturb_lru(self):
-        llc = LastLevelCache(CacheConfig(size_bytes=4 * 64, associativity=4, line_bytes=64))
+        llc = LastLevelCache(
+            CacheConfig(size_bytes=4 * 64, associativity=4, line_bytes=64),
+        )
         llc.access(0, is_write=False)
         assert llc.contains(0)
         assert not llc.contains(64)

@@ -1,6 +1,5 @@
 """Command-type semantics and simulator edge cases."""
 
-import pytest
 
 from repro.config.presets import paper_system
 from repro.dram.commands import Command, CommandType
@@ -45,7 +44,9 @@ class TestSimulatorEdgeCases:
         assert result.cores[0].instructions > 0
 
     def test_non_intensive_workload_barely_touches_dram(self):
-        workload = make_workload([get_benchmark("povray_like"), get_benchmark("gcc_like")])
+        workload = make_workload(
+            [get_benchmark("povray_like"), get_benchmark("gcc_like")],
+        )
         config = paper_system(density_gb=8, mechanism="none", num_cores=2)
         result = Simulator(config, workload).run(3000, warmup=1000)
         # After warmup the small footprints live in the LLC: near-peak IPC
@@ -54,13 +55,17 @@ class TestSimulatorEdgeCases:
         assert sum(result.ipcs) > 2.0
 
     def test_intensive_workload_classified_correctly(self):
-        workload = make_workload([get_benchmark("stream_copy"), get_benchmark("mcf_like")])
+        workload = make_workload(
+            [get_benchmark("stream_copy"), get_benchmark("mcf_like")],
+        )
         config = paper_system(density_gb=8, mechanism="none", num_cores=2)
         result = Simulator(config, workload).run(4000, warmup=1000)
         assert all(core.mpki >= 10 for core in result.cores)
 
     def test_different_seeds_produce_different_results(self):
-        workload = make_workload([get_benchmark("random_access"), get_benchmark("mcf_like")])
+        workload = make_workload(
+            [get_benchmark("random_access"), get_benchmark("mcf_like")],
+        )
         config = paper_system(density_gb=8, mechanism="none", num_cores=2)
         a = Simulator(config, workload, seed=1).run(2000, warmup=200)
         b = Simulator(config, workload, seed=2).run(2000, warmup=200)

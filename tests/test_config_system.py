@@ -6,7 +6,6 @@ from repro.config.controller_config import ControllerConfig
 from repro.config.cpu_config import CacheConfig, CPUConfig
 from repro.config.presets import baseline_densities, mechanism_names, paper_system
 from repro.config.refresh_config import RefreshConfig, RefreshMechanism
-from repro.config.system import SystemConfig
 
 
 class TestControllerConfig:

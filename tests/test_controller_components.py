@@ -1,6 +1,5 @@
 """Unit tests for controller building blocks: queues, write drain, requests."""
 
-import pytest
 
 from repro.config.controller_config import ControllerConfig
 from repro.config.dram_config import DRAMOrganization
@@ -10,7 +9,12 @@ from repro.controller.write_drain import WriteDrainState
 from repro.dram.address import AddressMapper
 
 
-def make_request(address: int, is_write: bool = False, core_id: int = 0, cycle: int = 0):
+def make_request(
+    address: int,
+    is_write: bool = False,
+    core_id: int = 0,
+    cycle: int = 0,
+):
     mapper = AddressMapper(DRAMOrganization())
     return MemRequest(
         address=address,

@@ -64,7 +64,9 @@ class TestLoadBehaviour:
         assert core.stats.loads > 1
 
     def test_mshr_limit_respected(self):
-        entries = [TraceEntry(gap=0, address=i * 4096, is_write=False) for i in range(256)]
+        entries = [
+            TraceEntry(gap=0, address=i * 4096, is_write=False) for i in range(256)
+        ]
         core, memory = make_core(entries)
         max_outstanding = 0
         for cycle in range(60):

@@ -182,7 +182,9 @@ class TestSARP:
         bank = device.bank(0, 0, 0)
         device.issue(refpb(bank=0), 0)
         refreshing = bank.refreshing_subarray
-        other_subarray_row = ((refreshing + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        other_subarray_row = (
+            (refreshing + 1) % bank.subarrays_per_bank
+        ) * bank.rows_per_subarray
         conflicting_row = refreshing * bank.rows_per_subarray
         assert device.can_issue(act(bank=0, row=other_subarray_row), 10)
         assert not device.can_issue(act(bank=0, row=conflicting_row), 10)
@@ -196,7 +198,9 @@ class TestSARP:
         device = make_device(sarp=True)
         device.issue(refab(), 0)
         bank = device.bank(0, 0, 0)
-        other_row = ((bank.refreshing_subarray + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        other_row = (
+            (bank.refreshing_subarray + 1) % bank.subarrays_per_bank
+        ) * bank.rows_per_subarray
         assert device.can_issue(act(bank=0, row=other_row), 10)
 
     def test_sarp_inflates_tfaw_during_refresh(self):
@@ -204,7 +208,9 @@ class TestSARP:
         t = device.timings
         device.issue(refab(), 0)
         bank = device.bank(0, 0, 0)
-        safe_row = ((bank.refreshing_subarray + 1) % bank.subarrays_per_bank) * bank.rows_per_subarray
+        safe_row = (
+            (bank.refreshing_subarray + 1) % bank.subarrays_per_bank
+        ) * bank.rows_per_subarray
         scaled_tfaw, scaled_trrd = scaled_tfaw_trrd(t.tFAW, t.tRRD, all_bank=True)
         # Issue activates as fast as the scaled tRRD allows.
         cycle = 0

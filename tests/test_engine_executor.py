@@ -7,8 +7,6 @@ from repro.engine.jobs import SimulationJob
 from repro.engine.progress import ProgressCollector
 from repro.engine.store import InMemoryStore
 from repro.sim.runner import ExperimentRunner
-from repro.workloads.benchmark_suite import get_benchmark
-from repro.workloads.mixes import make_workload
 
 from tests.conftest import small_system, small_workload
 
@@ -112,9 +110,13 @@ class TestRunnerEngineIntegration:
         return ExperimentRunner(**kwargs)
 
     def test_simulate_many_matches_simulate(self):
-        pairs = [(small_system(mechanism), small_workload()) for mechanism in MECHANISMS]
+        pairs = [
+            (small_system(mechanism), small_workload()) for mechanism in MECHANISMS
+        ]
         batched = self.runner().simulate_many(pairs)
-        single = [self.runner().simulate(config, workload) for config, workload in pairs]
+        single = [
+            self.runner().simulate(config, workload) for config, workload in pairs
+        ]
         assert batched == single
 
     def test_compare_many_matches_compare(self):

@@ -5,7 +5,6 @@ no-refresh policy so nothing blocks demand) and inspect the command it
 proposes each cycle.
 """
 
-import pytest
 
 from repro.config.presets import paper_system
 from repro.controller.memory_controller import MemorySystem
@@ -99,7 +98,10 @@ class TestWriteDrainScheduling:
         memory = make_memory()
         controller = memory.controllers[0]
         channel0_requests(memory, [1 << 21], is_write=True)
-        controller.drain.update(controller.queues.write_count, controller.queues.read_count)
+        controller.drain.update(
+            controller.queues.write_count,
+            controller.queues.read_count,
+        )
         selection = controller.scheduler.select(0)
         assert selection is not None
         command, _ = selection

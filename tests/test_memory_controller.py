@@ -1,6 +1,5 @@
 """Unit/integration tests for the channel controller and memory system."""
 
-import pytest
 
 from repro.config.presets import paper_system
 from repro.controller.memory_controller import MemorySystem

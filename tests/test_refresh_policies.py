@@ -1,6 +1,5 @@
 """Unit tests for every refresh policy (the paper's core mechanisms)."""
 
-import pytest
 
 from repro.config.presets import paper_system
 from repro.config.refresh_config import RefreshMechanism

@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.config.presets import paper_system
 from repro.sim.results import CoreResult, MechanismComparison, SimulationResult, WorkloadResult
 from repro.sim.runner import ExperimentRunner, run_mechanism_comparison, run_workload
 from repro.sim.simulator import Simulator
 from repro.workloads.benchmark_suite import get_benchmark
 from repro.workloads.mixes import make_workload
 
-from tests.conftest import quick_run, small_system, small_workload
+from tests.conftest import small_system, small_workload
 
 
 def make_simulation(workload="wl", mechanism="refab", ipcs=(1.0, 2.0), energy=10.0):
@@ -57,8 +56,14 @@ class TestResultRecords:
 
     def test_mechanism_comparison_normalization(self):
         comparison = MechanismComparison(workload="wl", density_gb=8)
-        comparison.results["refab"] = WorkloadResult(make_simulation(ipcs=(1.0, 1.0)), [1.0, 1.0])
-        comparison.results["dsarp"] = WorkloadResult(make_simulation(ipcs=(1.2, 1.2)), [1.0, 1.0])
+        comparison.results["refab"] = WorkloadResult(
+            make_simulation(ipcs=(1.0, 1.0)),
+            [1.0, 1.0],
+        )
+        comparison.results["dsarp"] = WorkloadResult(
+            make_simulation(ipcs=(1.2, 1.2)),
+            [1.0, 1.0],
+        )
         normalized = comparison.normalized_to("refab")
         assert normalized["refab"] == pytest.approx(1.0)
         assert normalized["dsarp"] == pytest.approx(1.2)
@@ -156,7 +161,13 @@ class TestExperimentRunner:
 
     def test_module_level_helpers(self):
         workload = make_workload([get_benchmark("mcf_like"), get_benchmark("gcc_like")])
-        result = run_workload(workload, density_gb=8, mechanism="refab", cycles=1500, warmup=300)
+        result = run_workload(
+            workload,
+            density_gb=8,
+            mechanism="refab",
+            cycles=1500,
+            warmup=300,
+        )
         assert result.weighted_speedup > 0
         comparison = run_mechanism_comparison(
             density_gb=8,

@@ -88,7 +88,12 @@ def legacy_table4(runner, scale, tfaw_values=(5, 10, 15, 20, 25, 30), density_gb
     return result
 
 
-def legacy_table5(runner, scale, subarray_counts=(1, 2, 4, 8, 16, 32, 64), density_gb=32):
+def legacy_table5(
+    runner,
+    scale,
+    subarray_counts=(1, 2, 4, 8, 16, 32, 64),
+    density_gb=32,
+):
     workloads = memory_intensive_workloads(count=scale.sensitivity_workloads)
     result = {}
     for count in subarray_counts:

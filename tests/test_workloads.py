@@ -37,7 +37,10 @@ class TestGenerators:
         for factory in (streaming_trace, random_trace, mixed_trace):
             entries = take(factory(footprint, 0.2, 0.3, seed=3), 500)
             assert all(0 <= e.address < footprint for e in entries)
-        entries = take(strided_trace(footprint, 0.2, 0.3, stride_bytes=256, seed=3), 500)
+        entries = take(
+            strided_trace(footprint, 0.2, 0.3, stride_bytes=256, seed=3),
+            500,
+        )
         assert all(0 <= e.address < footprint for e in entries)
 
     def test_determinism_per_seed(self):
@@ -58,11 +61,17 @@ class TestGenerators:
         assert stats["memory_fraction"] == pytest.approx(0.1, rel=0.25)
 
     def test_dependent_fraction_zero_means_no_dependences(self):
-        entries = take(random_trace(1 << 20, 0.1, 0.0, seed=1, dependent_fraction=0.0), 200)
+        entries = take(
+            random_trace(1 << 20, 0.1, 0.0, seed=1, dependent_fraction=0.0),
+            200,
+        )
         assert not any(e.depends for e in entries)
 
     def test_dependent_loads_present_for_pointer_chasing(self):
-        entries = take(random_trace(1 << 20, 0.1, 0.0, seed=1, dependent_fraction=0.9), 200)
+        entries = take(
+            random_trace(1 << 20, 0.1, 0.0, seed=1, dependent_fraction=0.9),
+            200,
+        )
         assert sum(e.depends for e in entries) > 100
 
     def test_strided_requires_line_sized_stride(self):
@@ -72,7 +81,10 @@ class TestGenerators:
     def test_summarize_empty(self):
         assert summarize([])["accesses"] == 0
 
-    @given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=0.01, max_value=0.9))
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.01, max_value=0.9),
+    )
     @settings(max_examples=30, deadline=None)
     def test_gap_never_negative(self, seed, memory_fraction):
         entries = take(random_trace(1 << 20, memory_fraction, 0.2, seed=seed), 50)
