@@ -17,7 +17,7 @@ Then run it again to see the warm-store path.
 
 import os
 
-from repro import ParallelExecutor, JsonlStore, make_workload_category
+from repro import JsonlStore, ParallelExecutor, make_workload_category
 from repro.config.presets import paper_system
 from repro.engine.progress import ProgressPrinter
 from repro.sim.runner import ExperimentRunner

@@ -13,8 +13,8 @@ For the parallel engine and the persistent result store, see
 """
 
 from repro import RefreshMechanism, make_workload_category
-from repro.sim.runner import ExperimentRunner
 from repro.config.presets import paper_system
+from repro.sim.runner import ExperimentRunner
 
 MECHANISMS = (
     RefreshMechanism.REFAB,

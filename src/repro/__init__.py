@@ -27,7 +27,20 @@ Quickstart
 >>> sorted(result.weighted_speedup, key=result.weighted_speedup.get)
 """
 
-from repro.version import __version__
+from repro.config import (
+    CacheConfig,
+    ControllerConfig,
+    CPUConfig,
+    DRAMConfig,
+    DRAMOrganization,
+    DRAMTimings,
+    RefreshConfig,
+    RefreshMechanism,
+    SystemConfig,
+    baseline_densities,
+    mechanism_names,
+    paper_system,
+)
 from repro.engine import (
     InMemoryStore,
     JsonlStore,
@@ -35,28 +48,11 @@ from repro.engine import (
     SerialExecutor,
     SimulationJob,
 )
-from repro.config import (
-    SystemConfig,
-    DRAMConfig,
-    DRAMOrganization,
-    DRAMTimings,
-    ControllerConfig,
-    CPUConfig,
-    CacheConfig,
-    RefreshConfig,
-    RefreshMechanism,
-    paper_system,
-    baseline_densities,
-    mechanism_names,
-)
-from repro.sim.simulator import Simulator
 from repro.sim.results import SimulationResult, WorkloadResult
-from repro.sim.runner import (
-    ExperimentRunner,
-    run_workload,
-    run_mechanism_comparison,
-)
+from repro.sim.runner import ExperimentRunner, run_mechanism_comparison, run_workload
+from repro.sim.simulator import Simulator
 from repro.sweep import Axis, SweepSpec, WorkloadSpec, run_sweep
+from repro.version import __version__
 from repro.workloads import (
     Benchmark,
     Workload,

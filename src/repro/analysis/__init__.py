@@ -1,5 +1,15 @@
 """Formatting of experiment results into paper-style tables and series."""
 
+from repro.analysis.figures import (
+    format_figure12,
+    format_figure13,
+    format_figure14,
+    format_figure15,
+    format_figure16,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+)
 from repro.analysis.tables import (
     format_table,
     format_table2,
@@ -7,16 +17,6 @@ from repro.analysis.tables import (
     format_table4,
     format_table5,
     format_table6,
-)
-from repro.analysis.figures import (
-    format_figure5,
-    format_figure6,
-    format_figure7,
-    format_figure12,
-    format_figure13,
-    format_figure14,
-    format_figure15,
-    format_figure16,
 )
 
 __all__ = [

@@ -1031,3 +1031,90 @@ register(
         max_regression=0.5,
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-policy matrix: every registered policy, both kernels, diffed
+# ---------------------------------------------------------------------------
+def _scheduler_matrix(context: BenchContext):
+    """Every scheduler x page-policy cell run on both kernels and diffed."""
+    from repro.controller.policies import scheduler_names
+
+    workload = make_workload_category(100, index=0, num_cores=2)
+    rows = []
+    for scheduler in scheduler_names():
+        for page_policy in ("closed", "open"):
+            base = (
+                paper_system(density_gb=8, mechanism="refab", num_cores=2)
+                .with_scheduler(scheduler)
+                .with_page_policy(page_policy)
+            )
+            results = {}
+            for kernel in ("cycle", "event"):
+                simulator = Simulator(base.with_kernel(kernel), workload)
+                results[kernel] = simulator.run(
+                    context.cycles, warmup=context.warmup
+                ).to_dict()
+            event = results["event"]
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "page_policy": page_policy,
+                    "identical": results["event"] == results["cycle"],
+                    "served_reads": event["controller_stats"]["served_reads"],
+                    "average_read_latency": event["controller_stats"][
+                        "average_read_latency"
+                    ],
+                }
+            )
+    return rows
+
+
+def _scheduler_matrix_metrics(rows) -> dict:
+    metrics = {}
+    for row in rows:
+        key = f"{row['scheduler']}_{row['page_policy']}".replace("-", "_")
+        metrics[f"identical_{key}"] = 1.0 if row["identical"] else 0.0
+        metrics[f"served_reads_{key}"] = float(row["served_reads"])
+        metrics[f"avg_read_latency_{key}"] = row["average_read_latency"]
+    return metrics
+
+
+def _scheduler_matrix_checks(rows, context: BenchContext) -> None:
+    # Kernel identity is window-insensitive: it must hold for every policy
+    # cell at any REPRO_CYCLES, so the differential guarantee the default
+    # scheduler enjoys extends to the whole registry.
+    for row in rows:
+        assert row["identical"], (
+            f"kernels diverged under scheduler={row['scheduler']!r}, "
+            f"page_policy={row['page_policy']!r}"
+        )
+
+
+def _scheduler_matrix_format(rows) -> str:
+    lines = [
+        "Scheduler-policy matrix (event vs cycle kernel, per-cell diff):",
+        f"  {'scheduler':12s} {'page':8s} {'identical':>9s} "
+        f"{'reads':>8s} {'avg read lat':>13s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['scheduler']:12s} {row['page_policy']:8s} "
+            f"{'yes' if row['identical'] else 'NO':>9s} "
+            f"{row['served_reads']:8.0f} {row['average_read_latency']:13.2f}"
+        )
+    return "\n".join(lines)
+
+
+register(
+    BenchSpec(
+        name="scheduler_matrix",
+        target=_scheduler_matrix,
+        metrics=_scheduler_matrix_metrics,
+        checks=_scheduler_matrix_checks,
+        format=_scheduler_matrix_format,
+        # Twelve short simulations back to back; absolute wall time is the
+        # least interesting number here, so allow extra slack.
+        max_regression=0.5,
+    )
+)

@@ -6,7 +6,7 @@ writes — the writeback traffic whose batching DARP's write-refresh
 parallelization exploits.
 """
 
-from repro.cache.set_assoc import SetAssociativeCache, CacheAccessResult
 from repro.cache.llc import LastLevelCache
+from repro.cache.set_assoc import CacheAccessResult, SetAssociativeCache
 
 __all__ = ["SetAssociativeCache", "CacheAccessResult", "LastLevelCache"]

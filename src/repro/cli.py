@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, TextIO
 
+from repro.config.controller_config import PAGE_POLICIES, PAGE_POLICY_DESCRIPTIONS
+from repro.controller.policies import scheduler_descriptions, scheduler_names
 from repro.engine.executor import ParallelExecutor, SerialExecutor
 from repro.engine.progress import ProgressPrinter
 from repro.engine.store import JsonlStore
@@ -269,6 +271,24 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--scheduler",
+        choices=scheduler_names(),
+        default=None,
+        help=(
+            "demand-scheduling policy applied to every simulated "
+            "configuration (default: the config's, 'frfcfs')"
+        ),
+    )
+    parser.add_argument(
+        "--page-policy",
+        choices=PAGE_POLICIES,
+        default=None,
+        help=(
+            "page-management policy applied to every simulated "
+            "configuration (default: the config's, 'closed')"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print one line per completed simulation job",
@@ -447,8 +467,17 @@ def _build_scale(args: argparse.Namespace) -> ExperimentScale:
     return dataclasses.replace(scale, **overrides) if overrides else scale
 
 
-def _build_runner(args: argparse.Namespace, stderr: TextIO) -> ExperimentRunner:
-    """Assemble the engine stack (executor, store, progress) from CLI args."""
+def _build_runner(
+    args: argparse.Namespace, stderr: TextIO, policy_overrides: bool = True
+) -> ExperimentRunner:
+    """Assemble the engine stack (executor, store, progress) from CLI args.
+
+    ``policy_overrides=False`` keeps ``--scheduler`` / ``--page-policy``
+    out of the runner: the sweep path applies them to the spec's ``base``
+    instead (see :func:`_apply_policy_flags`), so a swept
+    ``scheduler``/``page_policy`` axis is never silently clobbered by a
+    blanket per-job override.
+    """
     store = JsonlStore(args.store) if args.store else None
     if store is not None:
         stderr.write(f"store: {store.path} ({len(store)} cached results)\n")
@@ -463,6 +492,8 @@ def _build_runner(args: argparse.Namespace, stderr: TextIO) -> ExperimentRunner:
         store=store,
         progress=ProgressPrinter(stream=stderr) if args.progress else None,
         kernel=args.kernel,
+        scheduler=args.scheduler if policy_overrides else None,
+        page_policy=args.page_policy if policy_overrides else None,
     )
 
 
@@ -523,6 +554,25 @@ def _load_sweep_spec(text: str):
     )
 
 
+def _apply_policy_flags(spec, scheduler: Optional[str], page_policy: Optional[str]):
+    """Fold ``--scheduler`` / ``--page-policy`` into a sweep spec's ``base``.
+
+    ``base`` knobs are overridden by axis values during compilation, so a
+    spec that *sweeps* ``scheduler`` or ``page_policy`` keeps its axis
+    intact — the flags only change the default for specs that do not
+    sweep that knob.  (A per-job runner override would instead rewrite
+    every compiled cell, silently collapsing the swept axis.)
+    """
+    if scheduler is None and page_policy is None:
+        return spec
+    base = dict(spec.base)
+    if scheduler is not None:
+        base["scheduler"] = scheduler
+    if page_policy is not None:
+        base["page_policy"] = page_policy
+    return dataclasses.replace(spec, base=base)
+
+
 def _sweep_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
     from repro.sweep import (
         SpecError,
@@ -537,11 +587,12 @@ def _sweep_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> 
     except (SpecError, OSError) as error:
         stderr.write(f"error: {error}\n")
         return 2
+    spec = _apply_policy_flags(spec, args.scheduler, args.page_policy)
     stderr.write(describe_plan(spec) + "\n")
     if args.dry_run:
         return 0
 
-    runner = _build_runner(args, stderr)
+    runner = _build_runner(args, stderr, policy_overrides=False)
     result = run_sweep(spec, runner=runner)
     summary = summarize(result)
 
@@ -664,6 +715,12 @@ def main(
         stdout.write("\nbuilt-in sweeps (repro sweep <name>):\n")
         for name in sorted(BUILTIN_SPECS):
             description = BUILTIN_SPECS[name]().description
+            stdout.write(f"  {name:<{width}}  {description}\n")
+        stdout.write("\nscheduler policies (--scheduler, sweep axis 'scheduler'):\n")
+        for name, description in scheduler_descriptions().items():
+            stdout.write(f"  {name:<{width}}  {description}\n")
+        stdout.write("\npage policies (--page-policy, sweep axis 'page_policy'):\n")
+        for name, description in PAGE_POLICY_DESCRIPTIONS.items():
             stdout.write(f"  {name:<{width}}  {description}\n")
         return 0
     if args.command == "sweep":

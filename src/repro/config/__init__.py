@@ -7,22 +7,18 @@ per-core last-level cache slice and an FR-FCFS memory controller that drains
 writes in batches.
 """
 
+from repro.config.controller_config import ControllerConfig
+from repro.config.cpu_config import CacheConfig, CPUConfig
 from repro.config.dram_config import (
+    REFRESH_LATENCY_NS,
+    DRAMConfig,
     DRAMOrganization,
     DRAMTimings,
-    DRAMConfig,
-    REFRESH_LATENCY_NS,
     projected_trfc_ns,
 )
-from repro.config.controller_config import ControllerConfig
-from repro.config.cpu_config import CPUConfig, CacheConfig
+from repro.config.presets import baseline_densities, mechanism_names, paper_system
 from repro.config.refresh_config import RefreshConfig, RefreshMechanism
 from repro.config.system import SystemConfig
-from repro.config.presets import (
-    paper_system,
-    baseline_densities,
-    mechanism_names,
-)
 
 __all__ = [
     "DRAMOrganization",

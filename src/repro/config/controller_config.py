@@ -4,6 +4,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Page-management policies every scheduler honours.  Single source of
+#: truth for names and descriptions: the scheduler layer imports the
+#: constants for its column-command construction and the CLI renders the
+#: descriptions.  A new policy added here must also be given behaviour in
+#: ``SchedulerPolicy._column_command`` (repro.controller.policies.base).
+PAGE_POLICY_CLOSED = "closed"
+PAGE_POLICY_OPEN = "open"
+PAGE_POLICY_DESCRIPTIONS: dict[str, str] = {
+    PAGE_POLICY_CLOSED: (
+        "precharge as soon as no queued request hits the open row"
+    ),
+    PAGE_POLICY_OPEN: (
+        "keep rows open until a conflict (or row-hit cap) closes them"
+    ),
+}
+PAGE_POLICIES: tuple[str, ...] = tuple(PAGE_POLICY_DESCRIPTIONS)
+
 
 @dataclass(frozen=True)
 class ControllerConfig:
@@ -13,6 +30,13 @@ class ControllerConfig:
     FR-FCFS scheduling policy, a closed-row page policy, and batches writes:
     the channel enters writeback mode when the write queue fills beyond a
     high watermark and drains until it falls to the low watermark (32).
+
+    Both the demand-scheduling policy and the page-management policy are
+    pluggable: ``scheduler`` names a registered
+    :class:`~repro.controller.policies.SchedulerPolicy` (``frfcfs`` —
+    the paper's baseline — plus ``fcfs`` and ``frfcfs-cap``), and
+    ``page_policy`` selects closed- or open-row management shared by every
+    scheduler.  The defaults reproduce the paper's system bit-identically.
     """
 
     read_queue_entries: int = 64
@@ -21,9 +45,14 @@ class ControllerConfig:
     write_high_watermark: int = 48
     #: Write-queue occupancy at which writeback mode ends (Table 1: 32).
     write_low_watermark: int = 32
-    #: Closed-row policy: precharge as soon as no queued request hits the row.
-    closed_row: bool = True
-    #: Maximum candidate commands examined by FR-FCFS per cycle.
+    #: Registered demand-scheduling policy (see ``repro.controller.policies``).
+    scheduler: str = "frfcfs"
+    #: Page-management policy: ``closed`` or ``open`` (see ``PAGE_POLICIES``).
+    page_policy: str = "closed"
+    #: ``frfcfs-cap`` only: consecutive row hits a bank may serve before the
+    #: scheduler forces the row closed.
+    row_hit_cap: int = 4
+    #: Maximum candidate commands examined by the scheduler per cycle.
     scheduling_window: int = 16
 
     def __post_init__(self) -> None:
@@ -34,13 +63,59 @@ class ControllerConfig:
             )
         if self.write_high_watermark > self.write_queue_entries:
             raise ValueError("write_high_watermark exceeds write queue size")
+        if self.page_policy not in PAGE_POLICIES:
+            raise ValueError(
+                f"unknown page policy {self.page_policy!r}; "
+                f"expected one of {PAGE_POLICIES}"
+            )
+        if self.row_hit_cap < 1:
+            raise ValueError(f"row_hit_cap must be positive, got {self.row_hit_cap}")
+        # Imported lazily: the registry lives in the controller layer, which
+        # sits above the configuration layer (mirrors the refresh-policy
+        # factory import in MemorySystem).
+        from repro.controller.policies import scheduler_class
+
+        scheduler_class(self.scheduler)
+
+    @property
+    def closed_row(self) -> bool:
+        """Whether the closed-row page policy is in force (compatibility)."""
+        return self.page_policy == "closed"
 
     def fingerprint(self) -> tuple:
-        """Hashable summary used by the experiment run-cache."""
+        """Hashable summary used by the experiment run-cache.
+
+        ``row_hit_cap`` only participates when the configured scheduler
+        actually reads it — otherwise configurations differing only in an
+        inert knob would simulate (and cache) separately despite being
+        bit-identical.
+        """
+        from repro.controller.policies import scheduler_class
+
+        row_hit_cap = (
+            self.row_hit_cap
+            if scheduler_class(self.scheduler).uses_row_hit_cap
+            else None
+        )
         return (
             self.read_queue_entries,
             self.write_queue_entries,
             self.write_high_watermark,
             self.write_low_watermark,
-            self.closed_row,
+            self.scheduler,
+            self.page_policy,
+            row_hit_cap,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (see :meth:`from_dict`)."""
+        from repro.config.serialize import to_plain
+
+        return to_plain(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControllerConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        from repro.config.serialize import from_plain
+
+        return from_plain(cls, data)

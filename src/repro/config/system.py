@@ -43,6 +43,16 @@ class SystemConfig:
         """Return a copy running on a different execution kernel."""
         return replace(self, kernel=kernel)
 
+    def with_scheduler(self, scheduler: str) -> "SystemConfig":
+        """Return a copy using a different demand-scheduling policy."""
+        return replace(self, controller=replace(self.controller, scheduler=scheduler))
+
+    def with_page_policy(self, page_policy: str) -> "SystemConfig":
+        """Return a copy using a different page-management policy."""
+        return replace(
+            self, controller=replace(self.controller, page_policy=page_policy)
+        )
+
     def with_mechanism(
         self,
         mechanism: RefreshMechanism | str,
@@ -95,3 +105,23 @@ class SystemConfig:
             self.cache.fingerprint(),
             self.refresh.fingerprint(),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of the full configuration tree.
+
+        Round-trips through :meth:`from_dict`: nested sub-configs become
+        nested dicts and the refresh mechanism serializes as its name, so
+        configurations can live in version-controlled JSON files alongside
+        sweep specs.
+        """
+        from repro.config.serialize import to_plain
+
+        return to_plain(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are an error and every
+        sub-config's validation re-runs during reconstruction."""
+        from repro.config.serialize import from_plain
+
+        return from_plain(cls, data)

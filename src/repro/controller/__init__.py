@@ -1,4 +1,4 @@
-"""Memory controller: request queues, FR-FCFS scheduling and write batching.
+"""Memory controller: request queues, pluggable scheduling, write batching.
 
 One :class:`ChannelController` exists per DRAM channel.  Each DRAM cycle it
 issues at most one command, chosen with the following priority (mirroring
@@ -6,24 +6,43 @@ the DARP scheduling algorithm of Figure 8):
 
 1. a *mandatory* refresh command from the refresh policy (a refresh that can
    no longer be postponed, or a policy-initiated proactive refresh),
-2. a demand command selected by FR-FCFS (column hits first, then the oldest
-   activate/precharge), restricted to writes while the channel is in
-   writeback (write-drain) mode,
+2. a demand command selected by the configured scheduler policy (see
+   :mod:`repro.controller.policies`; FR-FCFS by default), restricted to
+   writes while the channel is in writeback (write-drain) mode,
 3. an *opportunistic* refresh command from the refresh policy (a postponed
    or pulled-in refresh to an idle bank).
+
+The demand-scheduling layer is pluggable exactly like the refresh layer:
+``ControllerConfig.scheduler`` names a registered
+:class:`~repro.controller.policies.SchedulerPolicy`, and
+``ControllerConfig.page_policy`` selects closed- or open-row page
+management shared by every scheduler.
 """
 
-from repro.controller.request import MemRequest
+from repro.controller.memory_controller import (
+    ChannelController,
+    ControllerStats,
+    MemorySystem,
+)
+from repro.controller.policies import (
+    FRFCFSScheduler,
+    SchedulerPolicy,
+    create_scheduler,
+    scheduler_names,
+)
 from repro.controller.queues import RequestQueues
+from repro.controller.request import MemRequest
 from repro.controller.write_drain import WriteDrainState
-from repro.controller.frfcfs import FRFCFSScheduler
-from repro.controller.memory_controller import ChannelController, MemorySystem
 
 __all__ = [
-    "MemRequest",
-    "RequestQueues",
-    "WriteDrainState",
-    "FRFCFSScheduler",
     "ChannelController",
+    "ControllerStats",
     "MemorySystem",
+    "FRFCFSScheduler",
+    "SchedulerPolicy",
+    "create_scheduler",
+    "scheduler_names",
+    "RequestQueues",
+    "MemRequest",
+    "WriteDrainState",
 ]

@@ -1,263 +1,11 @@
-"""FR-FCFS (first-ready, first-come-first-served) command scheduling.
+"""Backward-compatible alias for the FR-FCFS scheduler.
 
-Each cycle the scheduler proposes at most one demand command for its
-channel.  Column commands that hit an open row are preferred over row
-commands (activates/precharges); ties are broken by request age.  The
-candidate set is the read queues outside writeback mode and the write
-queues while the channel drains writes.
-
-The scheduler consults the refresh policy's ``blocks_demand`` hook so that
-a mandatory (non-postponable) refresh can quiesce its target rank or bank,
-and it skips activates whose target subarray is currently being refreshed
-(the SARP subarray-conflict check), recording the conflict for statistics.
+The scheduler implementations moved into the pluggable policy package
+:mod:`repro.controller.policies`; import :class:`FRFCFSScheduler` from
+there (or construct policies by name via
+:func:`repro.controller.policies.create_scheduler`).
 """
 
-from __future__ import annotations
+from repro.controller.policies.frfcfs import FRFCFSScheduler
 
-from typing import Optional
-
-from repro.controller.request import MemRequest
-from repro.dram.commands import Command, CommandType
-
-
-class FRFCFSScheduler:
-    """FR-FCFS scheduler bound to one :class:`ChannelController`."""
-
-    def __init__(self, controller):
-        self.controller = controller
-        #: SARP subarray conflicts recorded during the most recent
-        #: :meth:`select` call.  When a cycle turns out to be a system-wide
-        #: no-op, the event kernel replays exactly these conflicts for every
-        #: skipped cycle (the candidate set and refresh state are frozen, so
-        #: each skipped cycle would have recorded the identical conflicts).
-        self.last_conflicts: list[Command] = []
-
-    # -- public API ---------------------------------------------------------
-    def select(self, cycle: int) -> Optional[tuple[Command, Optional[MemRequest]]]:
-        """Choose the demand command to issue this cycle, if any."""
-        self.last_conflicts = []
-        ctl = self.controller
-        queues = ctl.queues
-        serve_writes = ctl.drain.should_serve_writes(
-            queues.write_count, queues.read_count
-        )
-        selection = self._select_from(cycle, writes=serve_writes)
-        if selection is not None:
-            return selection
-        # While not draining, writes are only served if there are no reads at
-        # all (handled above).  While draining, reads are never served: the
-        # paper's writeback mode blocks reads on the whole channel.
-        return None
-
-    # -- candidate generation -------------------------------------------------
-    def _select_from(
-        self, cycle: int, writes: bool
-    ) -> Optional[tuple[Command, Optional[MemRequest]]]:
-        ctl = self.controller
-        queues = ctl.queues
-        device = ctl.device
-        policy = ctl.refresh_policy
-        channel = ctl.channel_id
-        queue_map = queues.writes if writes else queues.reads
-        blocks_demand = policy.blocks_demand
-        ranks = device.channels[channel].ranks
-
-        hit_candidates: list[tuple[int, int, MemRequest]] = []
-        row_candidates: list[tuple[int, int, MemRequest]] = []
-        for bank_key, queue in queue_map.items():
-            if not queue:
-                continue
-            rank_i, bank_i = bank_key
-            if blocks_demand(cycle, rank_i, bank_i):
-                continue
-            bank = ranks[rank_i].banks[bank_i]
-            open_row = bank.open_row
-            if open_row is not None:
-                for req in queue:
-                    if req.location.row == open_row:
-                        hit_candidates.append((req.arrival_cycle, req.request_id, req))
-                        break
-                else:
-                    # Open row does not serve any queued request: precharge.
-                    oldest = queue[0]
-                    row_candidates.append(
-                        (oldest.arrival_cycle, oldest.request_id, oldest),
-                    )
-            else:
-                oldest = queue[0]
-                row_candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
-
-        window = ctl.config.controller.scheduling_window
-
-        # First-ready: column commands for open-row hits, oldest first.
-        # Legality does not depend on the autoprecharge choice, so a cheap
-        # probe (always keep-open) is checked first and the real command —
-        # whose keep-open decision needs a queue scan — is only built for
-        # the one candidate that issues.
-        hit_candidates.sort()
-        for _, _, req in hit_candidates[:window]:
-            probe = self._probe_column_command(req)
-            if device.can_issue(probe, cycle):
-                command = self._column_command(req, writes)
-                return command, req
-
-        # Then row commands (activate or precharge), oldest first.
-        row_candidates.sort()
-        for _, _, req in row_candidates[:window]:
-            rank_i, bank_i = req.bank_key
-            bank = ranks[rank_i].banks[bank_i]
-            if bank.open_row is None:
-                command = Command(
-                    kind=CommandType.ACT,
-                    channel=channel,
-                    rank=rank_i,
-                    bank=bank_i,
-                    row=req.row,
-                    request=req,
-                )
-                if device.can_issue(command, cycle):
-                    return command, None
-                if bank.refresh_conflicts_with(cycle, req.row):
-                    device.record_subarray_conflict(command)
-                    self.last_conflicts.append(command)
-            else:
-                command = Command(
-                    kind=CommandType.PRE,
-                    channel=channel,
-                    rank=rank_i,
-                    bank=bank_i,
-                )
-                if device.can_issue(command, cycle):
-                    return command, None
-        return None
-
-    # -- event horizon (cycle-skipping kernel) ----------------------------------
-    def next_event_cycle(self, now: int) -> Optional[int]:
-        """Earliest cycle after ``now`` at which demand scheduling can change
-        without a queue mutation (``None``: never).
-
-        Mirrors :meth:`_select_from` exactly: for each bank holding queued
-        demand in the queue map currently in force (and not quiesced by
-        the refresh policy), the command class FR-FCFS would try — column
-        hit, precharge, or activate — is frozen along with the queues, so
-        only that class's gating deadline is watched, plus the shared-bus
-        deadlines and the rank activation windows where an ACTIVATE is
-        wanted.  Stale deadlines of untouched banks cannot flip any
-        ``can_issue`` outcome the frozen tick evaluated.
-        """
-        ctl = self.controller
-        queues = ctl.queues
-        device = ctl.device
-        policy = ctl.refresh_policy
-        timings = device.timings
-        channel = device.channels[ctl.channel_id]
-        serve_writes = ctl.drain.should_serve_writes(
-            queues.write_count, queues.read_count
-        )
-        queue_map = queues.writes if serve_writes else queues.reads
-        demand_keys = [key for key, queue in queue_map.items() if queue]
-        if not demand_keys:
-            return None
-        candidates = channel.bus_deadlines(now, timings)
-        by_rank: dict[int, list[int]] = {}
-        for rank_index, bank_index in demand_keys:
-            by_rank.setdefault(rank_index, []).append(bank_index)
-        for rank_index, bank_indices in by_rank.items():
-            rank = channel.ranks[rank_index]
-            # Rank-level refresh occupancy gates demand to the rank (and,
-            # under SARP, inflates its activation windows).
-            if rank.refab_until > now:
-                candidates.append(rank.refab_until)
-            if rank.pb_refresh_until > now:
-                candidates.append(rank.pb_refresh_until)
-            need_activate = False
-            for bank_index in bank_indices:
-                if policy.blocks_demand(now, rank_index, bank_index):
-                    continue
-                bank = rank.banks[bank_index]
-                open_row = bank.open_row
-                if open_row is None:
-                    need_activate = True
-                    if bank.t_act > now:
-                        candidates.append(bank.t_act)
-                    if bank.refresh_until > now:
-                        candidates.append(bank.refresh_until)
-                elif any(
-                    request.location.row == open_row
-                    for request in queue_map[(rank_index, bank_index)]
-                ):
-                    deadline = bank.t_wr if serve_writes else bank.t_rd
-                    if deadline > now:
-                        candidates.append(deadline)
-                else:
-                    if bank.t_pre > now:
-                        candidates.append(bank.t_pre)
-                    if bank.refresh_until > now:
-                        candidates.append(bank.refresh_until)
-            if need_activate:
-                tfaw, _ = device._effective_tfaw_trrd(rank, now)
-                if rank.next_act > now:
-                    candidates.append(rank.next_act)
-                if len(rank.act_history) == rank.act_history.maxlen:
-                    deadline = rank.act_history[0] + tfaw
-                    if deadline > now:
-                        candidates.append(deadline)
-        return min(candidates) if candidates else None
-
-    # -- helpers ---------------------------------------------------------------
-    def _probe_column_command(self, request: MemRequest) -> Command:
-        """A keep-open column command used only for the legality check.
-
-        ``can_issue`` treats RD/RDA (and WR/WRA) identically — the
-        autoprecharge flag changes the command's *effects*, not its
-        legality — so the probe avoids :meth:`_another_hit_pending`'s
-        queue scan for candidates that cannot issue anyway.  The kind is
-        keyed off the request itself: hit candidates always come from the
-        queue map matching the serve-writes mode.
-        """
-        loc = request.location
-        return Command(
-            kind=CommandType.WR if request.is_write else CommandType.RD,
-            channel=loc.channel,
-            rank=loc.rank,
-            bank=loc.bank,
-            row=loc.row,
-            column=loc.column,
-            request=request,
-        )
-
-    def _column_command(self, request: MemRequest, writes: bool) -> Command:
-        """Build the column command serving ``request``.
-
-        Under the closed-row policy the command auto-precharges unless
-        another queued request targets the same row, in which case the row
-        is kept open so the follow-up request gets a row hit.
-        """
-        ctl = self.controller
-        keep_open = not ctl.config.controller.closed_row or self._another_hit_pending(
-            request,
-        )
-        if request.is_write:
-            kind = CommandType.WR if keep_open else CommandType.WRA
-        else:
-            kind = CommandType.RD if keep_open else CommandType.RDA
-        loc = request.location
-        return Command(
-            kind=kind,
-            channel=loc.channel,
-            rank=loc.rank,
-            bank=loc.bank,
-            row=loc.row,
-            column=loc.column,
-            request=request,
-        )
-
-    def _another_hit_pending(self, request: MemRequest) -> bool:
-        """True if a different queued request targets the same bank and row."""
-        queues = self.controller.queues
-        key = request.bank_key
-        for queue in (queues.reads[key], queues.writes[key]):
-            for other in queue:
-                if other is not request and other.row == request.row:
-                    return True
-        return False
+__all__ = ["FRFCFSScheduler"]

@@ -13,18 +13,47 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config.system import SystemConfig
-from repro.controller.frfcfs import FRFCFSScheduler
+from repro.controller.policies import create_scheduler
 from repro.controller.queues import RequestQueues
 from repro.controller.request import MemRequest
 from repro.controller.write_drain import WriteDrainState
 from repro.dram.address import AddressMapper
 from repro.dram.commands import Command
 from repro.dram.device import DRAMDevice
+from repro.stats import StatsSchema, StatsStruct, WeightedAverage, register_schema
 
 
 @dataclass
-class ControllerStats:
-    """Per-channel service statistics."""
+class ControllerStats(StatsStruct):
+    """Per-channel service statistics.
+
+    Merging across channels goes through :attr:`SCHEMA`: the latency
+    counters merge as raw totals and the average latencies are recomputed
+    from the merged totals — a weighted average by construction, never a
+    sum of per-channel averages.
+    """
+
+    SCHEMA = register_schema(
+        StatsSchema(
+            "controller",
+            fields=(
+                "served_reads",
+                "served_writes",
+                "total_read_latency",
+                "total_write_latency",
+                "issued_commands",
+                "rejected_enqueues",
+            ),
+            derived=(
+                WeightedAverage(
+                    "average_read_latency", "total_read_latency", "served_reads"
+                ),
+                WeightedAverage(
+                    "average_write_latency", "total_write_latency", "served_writes"
+                ),
+            ),
+        )
+    )
 
     served_reads: int = 0
     served_writes: int = 0
@@ -44,16 +73,6 @@ class ControllerStats:
         if not self.served_writes:
             return 0.0
         return self.total_write_latency / self.served_writes
-
-    def as_dict(self) -> dict:
-        return {
-            "served_reads": self.served_reads,
-            "served_writes": self.served_writes,
-            "average_read_latency": self.average_read_latency,
-            "average_write_latency": self.average_write_latency,
-            "issued_commands": self.issued_commands,
-            "rejected_enqueues": self.rejected_enqueues,
-        }
 
 
 class ChannelController:
@@ -81,7 +100,7 @@ class ChannelController:
             bank_keys,
         )
         self.drain = WriteDrainState(config.controller)
-        self.scheduler = FRFCFSScheduler(self)
+        self.scheduler = create_scheduler(config.controller.scheduler, self)
         self.refresh_policy = refresh_policy
         self.refresh_policy.bind(self)
         self.stats = ControllerStats()
@@ -324,6 +343,26 @@ class ChannelController:
             self.device.record_subarray_conflict(command, count)
         self.refresh_policy.skip_cycles(count)
 
+    def skip_horizon(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` this controller can act again.
+
+        Only valid immediately after a :meth:`tick_event` in which this
+        controller issued nothing: the cached local horizon is then fresh
+        (or still valid), so the controller's next possible action is the
+        earlier of that horizon and its next pending-read data arrival.
+        This is the public accessor :meth:`MemorySystem.next_skip_event`
+        aggregates; ``None`` means "no self-scheduled event at all".
+        """
+        candidates = []
+        if self._pending_reads:
+            arrival = self._pending_reads[0][0]
+            if arrival > now:
+                candidates.append(arrival)
+        sleep_until = self._sleep_until
+        if sleep_until is not None and sleep_until > now:
+            candidates.append(sleep_until)
+        return min(candidates) if candidates else None
+
 
 class MemorySystem:
     """The full DRAM memory system: address mapping + all channel controllers."""
@@ -434,13 +473,9 @@ class MemorySystem:
         """
         candidates = []
         for controller in self.controllers:
-            if controller._pending_reads:
-                arrival = controller._pending_reads[0][0]
-                if arrival > now:
-                    candidates.append(arrival)
-            sleep_until = controller._sleep_until
-            if sleep_until is not None and sleep_until > now:
-                candidates.append(sleep_until)
+            horizon = controller.skip_horizon(now)
+            if horizon is not None:
+                candidates.append(horizon)
         return min(candidates) if candidates else None
 
     def skip_idle_cycles(self, count: int) -> None:
@@ -449,17 +484,26 @@ class MemorySystem:
             controller.skip_idle_cycles(count)
 
     # -- statistics ----------------------------------------------------------------
+    def merged_controller_stats(self) -> dict:
+        """Cross-channel controller statistics, merged under the schema.
+
+        The latency averages come out weighted by served request counts
+        (recomputed from the merged raw totals), never summed.
+        """
+        return ControllerStats.merge_dicts(
+            controller.stats.as_dict() for controller in self.controllers
+        )
+
     def total_served(self) -> tuple[int, int]:
-        reads = sum(c.stats.served_reads for c in self.controllers)
-        writes = sum(c.stats.served_writes for c in self.controllers)
-        return reads, writes
+        merged = self.merged_controller_stats()
+        return merged["served_reads"], merged["served_writes"]
 
     def refresh_policy_stats(self) -> dict:
-        merged: dict[str, float] = {}
-        for controller in self.controllers:
-            for key, value in controller.refresh_policy.stats_dict().items():
-                merged[key] = merged.get(key, 0) + value
-        return merged
+        from repro.core.base import RefreshStats
+
+        return RefreshStats.merge_dicts(
+            controller.refresh_policy.stats_dict() for controller in self.controllers
+        )
 
     def has_outstanding_work(self) -> bool:
         return any(c.has_outstanding_work() for c in self.controllers)

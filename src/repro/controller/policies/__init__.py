@@ -1,0 +1,46 @@
+"""Pluggable demand-scheduling policies for the channel controller.
+
+The scheduling layer mirrors the refresh layer's pluggability
+(:mod:`repro.core.factory`): every policy subclasses
+:class:`~repro.controller.policies.base.SchedulerPolicy`, registers itself
+by name, and is instantiated through :func:`create_scheduler` from
+``ControllerConfig.scheduler``.  Registered policies:
+
+* ``frfcfs``     — row hits first, then oldest-first (the paper's baseline),
+* ``fcfs``       — strictly oldest-first, no open-row preference,
+* ``frfcfs-cap`` — FR-FCFS with a per-bank cap on consecutive row hits
+  (a forced close bounding open-row starvation).
+
+All policies honour the configured page-management policy (``closed`` /
+``open``) through the shared column-command construction, and all satisfy
+the event-kernel contract (``select`` / ``last_conflicts`` /
+``next_event_cycle``) so every scheduler runs bit-identically under both
+execution kernels.
+"""
+
+from repro.config.controller_config import PAGE_POLICY_CLOSED, PAGE_POLICY_OPEN
+from repro.controller.policies.base import (
+    SchedulerPolicy,
+    create_scheduler,
+    register_scheduler,
+    scheduler_class,
+    scheduler_descriptions,
+    scheduler_names,
+)
+from repro.controller.policies.fcfs import FCFSScheduler
+from repro.controller.policies.frfcfs import FRFCFSScheduler
+from repro.controller.policies.frfcfs_cap import CappedRowHitScheduler
+
+__all__ = [
+    "PAGE_POLICY_CLOSED",
+    "PAGE_POLICY_OPEN",
+    "SchedulerPolicy",
+    "create_scheduler",
+    "register_scheduler",
+    "scheduler_class",
+    "scheduler_descriptions",
+    "scheduler_names",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "CappedRowHitScheduler",
+]

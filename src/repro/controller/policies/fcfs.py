@@ -1,0 +1,100 @@
+"""Plain FCFS scheduling: strictly oldest-first, no open-row preference.
+
+Per bank only the oldest queued request is a candidate — a younger request
+never jumps ahead inside its queue, even when it would hit the open row —
+and candidates across banks are served strictly oldest-first.  The command
+class serving each candidate follows from its bank's state alone: a column
+access when the open row matches, a precharge when a different row is
+open, an activate when the bank is closed.
+
+This is the classic baseline FR-FCFS was introduced to beat; having it
+pluggable lets sweeps quantify how much of the paper's refresh-mechanism
+gains survive under a scheduler without first-ready reordering.
+
+The implementation subclasses :class:`FRFCFSScheduler` purely to reuse its
+demand-horizon bank walk (:meth:`~FRFCFSScheduler.next_event_cycle`): only
+the candidate selection and the per-bank column/precharge classification
+(:meth:`_wants_column`) differ, so the walk stays single-sourced and a
+horizon fix can never reach one policy but miss the other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.policies.base import register_scheduler
+from repro.controller.policies.frfcfs import FRFCFSScheduler
+from repro.controller.request import MemRequest
+from repro.dram.commands import Command, CommandType
+
+
+@register_scheduler
+class FCFSScheduler(FRFCFSScheduler):
+    """Strictly oldest-first scheduling with no open-row preference."""
+
+    name = "fcfs"
+
+    # -- candidate generation -------------------------------------------------
+    def _select_from(
+        self, cycle: int, writes: bool
+    ) -> Optional[tuple[Command, Optional[MemRequest]]]:
+        ctl = self.controller
+        queues = ctl.queues
+        device = ctl.device
+        policy = ctl.refresh_policy
+        channel = ctl.channel_id
+        queue_map = queues.writes if writes else queues.reads
+        blocks_demand = policy.blocks_demand
+        ranks = device.channels[channel].ranks
+
+        candidates: list[tuple[int, int, MemRequest]] = []
+        for bank_key, queue in queue_map.items():
+            if not queue:
+                continue
+            rank_i, bank_i = bank_key
+            if blocks_demand(cycle, rank_i, bank_i):
+                continue
+            oldest = queue[0]
+            candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
+
+        window = ctl.config.controller.scheduling_window
+        candidates.sort()
+        for _, _, req in candidates[:window]:
+            rank_i, bank_i = req.bank_key
+            bank = ranks[rank_i].banks[bank_i]
+            open_row = bank.open_row
+            if open_row == req.row:
+                probe = self._probe_column_command(req)
+                if device.can_issue(probe, cycle):
+                    return self._column_command(req, writes), req
+            elif open_row is not None:
+                command = Command(
+                    kind=CommandType.PRE,
+                    channel=channel,
+                    rank=rank_i,
+                    bank=bank_i,
+                )
+                if device.can_issue(command, cycle):
+                    return command, None
+            else:
+                command = Command(
+                    kind=CommandType.ACT,
+                    channel=channel,
+                    rank=rank_i,
+                    bank=bank_i,
+                    row=req.row,
+                    request=req,
+                )
+                if device.can_issue(command, cycle):
+                    return command, None
+                if bank.refresh_conflicts_with(cycle, req.row):
+                    device.record_subarray_conflict(command)
+                    self.last_conflicts.append(command)
+        return None
+
+    # -- event horizon (cycle-skipping kernel) ----------------------------------
+    def _wants_column(self, bank_key: tuple[int, int], open_row: int, queue) -> bool:
+        """With the queues frozen, the bank's head request is fixed, and it
+        alone decides whether the bank's frozen command class is a column
+        access (head hits the open row) or a precharge (head conflicts)."""
+        return queue[0].location.row == open_row

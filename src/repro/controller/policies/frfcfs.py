@@ -1,0 +1,227 @@
+"""FR-FCFS (first-ready, first-come-first-served) command scheduling.
+
+Each cycle the scheduler proposes at most one demand command for its
+channel.  Column commands that hit an open row are preferred over row
+commands (activates/precharges); ties are broken by request age.  The
+candidate set is the read queues outside writeback mode and the write
+queues while the channel drains writes.
+
+The scheduler consults the refresh policy's ``blocks_demand`` hook so that
+a mandatory (non-postponable) refresh can quiesce its target rank or bank,
+and it skips activates whose target subarray is currently being refreshed
+(the SARP subarray-conflict check), recording the conflict for statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.policies.base import SchedulerPolicy, register_scheduler
+from repro.controller.request import MemRequest
+from repro.dram.commands import Command, CommandType
+
+
+@register_scheduler
+class FRFCFSScheduler(SchedulerPolicy):
+    """Row hits first, then oldest-first row commands (the paper's baseline)."""
+
+    name = "frfcfs"
+
+    # -- public API ---------------------------------------------------------
+    def select(self, cycle: int) -> Optional[tuple[Command, Optional[MemRequest]]]:
+        """Choose the demand command to issue this cycle, if any."""
+        self.last_conflicts = []
+        ctl = self.controller
+        queues = ctl.queues
+        serve_writes = ctl.drain.should_serve_writes(
+            queues.write_count, queues.read_count
+        )
+        selection = self._select_from(cycle, writes=serve_writes)
+        if selection is not None:
+            return selection
+        # While not draining, writes are only served if there are no reads at
+        # all (handled above).  While draining, reads are never served: the
+        # paper's writeback mode blocks reads on the whole channel.
+        return None
+
+    # -- row-hit gating (overridden by the capped variant) --------------------
+    def _hits_allowed(self, bank_key: tuple[int, int]) -> bool:
+        """Whether open-row hits in this bank may still be preferred.
+
+        The base policy always prefers hits; the row-hit-capped variant
+        demotes a bank's hits after a streak so older conflicting requests
+        force a close.  Both :meth:`_select_from` and
+        :meth:`next_event_cycle` consult this hook, keeping the demand
+        horizon consistent with the frozen selection outcome.
+        """
+        return True
+
+    def _wants_column(self, bank_key: tuple[int, int], open_row: int, queue) -> bool:
+        """Whether the frozen candidate for this open-row bank is a column hit.
+
+        Classification hook shared by :meth:`next_event_cycle`'s bank walk:
+        with the queues frozen, this decides which deadline class the walk
+        watches for the bank (column versus precharge).  FR-FCFS prefers a
+        hit whenever any queued request matches the open row (and the
+        row-hit gate allows it); FCFS overrides this with its head-request
+        rule so the shared walk stays consistent with its selection.
+        """
+        return self._hits_allowed(bank_key) and any(
+            request.location.row == open_row for request in queue
+        )
+
+    # -- candidate generation -------------------------------------------------
+    def _select_from(
+        self, cycle: int, writes: bool
+    ) -> Optional[tuple[Command, Optional[MemRequest]]]:
+        ctl = self.controller
+        queues = ctl.queues
+        device = ctl.device
+        policy = ctl.refresh_policy
+        channel = ctl.channel_id
+        queue_map = queues.writes if writes else queues.reads
+        blocks_demand = policy.blocks_demand
+        ranks = device.channels[channel].ranks
+
+        hit_candidates: list[tuple[int, int, MemRequest]] = []
+        row_candidates: list[tuple[int, int, MemRequest]] = []
+        for bank_key, queue in queue_map.items():
+            if not queue:
+                continue
+            rank_i, bank_i = bank_key
+            if blocks_demand(cycle, rank_i, bank_i):
+                continue
+            bank = ranks[rank_i].banks[bank_i]
+            open_row = bank.open_row
+            if open_row is not None and self._hits_allowed(bank_key):
+                for req in queue:
+                    if req.location.row == open_row:
+                        hit_candidates.append((req.arrival_cycle, req.request_id, req))
+                        break
+                else:
+                    # Open row does not serve any queued request: precharge.
+                    oldest = queue[0]
+                    row_candidates.append(
+                        (oldest.arrival_cycle, oldest.request_id, oldest),
+                    )
+            else:
+                oldest = queue[0]
+                row_candidates.append((oldest.arrival_cycle, oldest.request_id, oldest))
+
+        window = ctl.config.controller.scheduling_window
+
+        # First-ready: column commands for open-row hits, oldest first.
+        # Legality does not depend on the autoprecharge choice, so a cheap
+        # probe (always keep-open) is checked first and the real command —
+        # whose keep-open decision needs a queue scan — is only built for
+        # the one candidate that issues.
+        hit_candidates.sort()
+        for _, _, req in hit_candidates[:window]:
+            probe = self._probe_column_command(req)
+            if device.can_issue(probe, cycle):
+                command = self._column_command(req, writes)
+                return command, req
+
+        # Then row commands (activate or precharge), oldest first.
+        row_candidates.sort()
+        for _, _, req in row_candidates[:window]:
+            rank_i, bank_i = req.bank_key
+            bank = ranks[rank_i].banks[bank_i]
+            if bank.open_row is None:
+                command = Command(
+                    kind=CommandType.ACT,
+                    channel=channel,
+                    rank=rank_i,
+                    bank=bank_i,
+                    row=req.row,
+                    request=req,
+                )
+                if device.can_issue(command, cycle):
+                    return command, None
+                if bank.refresh_conflicts_with(cycle, req.row):
+                    device.record_subarray_conflict(command)
+                    self.last_conflicts.append(command)
+            else:
+                command = Command(
+                    kind=CommandType.PRE,
+                    channel=channel,
+                    rank=rank_i,
+                    bank=bank_i,
+                )
+                if device.can_issue(command, cycle):
+                    return command, None
+        return None
+
+    # -- event horizon (cycle-skipping kernel) ----------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle after ``now`` at which demand scheduling can change
+        without a queue mutation (``None``: never).
+
+        Mirrors :meth:`_select_from` exactly: for each bank holding queued
+        demand in the queue map currently in force (and not quiesced by
+        the refresh policy), the command class FR-FCFS would try — column
+        hit, precharge, or activate — is frozen along with the queues, so
+        only that class's gating deadline is watched, plus the shared-bus
+        deadlines and the rank activation windows where an ACTIVATE is
+        wanted.  Stale deadlines of untouched banks cannot flip any
+        ``can_issue`` outcome the frozen tick evaluated.
+        """
+        ctl = self.controller
+        queues = ctl.queues
+        device = ctl.device
+        policy = ctl.refresh_policy
+        timings = device.timings
+        channel = device.channels[ctl.channel_id]
+        serve_writes = ctl.drain.should_serve_writes(
+            queues.write_count, queues.read_count
+        )
+        queue_map = queues.writes if serve_writes else queues.reads
+        demand_keys = [key for key, queue in queue_map.items() if queue]
+        if not demand_keys:
+            return None
+        candidates = channel.bus_deadlines(now, timings)
+        by_rank: dict[int, list[int]] = {}
+        for rank_index, bank_index in demand_keys:
+            by_rank.setdefault(rank_index, []).append(bank_index)
+        for rank_index, bank_indices in by_rank.items():
+            rank = channel.ranks[rank_index]
+            # Rank-level refresh occupancy gates demand to the rank (and,
+            # under SARP, inflates its activation windows).
+            if rank.refab_until > now:
+                candidates.append(rank.refab_until)
+            if rank.pb_refresh_until > now:
+                candidates.append(rank.pb_refresh_until)
+            need_activate = False
+            for bank_index in bank_indices:
+                if policy.blocks_demand(now, rank_index, bank_index):
+                    continue
+                bank = rank.banks[bank_index]
+                open_row = bank.open_row
+                if open_row is None:
+                    need_activate = True
+                    if bank.t_act > now:
+                        candidates.append(bank.t_act)
+                    if bank.refresh_until > now:
+                        candidates.append(bank.refresh_until)
+                elif self._wants_column(
+                    (rank_index, bank_index),
+                    open_row,
+                    queue_map[(rank_index, bank_index)],
+                ):
+                    deadline = bank.t_wr if serve_writes else bank.t_rd
+                    if deadline > now:
+                        candidates.append(deadline)
+                else:
+                    if bank.t_pre > now:
+                        candidates.append(bank.t_pre)
+                    if bank.refresh_until > now:
+                        candidates.append(bank.refresh_until)
+            if need_activate:
+                tfaw, _ = device._effective_tfaw_trrd(rank, now)
+                if rank.next_act > now:
+                    candidates.append(rank.next_act)
+                if len(rank.act_history) == rank.act_history.maxlen:
+                    deadline = rank.act_history[0] + tfaw
+                    if deadline > now:
+                        candidates.append(deadline)
+        return min(candidates) if candidates else None

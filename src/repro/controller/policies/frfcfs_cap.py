@@ -1,0 +1,55 @@
+"""FR-FCFS with a per-bank cap on consecutive row hits (forced close).
+
+Identical to FR-FCFS until a bank has served
+:attr:`~repro.config.controller_config.ControllerConfig.row_hit_cap`
+consecutive column hits from its open row; the bank's further hits are
+then demoted to row candidates, so the oldest queued request drives a
+precharge and the row is closed.  This bounds the starvation an open-row
+hit streak can inflict on older requests to other rows of the same bank —
+the timeout-based close real open-page controllers implement.
+
+The streak counters only change when a command issues, so they are frozen
+across the no-op spans the event kernel skips; the demand horizon
+(inherited from FR-FCFS) consults the same :meth:`_hits_allowed` hook as
+candidate classification, keeping both kernels bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.policies.base import register_scheduler
+from repro.controller.policies.frfcfs import FRFCFSScheduler
+from repro.controller.request import MemRequest
+from repro.dram.commands import Command
+
+
+@register_scheduler
+class CappedRowHitScheduler(FRFCFSScheduler):
+    """FR-FCFS that force-closes a row after a capped streak of row hits."""
+
+    name = "frfcfs-cap"
+    uses_row_hit_cap = True
+
+    def __init__(self, controller):
+        super().__init__(controller)
+        self._cap = controller.config.controller.row_hit_cap
+        #: Consecutive column hits served from each bank's currently open
+        #: row; reset by any row command (or an auto-precharging column).
+        self._streak: dict[tuple[int, int], int] = {}
+
+    def _hits_allowed(self, bank_key: tuple[int, int]) -> bool:
+        return self._streak.get(bank_key, 0) < self._cap
+
+    def select(self, cycle: int) -> Optional[tuple[Command, Optional[MemRequest]]]:
+        selection = super().select(cycle)
+        if selection is not None:
+            command, _ = selection
+            key = (command.rank, command.bank)
+            if command.kind.is_column and not command.kind.autoprecharges:
+                self._streak[key] = self._streak.get(key, 0) + 1
+            else:
+                # ACT, PRE, or an auto-precharging column: the row closes
+                # (or a fresh one opens), so the streak restarts.
+                self._streak[key] = 0
+        return selection

@@ -22,14 +22,14 @@ enabled through ``RefreshMechanism.uses_sarp``; the factory pairs it with
 the appropriate scheduling policy.
 """
 
-from repro.core.base import RefreshPolicy, RefreshStats
-from repro.core.no_refresh import NoRefreshPolicy
-from repro.core.all_bank import AllBankRefreshPolicy
-from repro.core.per_bank import PerBankRefreshPolicy
-from repro.core.elastic import ElasticRefreshPolicy
-from repro.core.darp import DARPPolicy
 from repro.core.adaptive import AdaptiveRefreshPolicy
+from repro.core.all_bank import AllBankRefreshPolicy
+from repro.core.base import RefreshPolicy, RefreshStats
+from repro.core.darp import DARPPolicy
+from repro.core.elastic import ElasticRefreshPolicy
 from repro.core.factory import create_refresh_policy
+from repro.core.no_refresh import NoRefreshPolicy
+from repro.core.per_bank import PerBankRefreshPolicy
 
 __all__ = [
     "RefreshPolicy",

@@ -22,11 +22,26 @@ from typing import Optional
 
 from repro.config.system import SystemConfig
 from repro.dram.commands import Command, CommandType
+from repro.stats import StatsSchema, StatsStruct, register_schema
 
 
 @dataclass
-class RefreshStats:
+class RefreshStats(StatsStruct):
     """Counters shared by every refresh policy."""
+
+    SCHEMA = register_schema(
+        StatsSchema(
+            "refresh",
+            fields=(
+                "all_bank_issued",
+                "per_bank_issued",
+                "postponed",
+                "pulled_in",
+                "forced",
+                "write_mode_refreshes",
+            ),
+        )
+    )
 
     all_bank_issued: int = 0
     per_bank_issued: int = 0
@@ -34,16 +49,6 @@ class RefreshStats:
     pulled_in: int = 0
     forced: int = 0
     write_mode_refreshes: int = 0
-
-    def as_dict(self) -> dict:
-        return {
-            "all_bank_issued": self.all_bank_issued,
-            "per_bank_issued": self.per_bank_issued,
-            "postponed": self.postponed,
-            "pulled_in": self.pulled_in,
-            "forced": self.forced,
-            "write_mode_refreshes": self.write_mode_refreshes,
-        }
 
 
 class RefreshPolicy(abc.ABC):

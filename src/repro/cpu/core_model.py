@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 from repro.cache.llc import LastLevelCache
 from repro.config.cpu_config import CPUConfig
 from repro.controller.request import MemRequest
+from repro.stats import StatsSchema, StatsStruct, WeightedAverage, register_schema
 from repro.workloads.trace import TraceEntry
 
 #: :meth:`Core.tick` outcome: the core changed no state at all — it is
@@ -39,8 +40,28 @@ CORE_ACTIVE = 2
 
 
 @dataclass
-class CoreStats:
+class CoreStats(StatsStruct):
     """Retirement and memory statistics for one core."""
+
+    SCHEMA = register_schema(
+        StatsSchema(
+            "core",
+            fields=(
+                "instructions",
+                "loads",
+                "stores",
+                "llc_load_misses",
+                "dram_reads_issued",
+                "dram_writes_issued",
+                "stall_cycles",
+            ),
+            derived=(
+                WeightedAverage(
+                    "mpki", "dram_reads_issued", "instructions", scale=1000.0
+                ),
+            ),
+        )
+    )
 
     instructions: int = 0
     loads: int = 0
@@ -55,18 +76,6 @@ class CoreStats:
         if self.instructions <= 0:
             return 0.0
         return self.dram_reads_issued * 1000.0 / self.instructions
-
-    def as_dict(self) -> dict:
-        return {
-            "instructions": self.instructions,
-            "loads": self.loads,
-            "stores": self.stores,
-            "llc_load_misses": self.llc_load_misses,
-            "dram_reads_issued": self.dram_reads_issued,
-            "dram_writes_issued": self.dram_writes_issued,
-            "stall_cycles": self.stall_cycles,
-            "mpki": self.mpki(),
-        }
 
 
 class Core:

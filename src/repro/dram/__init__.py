@@ -8,19 +8,19 @@ bus with read/write turnaround penalties, all-bank (REFab) and per-bank
 serve accesses to idle subarrays while another subarray is being refreshed.
 """
 
-from repro.dram.commands import Command, CommandType
 from repro.dram.address import AddressMapper, PhysicalLocation
-from repro.dram.subarray import Subarray
 from repro.dram.bank import Bank
-from repro.dram.rank import Rank
 from repro.dram.channel import Channel
-from repro.dram.device import DRAMDevice, DeviceStats
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DeviceStats, DRAMDevice
 from repro.dram.power_integrity import (
-    power_overhead_faw,
-    sarp_timing_scale,
     SARP_ALL_BANK_SCALE,
     SARP_PER_BANK_SCALE,
+    power_overhead_faw,
+    sarp_timing_scale,
 )
+from repro.dram.rank import Rank
+from repro.dram.subarray import Subarray
 
 __all__ = [
     "Command",

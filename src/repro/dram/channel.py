@@ -12,27 +12,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dram.rank import Rank
+from repro.stats import StatsSchema, StatsStruct, register_schema
 
 
 @dataclass
-class ChannelStats:
+class ChannelStats(StatsStruct):
     """Measurement counters owned by one channel.
 
     Owning the counters (instead of spreading bare attributes over the
     channel) lets the simulator's warmup reset call a single
-    :meth:`reset` — new counters added here can never be silently missed
-    by the measurement-window reset.
+    :meth:`reset` (schema-driven, so new counters added here can never be
+    silently missed by the measurement-window reset).
     """
+
+    SCHEMA = register_schema(
+        StatsSchema("channel", fields=("read_bursts", "write_bursts", "busy_cycles"))
+    )
 
     read_bursts: int = 0
     write_bursts: int = 0
     busy_cycles: int = 0
-
-    def reset(self) -> None:
-        """Zero every counter (used when the warmup window ends)."""
-        self.read_bursts = 0
-        self.write_bursts = 0
-        self.busy_cycles = 0
 
 
 @dataclass

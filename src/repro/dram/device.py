@@ -24,11 +24,27 @@ from repro.dram.channel import Channel
 from repro.dram.commands import Command, CommandType
 from repro.dram.power_integrity import scaled_tfaw_trrd
 from repro.dram.rank import Rank
+from repro.stats import StatsSchema, StatsStruct, register_schema
 
 
 @dataclass
-class DeviceStats:
+class DeviceStats(StatsStruct):
     """Aggregate command counts for the whole device."""
+
+    SCHEMA = register_schema(
+        StatsSchema(
+            "device",
+            fields=(
+                "activates",
+                "reads",
+                "writes",
+                "precharges",
+                "all_bank_refreshes",
+                "per_bank_refreshes",
+                "subarray_conflicts",
+            ),
+        )
+    )
 
     activates: int = 0
     reads: int = 0
@@ -42,17 +58,6 @@ class DeviceStats:
     @property
     def column_commands(self) -> int:
         return self.reads + self.writes
-
-    def as_dict(self) -> dict:
-        return {
-            "activates": self.activates,
-            "reads": self.reads,
-            "writes": self.writes,
-            "precharges": self.precharges,
-            "all_bank_refreshes": self.all_bank_refreshes,
-            "per_bank_refreshes": self.per_bank_refreshes,
-            "subarray_conflicts": self.subarray_conflicts,
-        }
 
 
 class DRAMDevice:

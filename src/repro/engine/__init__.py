@@ -21,13 +21,13 @@ submits them through an executor; the CLI (``python -m repro``) wires a
 on-disk cache.
 """
 
-from repro.engine.jobs import SimulationJob, execute_job
 from repro.engine.executor import (
     ExecutorStats,
     JobExecutor,
     ParallelExecutor,
     SerialExecutor,
 )
+from repro.engine.jobs import SimulationJob, execute_job
 from repro.engine.progress import (
     JobEvent,
     ProgressCallback,

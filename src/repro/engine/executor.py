@@ -29,27 +29,26 @@ from repro.engine.progress import (
     ProgressCallback,
 )
 from repro.engine.store import ResultStore
+from repro.stats import StatsSchema, StatsStruct, register_schema
 
 if TYPE_CHECKING:  # avoid repro.sim <-> repro.engine import cycle
     from repro.sim.results import SimulationResult
 
 
 @dataclass
-class ExecutorStats:
+class ExecutorStats(StatsStruct):
     """Cumulative counters across every batch an executor has run."""
+
+    SCHEMA = register_schema(
+        StatsSchema(
+            "executor", fields=("jobs", "store_hits", "simulated", "elapsed_s")
+        )
+    )
 
     jobs: int = 0
     store_hits: int = 0
     simulated: int = 0
     elapsed_s: float = 0.0
-
-    def as_dict(self) -> dict:
-        return {
-            "jobs": self.jobs,
-            "store_hits": self.store_hits,
-            "simulated": self.simulated,
-            "elapsed_s": self.elapsed_s,
-        }
 
     def snapshot(self) -> "ExecutorStats":
         """Immutable copy, for before/after delta accounting."""
@@ -60,14 +59,11 @@ class ExecutorStats:
 
         Lets callers (the benchmark harness, progress reporting) attribute
         a slice of a long-lived executor's cumulative counters to one
-        phase of work without resetting shared state.
+        phase of work without resetting shared state.  The subtraction is
+        the schema's :meth:`~repro.stats.StatsSchema.diff`, so fields added
+        to the schema can never be silently dropped from deltas.
         """
-        return ExecutorStats(
-            jobs=self.jobs - since.jobs,
-            store_hits=self.store_hits - since.store_hits,
-            simulated=self.simulated - since.simulated,
-            elapsed_s=self.elapsed_s - since.elapsed_s,
-        )
+        return ExecutorStats(**self.SCHEMA.diff(self.as_dict(), since.as_dict()))
 
 
 class JobExecutor(ABC):

@@ -6,12 +6,12 @@ benchmark's IPC when sharing the system against its IPC when running alone.
 """
 
 from repro.metrics.speedup import (
-    weighted_speedup,
+    geometric_mean,
     harmonic_speedup,
     maximum_slowdown,
-    geometric_mean,
     percent_improvement,
     percent_loss,
+    weighted_speedup,
 )
 
 __all__ = [

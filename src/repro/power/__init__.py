@@ -7,7 +7,7 @@ energies for activation, read/write bursts and refresh derived from IDD
 currents, plus background power integrated over the simulated interval.
 """
 
-from repro.power.idd import IDDValues, MICRON_8GB_DDR3
 from repro.power.dram_power import DRAMPowerModel, EnergyBreakdown
+from repro.power.idd import MICRON_8GB_DDR3, IDDValues
 
 __all__ = ["IDDValues", "MICRON_8GB_DDR3", "DRAMPowerModel", "EnergyBreakdown"]

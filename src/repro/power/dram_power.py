@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.config.dram_config import DRAMConfig
 from repro.dram.device import DeviceStats
-from repro.power.idd import IDDValues, MICRON_8GB_DDR3
+from repro.power.idd import MICRON_8GB_DDR3, IDDValues
 
 
 @dataclass(frozen=True)

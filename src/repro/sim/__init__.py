@@ -1,9 +1,9 @@
 """Simulation driver, experiment runner and the paper's experiment definitions."""
 
-from repro.sim.simulator import Simulator
-from repro.sim.results import SimulationResult, WorkloadResult, MechanismComparison
-from repro.sim.runner import ExperimentRunner, run_workload, run_mechanism_comparison
 from repro.sim.projections import refresh_latency_trend
+from repro.sim.results import MechanismComparison, SimulationResult, WorkloadResult
+from repro.sim.runner import ExperimentRunner, run_mechanism_comparison, run_workload
+from repro.sim.simulator import Simulator
 
 __all__ = [
     "Simulator",

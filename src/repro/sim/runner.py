@@ -23,9 +23,11 @@ import os
 from dataclasses import replace
 from typing import Iterable, Optional, Sequence
 
+from repro.config.controller_config import PAGE_POLICIES
 from repro.config.presets import paper_system
 from repro.config.refresh_config import RefreshMechanism
 from repro.config.system import SystemConfig
+from repro.controller.policies import scheduler_class
 from repro.engine.executor import JobExecutor, SerialExecutor
 from repro.engine.jobs import SimulationJob
 from repro.engine.progress import SOURCE_MEMORY, JobEvent, ProgressCallback
@@ -76,6 +78,12 @@ class ExperimentRunner:
         differential suite in ``tests/test_kernel_equivalence.py``), so
         the kernel is not part of the result fingerprint and cached
         results are shared across kernels.
+    scheduler, page_policy:
+        Optional controller-policy overrides applied to every configuration
+        this runner simulates (including the alone runs), mirroring the
+        ``--scheduler`` / ``--page-policy`` CLI flags.  Unlike the kernel,
+        these *do* change results, so they are part of every fingerprint
+        through :meth:`ControllerConfig.fingerprint`.
     """
 
     def __init__(
@@ -87,6 +95,8 @@ class ExperimentRunner:
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
         kernel: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        page_policy: Optional[str] = None,
     ):
         self.cycles = cycles if cycles is not None else default_cycles()
         self.warmup = warmup if warmup is not None else default_warmup()
@@ -99,16 +109,40 @@ class ExperimentRunner:
                 f"unknown kernel {kernel!r}; expected one of {SystemConfig.KERNELS}"
             )
         self.kernel = kernel
+        if scheduler is not None:
+            scheduler_class(scheduler)  # unknown names fail fast, listing choices
+        if page_policy is not None and page_policy not in PAGE_POLICIES:
+            raise ValueError(
+                f"unknown page policy {page_policy!r}; expected one of {PAGE_POLICIES}"
+            )
+        self.scheduler = scheduler
+        self.page_policy = page_policy
         self.memory_hits = 0
         self._simulation_cache: dict[tuple, SimulationResult] = {}
         self._alone_ipc_cache: dict[tuple, float] = {}
 
     # -- job planning ------------------------------------------------------------
-    def _job(self, config: SystemConfig, workload: Workload) -> SimulationJob:
+    def _effective_config(self, config: SystemConfig) -> SystemConfig:
+        """Apply this runner's kernel/policy overrides to a configuration.
+
+        Every code path that fingerprints or simulates a configuration
+        must go through this, so cache lookups and the jobs that populate
+        the cache always agree on the (post-override) identity.
+        """
         if self.kernel is not None and config.kernel != self.kernel:
             config = config.with_kernel(self.kernel)
+        if self.scheduler is not None and config.controller.scheduler != self.scheduler:
+            config = config.with_scheduler(self.scheduler)
+        if (
+            self.page_policy is not None
+            and config.controller.page_policy != self.page_policy
+        ):
+            config = config.with_page_policy(self.page_policy)
+        return config
+
+    def _job(self, config: SystemConfig, workload: Workload) -> SimulationJob:
         return SimulationJob(
-            config=config,
+            config=self._effective_config(config),
             workload=workload,
             cycles=self.cycles,
             warmup=self.warmup,
@@ -117,7 +151,7 @@ class ExperimentRunner:
 
     def _fingerprint(self, config: SystemConfig, workload: Workload) -> tuple:
         return (
-            config.fingerprint(),
+            self._effective_config(config).fingerprint(),
             workload.fingerprint(),
             self.cycles,
             self.warmup,

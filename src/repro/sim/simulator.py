@@ -14,10 +14,7 @@ from typing import Optional
 from repro.cache.llc import LastLevelCache
 from repro.config.system import SystemConfig
 from repro.controller.memory_controller import MemorySystem
-from repro.core.base import RefreshStats
 from repro.cpu.core_model import CORE_ACTIVE, CORE_GAP, Core
-from repro.dram.device import DeviceStats
-from repro.controller.memory_controller import ControllerStats
 from repro.power.dram_power import DRAMPowerModel
 from repro.sim.results import CoreResult, SimulationResult
 from repro.workloads.mixes import Workload
@@ -255,13 +252,18 @@ class Simulator:
 
     # -- internals ----------------------------------------------------------------
     def _reset_measurement_state(self) -> None:
-        """Clear statistics accumulated during warmup (state is preserved)."""
+        """Clear statistics accumulated during warmup (state is preserved).
+
+        Every holder resets through its schema-driven
+        :meth:`~repro.stats.StatsStruct.reset`, so a counter added to a
+        schema can never be silently carried across the warmup boundary.
+        """
         for core in self.cores:
             core.reset_stats()
-        self.memory.device.stats = DeviceStats()
+        self.memory.device.stats.reset()
         for controller in self.memory.controllers:
-            controller.stats = ControllerStats()
-            controller.refresh_policy.stats = RefreshStats()
+            controller.stats.reset()
+            controller.refresh_policy.stats.reset()
         for channel in self.memory.device.channels:
             channel.stats.reset()
 
@@ -282,10 +284,10 @@ class Simulator:
                 )
             )
         device_stats = self.memory.device.stats.as_dict()
-        controller_stats: dict[str, float] = {}
-        for controller in self.memory.controllers:
-            for key, value in controller.stats.as_dict().items():
-                controller_stats[key] = controller_stats.get(key, 0) + value
+        # Schema-driven cross-channel merge: counters sum, while the
+        # latency averages are recomputed from the merged raw totals (a
+        # per-channel-average sum would be meaningless).
+        controller_stats = self.memory.merged_controller_stats()
         energy = self.power_model.energy(self.memory.device.stats, elapsed)
         return SimulationResult(
             workload=self.workload.name,

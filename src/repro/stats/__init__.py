@@ -1,0 +1,36 @@
+"""Unified statistics registry with declarative merge semantics.
+
+See :mod:`repro.stats.registry` for the model: every statistics holder
+declares a :class:`StatsSchema` (raw counters + merge kind + derived
+weighted averages) and registers it under a short name, so aggregation
+across channels / ranks / policies happens through one audited code path
+instead of hand-rolled loops at every call site.
+"""
+
+from repro.stats.registry import (
+    MAX,
+    MERGE_KINDS,
+    SUM,
+    StatField,
+    StatsSchema,
+    StatsStruct,
+    WeightedAverage,
+    get_schema,
+    merge_stats,
+    register_schema,
+    schema_names,
+)
+
+__all__ = [
+    "MAX",
+    "MERGE_KINDS",
+    "SUM",
+    "StatField",
+    "StatsSchema",
+    "StatsStruct",
+    "WeightedAverage",
+    "get_schema",
+    "merge_stats",
+    "register_schema",
+    "schema_names",
+]

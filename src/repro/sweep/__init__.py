@@ -24,25 +24,6 @@ CLI: ``python -m repro sweep <spec.json|builtin-name> --workers N
 --store cache.jsonl --out dir/``.
 """
 
-from repro.sweep.spec import (
-    Axis,
-    KNOWN_AXES,
-    SpecError,
-    SweepSpec,
-    WorkloadSpec,
-    describe_point,
-    point_key,
-)
-from repro.sweep.compile import (
-    SweepCell,
-    SweepResult,
-    build_config,
-    build_workloads,
-    describe_plan,
-    expand_points,
-    plan_sweep,
-    run_sweep,
-)
 from repro.sweep.analyze import (
     ConfigSummary,
     best_per_workload,
@@ -53,6 +34,25 @@ from repro.sweep.analyze import (
 )
 from repro.sweep.artifact import load_run_dir, write_run_dir
 from repro.sweep.builtin import BUILTIN_SPECS, builtin_spec
+from repro.sweep.compile import (
+    SweepCell,
+    SweepResult,
+    build_config,
+    build_workloads,
+    describe_plan,
+    expand_points,
+    plan_sweep,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    KNOWN_AXES,
+    Axis,
+    SpecError,
+    SweepSpec,
+    WorkloadSpec,
+    describe_point,
+    point_key,
+)
 
 __all__ = [
     "Axis",

@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # runner imports stay lazy to avoid an import cycle
 
 from repro.config.presets import paper_system
 from repro.config.system import SystemConfig
-from repro.sweep.spec import PRESET_AXES, SweepSpec, point_key
+from repro.sweep.spec import CONTROLLER_AXES, PRESET_AXES, SweepSpec, point_key
 from repro.workloads.mixes import (
     Workload,
     make_workload_sweep,
@@ -51,9 +51,11 @@ def build_config(spec: SweepSpec, point: dict) -> SystemConfig:
     """Realize one design point as a system configuration.
 
     The point's values override the spec's ``base`` knobs; preset-level
-    knobs are forwarded to :func:`~repro.config.presets.paper_system` and
-    the timing knobs (``tfaw`` / ``trrd``) are applied on top, mirroring
-    the paper's Table 4 sweep.  When ``tfaw`` is swept without an explicit
+    knobs are forwarded to :func:`~repro.config.presets.paper_system`, the
+    timing knobs (``tfaw`` / ``trrd``) are applied on top (mirroring the
+    paper's Table 4 sweep), and the controller-policy knobs
+    (``scheduler`` / ``page_policy`` / ``row_hit_cap``) override the
+    controller configuration.  When ``tfaw`` is swept without an explicit
     ``trrd``, ``tRRD`` follows the paper's ``max(1, tFAW // 5)`` pairing.
     """
     knobs = dict(spec.base)
@@ -64,6 +66,13 @@ def build_config(spec: SweepSpec, point: dict) -> SystemConfig:
         tfaw = knobs.get("tfaw", config.dram.timings.tFAW)
         trrd = knobs.get("trrd", max(1, tfaw // 5))
         config = replace(config, dram=config.dram.with_tfaw(tfaw, trrd))
+    controller_kwargs = {
+        name: knobs[name] for name in CONTROLLER_AXES if name in knobs
+    }
+    if controller_kwargs:
+        config = replace(
+            config, controller=replace(config.controller, **controller_kwargs)
+        )
     return config
 
 

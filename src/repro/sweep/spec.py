@@ -38,11 +38,17 @@ PRESET_AXES: tuple[str, ...] = (
 #: Axis names applied as DRAM-timing overrides after the preset is built.
 TIMING_AXES: tuple[str, ...] = ("tfaw", "trrd")
 
+#: Axis names applied as memory-controller policy overrides (the scheduler
+#: and page-management policies of ``repro.controller.policies``).
+CONTROLLER_AXES: tuple[str, ...] = ("scheduler", "page_policy", "row_hit_cap")
+
 #: Axis names applied to the workload construction instead of the config.
 WORKLOAD_AXES: tuple[str, ...] = ("workload_seed",)
 
 #: Every axis name a spec may sweep over.
-KNOWN_AXES: tuple[str, ...] = PRESET_AXES + TIMING_AXES + WORKLOAD_AXES
+KNOWN_AXES: tuple[str, ...] = (
+    PRESET_AXES + TIMING_AXES + CONTROLLER_AXES + WORKLOAD_AXES
+)
 
 #: Supported expansion modes: the cross product of all axes, or a
 #: position-wise zip of equal-length axes.

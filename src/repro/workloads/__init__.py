@@ -10,13 +10,6 @@ with: memory intensity, row-buffer locality, bank-level spread, and the
 read/write mix that produces write batches.
 """
 
-from repro.workloads.trace import TraceEntry
-from repro.workloads.generators import (
-    streaming_trace,
-    strided_trace,
-    random_trace,
-    mixed_trace,
-)
 from repro.workloads.benchmark_suite import (
     Benchmark,
     benchmark_suite,
@@ -24,13 +17,20 @@ from repro.workloads.benchmark_suite import (
     intensive_benchmarks,
     non_intensive_benchmarks,
 )
+from repro.workloads.generators import (
+    mixed_trace,
+    random_trace,
+    streaming_trace,
+    strided_trace,
+)
 from repro.workloads.mixes import (
+    INTENSITY_CATEGORIES,
     Workload,
     make_workload,
     make_workload_category,
     make_workload_sweep,
-    INTENSITY_CATEGORIES,
 )
+from repro.workloads.trace import TraceEntry
 
 __all__ = [
     "TraceEntry",

@@ -1,14 +1,14 @@
 """Unit tests for result formatting (analysis package) and projections."""
 
 from repro.analysis.figures import (
-    format_figure5,
-    format_figure6,
-    format_figure7,
     format_figure12,
     format_figure13,
     format_figure14,
     format_figure15,
     format_figure16,
+    format_figure5,
+    format_figure6,
+    format_figure7,
 )
 from repro.analysis.tables import (
     format_table,

@@ -5,10 +5,10 @@ import math
 import pytest
 
 from repro.config.dram_config import (
+    REFRESH_LATENCY_NS,
     DRAMConfig,
     DRAMOrganization,
     DRAMTimings,
-    REFRESH_LATENCY_NS,
     projected_trfc_ns,
 )
 

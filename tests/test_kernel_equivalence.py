@@ -71,6 +71,73 @@ def test_event_kernel_bit_identical(mechanism, density, mix_name):
     assert fast == reference
 
 
+SCHEDULERS = ("frfcfs", "fcfs", "frfcfs-cap")
+
+PAGE_POLICIES = ("closed", "open")
+
+
+class TestSchedulerPolicyMatrix:
+    """The bit-identity proof extends to every registered scheduler policy.
+
+    Every policy must satisfy the event-kernel contract (``select`` /
+    ``last_conflicts`` / ``next_event_cycle``); this matrix runs each
+    scheduler x page-policy cell under both kernels and requires the full
+    result payloads to match bit for bit.  The refresh mechanisms chosen
+    maximize interaction coverage: REFab exercises rank-level quiescing,
+    DSARP exercises DARP's out-of-order refreshes plus SARP's
+    subarray-conflict bookkeeping (the ``last_conflicts`` replay path).
+    """
+
+    @pytest.mark.parametrize("page_policy", PAGE_POLICIES)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("mechanism", ("refab", "dsarp"))
+    def test_policy_matrix_bit_identical(self, mechanism, scheduler, page_policy):
+        results = {}
+        for kernel in ("cycle", "event"):
+            config = (
+                paper_system(density_gb=32, mechanism=mechanism, num_cores=2)
+                .with_scheduler(scheduler)
+                .with_page_policy(page_policy)
+                .with_kernel(kernel)
+            )
+            workload_names = MIXES["mixed"]
+            workload = make_workload(
+                [get_benchmark(name) for name in workload_names],
+                name="x".join(workload_names),
+                seed=0,
+            )
+            simulator = Simulator(config, workload)
+            results[kernel] = simulator.run(CYCLES, warmup=WARMUP).to_dict()
+        assert results["event"] == results["cycle"]
+
+    def test_policies_actually_differ(self):
+        """The matrix is not vacuous: policies produce different schedules."""
+        payloads = {}
+        workload = make_workload(
+            [get_benchmark(name) for name in MIXES["bandwidth"]],
+            name="differ",
+            seed=0,
+        )
+        for scheduler, page_policy in (
+            ("frfcfs", "closed"),
+            ("frfcfs", "open"),
+            ("fcfs", "open"),
+        ):
+            config = (
+                paper_system(density_gb=32, mechanism="refab", num_cores=2)
+                .with_scheduler(scheduler)
+                .with_page_policy(page_policy)
+            )
+            simulator = Simulator(config, workload)
+            result = simulator.run(CYCLES, warmup=WARMUP)
+            payloads[(scheduler, page_policy)] = (
+                result.device_stats,
+                result.controller_stats,
+            )
+        assert payloads[("frfcfs", "closed")] != payloads[("frfcfs", "open")]
+        assert payloads[("frfcfs", "open")] != payloads[("fcfs", "open")]
+
+
 class TestKernelEquivalenceEdges:
     def test_no_warmup_window(self):
         """The reset-free path (warmup=0) must also match exactly."""

@@ -22,7 +22,7 @@ from repro.metrics.speedup import (
     weighted_speedup,
 )
 from repro.power.dram_power import DRAMPowerModel
-from repro.power.idd import IDDValues, MICRON_8GB_DDR3
+from repro.power.idd import MICRON_8GB_DDR3, IDDValues
 
 
 class TestSpeedupMetrics:

@@ -1,0 +1,204 @@
+"""Tests for the unified statistics registry (``repro.stats``).
+
+Covers the schema contract (field/derived validation, merge semantics,
+diffs, registry lookups) and the integration points that used to hand-roll
+their merging: the cross-channel controller-stats merge (whose
+sum-of-averages bug the registry makes unexpressible), the refresh-stats
+merge, and the executor-stats delta plumbing the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.memory_controller import ControllerStats
+from repro.core.base import RefreshStats
+from repro.cpu.core_model import CoreStats
+from repro.dram.channel import ChannelStats
+from repro.dram.device import DeviceStats
+from repro.engine.executor import ExecutorStats
+from repro.stats import (
+    MAX,
+    StatField,
+    StatsSchema,
+    WeightedAverage,
+    get_schema,
+    merge_stats,
+    register_schema,
+    schema_names,
+)
+
+
+class TestSchemaValidation:
+    def test_unknown_merge_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown merge kind"):
+            StatField("count", merge="median")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fields"):
+            StatsSchema("dup", fields=("a", "a"))
+
+    def test_derived_must_reference_declared_fields(self):
+        with pytest.raises(ValueError, match="undeclared fields"):
+            StatsSchema(
+                "bad", fields=("total",), derived=(WeightedAverage("avg", "total", "n"),)
+            )
+
+    def test_derived_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            StatsSchema(
+                "bad2",
+                fields=("total", "n"),
+                derived=(WeightedAverage("total", "total", "n"),),
+            )
+
+
+class TestMergeSemantics:
+    def test_sum_and_max(self):
+        schema = StatsSchema(
+            "local", fields=(StatField("count"), StatField("peak", merge=MAX))
+        )
+        merged = schema.merge(
+            [{"count": 2, "peak": 5}, {"count": 3, "peak": 4}, {"count": 1, "peak": 9}]
+        )
+        assert merged == {"count": 6, "peak": 9}
+
+    def test_weighted_average_recomputed_from_totals(self):
+        schema = StatsSchema(
+            "avg",
+            fields=("total_latency", "served"),
+            derived=(WeightedAverage("average_latency", "total_latency", "served"),),
+        )
+        # Channel A: 10 requests at 100; channel B: 1 request at 10.
+        merged = schema.merge(
+            [
+                {"total_latency": 1000, "served": 10, "average_latency": 100.0},
+                {"total_latency": 10, "served": 1, "average_latency": 10.0},
+            ]
+        )
+        # The per-instance averages (which would sum to 110) are discarded;
+        # the merged average is weighted: 1010 / 11.
+        assert merged["average_latency"] == pytest.approx(1010 / 11)
+
+    def test_zero_denominator_yields_zero(self):
+        schema = StatsSchema(
+            "avg0",
+            fields=("total", "n"),
+            derived=(WeightedAverage("avg", "total", "n"),),
+        )
+        assert schema.merge([{"total": 0, "n": 0}])["avg"] == 0.0
+
+    def test_unknown_keys_summed(self):
+        schema = StatsSchema("known", fields=("a",))
+        merged = schema.merge([{"a": 1, "extra": 2}, {"a": 2, "extra": 3}])
+        assert merged == {"a": 3, "extra": 5}
+
+    def test_merge_of_empty_iterable_is_zero(self):
+        schema = StatsSchema("empty", fields=("a", "b"))
+        assert schema.merge([]) == {"a": 0, "b": 0}
+
+    def test_diff(self):
+        schema = StatsSchema(
+            "d",
+            fields=("total", "n"),
+            derived=(WeightedAverage("avg", "total", "n"),),
+        )
+        delta = schema.diff({"total": 30, "n": 3}, {"total": 10, "n": 1})
+        assert delta == {"total": 20, "n": 2, "avg": 10.0}
+
+
+class TestRegistry:
+    def test_every_holder_registered(self):
+        assert set(schema_names()) >= {
+            "channel",
+            "controller",
+            "core",
+            "device",
+            "executor",
+            "refresh",
+        }
+
+    def test_unknown_schema_lists_choices(self):
+        with pytest.raises(KeyError, match="controller"):
+            get_schema("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_schema(StatsSchema("controller", fields=("x",)))
+
+    def test_merge_stats_by_name(self):
+        merged = merge_stats("device", [{"reads": 1}, {"reads": 2}])
+        assert merged["reads"] == 3 and merged["writes"] == 0
+
+
+class TestHolderSchemas:
+    def test_as_dict_covers_every_dataclass_field(self):
+        for holder in (
+            ControllerStats(),
+            DeviceStats(),
+            ChannelStats(),
+            RefreshStats(),
+            CoreStats(),
+            ExecutorStats(),
+        ):
+            import dataclasses
+
+            payload = holder.as_dict()
+            for field in dataclasses.fields(holder):
+                assert field.name in payload, (
+                    f"{type(holder).__name__}.as_dict() misses {field.name}"
+                )
+
+    def test_reset_restores_defaults(self):
+        stats = ChannelStats(read_bursts=4, write_bursts=2, busy_cycles=99)
+        stats.reset()
+        assert stats == ChannelStats()
+
+    def test_controller_average_merge_is_weighted(self):
+        """The satellite bug: averages must merge from raw totals."""
+        channel_a = ControllerStats(served_reads=10, total_read_latency=1000)
+        channel_b = ControllerStats(served_reads=1, total_read_latency=10)
+        merged = ControllerStats.merge_dicts(
+            [channel_a.as_dict(), channel_b.as_dict()]
+        )
+        assert merged["served_reads"] == 11
+        assert merged["total_read_latency"] == 1010
+        assert merged["average_read_latency"] == pytest.approx(1010 / 11)
+        # The old (buggy) sum-of-averages would have been 110.
+        assert merged["average_read_latency"] < 100
+
+    def test_executor_delta_via_schema(self):
+        stats = ExecutorStats(jobs=5, store_hits=2, simulated=3, elapsed_s=1.5)
+        earlier = ExecutorStats(jobs=2, store_hits=1, simulated=1, elapsed_s=0.5)
+        delta = stats.delta(earlier)
+        assert delta == ExecutorStats(jobs=3, store_hits=1, simulated=2, elapsed_s=1.0)
+
+    def test_core_mpki_matches_schema_derivation(self):
+        stats = CoreStats(instructions=2000, dram_reads_issued=3)
+        assert stats.as_dict()["mpki"] == stats.mpki() == pytest.approx(1.5)
+
+
+class TestSimulationIntegration:
+    def test_result_averages_come_from_merged_totals(self):
+        """End to end: a multi-channel run reports weighted averages."""
+        from repro.config.presets import paper_system
+        from repro.sim.simulator import Simulator
+        from repro.workloads.benchmark_suite import get_benchmark
+        from repro.workloads.mixes import make_workload
+
+        workload = make_workload(
+            [get_benchmark("stream_copy"), get_benchmark("mcf_like")], seed=0
+        )
+        simulator = Simulator(paper_system(num_cores=2), workload)
+        result = simulator.run(1200, warmup=200)
+        stats = result.controller_stats
+        assert stats["served_reads"] > 0
+        assert stats["average_read_latency"] == pytest.approx(
+            stats["total_read_latency"] / stats["served_reads"]
+        )
+        # The per-channel averages must reproduce the merged value when
+        # recombined — and their plain sum must not (the pre-registry bug).
+        per_channel = [c.stats for c in simulator.memory.controllers]
+        assert sum(c.served_reads for c in per_channel) == stats["served_reads"]
+        summed_averages = sum(c.average_read_latency for c in per_channel)
+        assert summed_averages != pytest.approx(stats["average_read_latency"])
