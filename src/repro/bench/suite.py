@@ -693,9 +693,18 @@ ENGINE_SCALING_SCALE = experiments.ExperimentScale(
 )
 
 
+ENGINE_SCALING_WORKERS = (1, 2, 4)
+
+
 def _engine_scaling(context: BenchContext):
-    """Engine scaling: a figure12-style sweep at 1 versus N worker processes."""
-    workers = os.cpu_count() or 1
+    """Engine scaling: a figure12-style sweep, serial versus 1/2/4 workers.
+
+    Every parallel leg uses a fresh runner with no store, so each worker
+    count actually simulates the full sweep — a silently-cached leg would
+    report a bogus near-infinite speedup.  The per-leg ``simulated`` count
+    is asserted against the serial leg to guard exactly that.
+    """
+    available = os.cpu_count() or 1
 
     def sweep(executor):
         runner = ExperimentRunner(executor=executor)
@@ -703,53 +712,90 @@ def _engine_scaling(context: BenchContext):
         result = experiments.figure12_workload_sweep(
             runner=runner, scale=ENGINE_SCALING_SCALE
         )
-        return result, perf_counter() - start
+        return result, perf_counter() - start, runner.summary()["simulated"]
 
-    serial_result, serial_s = sweep(SerialExecutor())
-    parallel_result, parallel_s = sweep(ParallelExecutor(workers=workers))
+    serial_result, serial_s, serial_simulated = sweep(SerialExecutor())
+    rows = []
+    for workers in ENGINE_SCALING_WORKERS:
+        result, parallel_s, simulated = sweep(ParallelExecutor(workers=workers))
+        rows.append(
+            {
+                "workers": workers,
+                "parallel_s": parallel_s,
+                "simulated": simulated,
+                "identical": result == serial_result,
+            }
+        )
     return {
-        "workers": workers,
+        "available_cpus": available,
         "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "identical": parallel_result == serial_result,
+        "serial_simulated": serial_simulated,
+        "rows": rows,
     }
 
 
 def _engine_scaling_metrics(payload) -> dict:
     # Parallel fan-out must never change results: gate the identity bit.
-    return {"results_identical": 1.0 if payload["identical"] else 0.0}
+    identical = all(row["identical"] for row in payload["rows"])
+    return {"results_identical": 1.0 if identical else 0.0}
 
 
 def _engine_scaling_timings(payload) -> dict:
-    return {
+    timings = {
         "serial_s": payload["serial_s"],
-        "parallel_s": payload["parallel_s"],
-        "speedup": payload["serial_s"] / payload["parallel_s"],
-        "workers": float(payload["workers"]),
+        "available_cpus": float(payload["available_cpus"]),
     }
+    for row in payload["rows"]:
+        timings[f"parallel_s_{row['workers']}w"] = row["parallel_s"]
+        timings[f"speedup_{row['workers']}w"] = (
+            payload["serial_s"] / row["parallel_s"]
+        )
+    return timings
 
 
 def _engine_scaling_checks(payload, context: BenchContext) -> None:
-    assert payload["identical"], "parallel fan-out changed experiment results"
-    if payload["workers"] > 1 and _full_window(context):
+    assert payload["serial_simulated"] > 0, "serial leg performed no simulations"
+    for row in payload["rows"]:
+        assert row["identical"], (
+            f"parallel fan-out at {row['workers']} workers changed results"
+        )
+        # Each leg must actually exercise the parallel path end to end,
+        # not resolve the sweep from some cache.
+        assert row["simulated"] == payload["serial_simulated"], (
+            f"{row['workers']}-worker leg simulated {row['simulated']} jobs, "
+            f"serial leg simulated {payload['serial_simulated']}"
+        )
+    if payload["available_cpus"] >= 2 and _full_window(context):
         # The sweep is embarrassingly parallel; anything below parity means
         # the fan-out machinery itself is broken (pickling storms, workers
         # running serially, ...).  Leave headroom for loaded CI machines;
         # at a reduced window the pool's startup overhead dominates and the
-        # ratio measures fork cost, not the engine, so it is full-window-only.
-        assert payload["serial_s"] / payload["parallel_s"] > 0.9
+        # ratio measures fork cost, not the engine, so it is full-window-only
+        # — and on a single-CPU machine extra workers cannot beat serial at
+        # all, so the ratio says nothing about the engine there either.
+        best = max(
+            payload["serial_s"] / row["parallel_s"]
+            for row in payload["rows"]
+            if row["workers"] <= payload["available_cpus"]
+        )
+        assert best > 0.9
 
 
 def _engine_scaling_format(payload) -> str:
-    speedup = payload["serial_s"] / payload["parallel_s"]
-    return "\n".join(
-        [
-            "Engine scaling (figure12-style sweep, 1 density x 5 workloads)",
-            f"  serial   (1 worker):   {payload['serial_s']:8.2f} s",
-            f"  parallel ({payload['workers']} workers):  {payload['parallel_s']:8.2f} s",
-            f"  speedup:               {speedup:8.2f} x",
-        ]
-    )
+    lines = [
+        "Engine scaling (figure12-style sweep, 1 density x 5 workloads; "
+        f"{payload['available_cpus']} CPUs available)",
+        f"  serial   (1 worker):   {payload['serial_s']:8.2f} s "
+        f"({payload['serial_simulated']} simulations)",
+    ]
+    for row in payload["rows"]:
+        speedup = payload["serial_s"] / row["parallel_s"]
+        lines.append(
+            f"  parallel ({row['workers']} worker{'s' if row['workers'] != 1 else ''}):"
+            f"  {row['parallel_s']:8.2f} s  ({speedup:4.2f}x, "
+            f"{'identical' if row['identical'] else 'DIVERGED'})"
+        )
+    return "\n".join(lines)
 
 
 register(
@@ -763,6 +809,102 @@ register(
         # Wall-clock depends on the machine's core count and load; gate
         # loosely and rely on the timings trend instead.
         max_regression=1.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Trace overhead: the observability hooks must be free when disabled
+# ---------------------------------------------------------------------------
+def _trace_overhead(context: BenchContext):
+    """Tracing on versus off on one DARP cell.
+
+    The spec's gated wall clock is dominated by the three untraced legs,
+    so the ``max_regression=0.02`` gate on this benchmark is the tentpole's
+    "tracer disabled costs < 2 %" acceptance criterion: if the hooks ever
+    grow a cost when off, this spec's elapsed time regresses past the gate.
+    The untraced leg takes the best of three runs to keep the gated number
+    out of scheduler noise.
+    """
+    config = paper_system(density_gb=32, mechanism="darp", num_cores=4)
+    workload = make_workload_category(100, index=0, num_cores=4)
+
+    def run(cfg):
+        simulator = Simulator(cfg, workload)
+        start = perf_counter()
+        result = simulator.run(context.cycles, warmup=context.warmup)
+        return simulator, result, perf_counter() - start
+
+    off_times = []
+    for _ in range(3):
+        _, off_result, elapsed = run(config)
+        off_times.append(elapsed)
+    traced = config.with_obs(
+        trace=True, epoch_interval=max(1, context.cycles // 8)
+    )
+    simulator, on_result, on_s = run(traced)
+    return {
+        "off_s": min(off_times),
+        "on_s": on_s,
+        "identical": on_result.to_dict() == off_result.to_dict(),
+        "records": len(simulator.memory.tracer.records),
+        "dropped": simulator.memory.tracer.dropped,
+        "epochs": len(simulator.epoch_samples),
+    }
+
+
+def _trace_overhead_metrics(payload) -> dict:
+    # Record/epoch counts are deterministic simulation outputs: gate them.
+    return {
+        "results_identical": 1.0 if payload["identical"] else 0.0,
+        "trace_records": float(payload["records"] + payload["dropped"]),
+        "epoch_samples": float(payload["epochs"]),
+    }
+
+
+def _trace_overhead_timings(payload) -> dict:
+    return {
+        "off_s": payload["off_s"],
+        "on_s": payload["on_s"],
+        "traced_overhead": payload["on_s"] / payload["off_s"] - 1.0,
+    }
+
+
+def _trace_overhead_checks(payload, context: BenchContext) -> None:
+    # Observability must never perturb simulation outcomes.
+    assert payload["identical"], "tracing changed the simulation result"
+    # And the traced leg must have actually observed something.
+    assert payload["records"] > 0
+    assert payload["epochs"] > 0
+
+
+def _trace_overhead_format(payload) -> str:
+    overhead = payload["on_s"] / payload["off_s"] - 1.0
+    return "\n".join(
+        [
+            "Trace overhead (one 4-core DARP cell at 32 Gb, tracing+epochs)",
+            f"  tracing off (best of 3):  {payload['off_s']:8.2f} s",
+            f"  tracing on:               {payload['on_s']:8.2f} s "
+            f"({payload['records']} records, {payload['epochs']} epochs)",
+            f"  traced overhead:          {overhead:8.1%}",
+            "  (disabled-hook overhead is gated by this spec's wall-clock "
+            "regression gate: max_regression=0.02)",
+        ]
+    )
+
+
+register(
+    BenchSpec(
+        name="trace_overhead",
+        target=_trace_overhead,
+        metrics=_trace_overhead_metrics,
+        timings=_trace_overhead_timings,
+        checks=_trace_overhead_checks,
+        format=_trace_overhead_format,
+        # This is the tentpole's overhead acceptance gate: the untraced
+        # legs dominate the wall clock, so a >2 % regression here means
+        # the disabled hooks are no longer free.
+        max_regression=0.02,
     )
 )
 

@@ -293,6 +293,33 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print one line per completed simulation job",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write a command-stream trace per freshly simulated job into "
+            "this directory (summarize with 'repro trace summarize'); "
+            "cache/store hits skip simulation and write no trace"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "binary"),
+        default="jsonl",
+        help="on-disk trace format (default: jsonl)",
+    )
+    parser.add_argument(
+        "--epoch-interval",
+        type=_positive_int,
+        metavar="CYCLES",
+        default=None,
+        help=(
+            "sample queue depths, occupancy and IPC every N cycles; the "
+            "samples ride in the trace header (requires --trace to be "
+            "persisted)"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -452,6 +479,69 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the markdown regression report to a file",
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="analyze command-stream traces written with --trace",
+        description=(
+            "Analyze trace files produced by 'repro run ... --trace DIR': "
+            "reconstruct refresh-access overlap windows, per-bank "
+            "utilization and row-hit runs, and cross-check the trace "
+            "totals against the run's aggregate statistics."
+        ),
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_subparsers.add_parser(
+        "summarize", help="summarize one or more trace files"
+    )
+    trace_summarize.add_argument(
+        "paths", nargs="+", metavar="TRACE", help="trace file(s), jsonl or binary"
+    )
+    trace_summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full structured summary as JSON instead of text",
+    )
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run one experiment with span profiling and print hot spots",
+        description=(
+            "Run an experiment with wall-clock span profiling enabled "
+            "(kernel steps, controller horizon scans, per-job engine time) "
+            "and print the sorted hot-spot table."
+        ),
+    )
+    profile_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="which figure/table to profile",
+    )
+    _add_engine_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--workloads-per-category",
+        type=int,
+        default=None,
+        help="workloads per intensity category for the sweep experiments",
+    )
+    profile_parser.add_argument(
+        "--sensitivity-workloads",
+        type=int,
+        default=None,
+        help="workload count for the sensitivity experiments",
+    )
+    profile_parser.add_argument(
+        "--densities",
+        type=_density_list,
+        default=None,
+        help="comma-separated DRAM densities in Gb (default: 8,16,32)",
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        help="rows to show in the hot-spot table (default: 20)",
+    )
     return parser
 
 
@@ -484,6 +574,16 @@ def _build_runner(
     executor = (
         ParallelExecutor(workers=args.workers) if args.workers > 1 else SerialExecutor()
     )
+    obs = None
+    if getattr(args, "trace", None) or getattr(args, "epoch_interval", None):
+        from repro.config.obs_config import ObsConfig
+
+        obs = ObsConfig(
+            trace=bool(args.trace),
+            trace_dir=args.trace,
+            trace_format=args.trace_format,
+            epoch_interval=args.epoch_interval or 0,
+        )
     return ExperimentRunner(
         cycles=args.cycles,
         warmup=args.warmup,
@@ -494,6 +594,7 @@ def _build_runner(
         kernel=args.kernel,
         scheduler=args.scheduler if policy_overrides else None,
         page_policy=args.page_policy if policy_overrides else None,
+        obs=obs,
     )
 
 
@@ -685,6 +786,54 @@ def _bench_compare_command(
     return 0 if comparison.ok else 1
 
 
+def _trace_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    """``repro trace summarize``: analyze traces, exit 1 on crosscheck failure."""
+    from repro.obs.summarize import format_summary, summarize_path
+
+    failures = 0
+    payloads = []
+    for path in args.paths:
+        try:
+            summary = summarize_path(path)
+        except (OSError, ValueError) as error:
+            stderr.write(f"error: {path}: {error}\n")
+            return 2
+        if args.json:
+            payloads.append({"path": str(path), **summary})
+        else:
+            if len(args.paths) > 1:
+                stdout.write(f"== {path} ==\n")
+            stdout.write(format_summary(summary))
+            if len(args.paths) > 1:
+                stdout.write("\n")
+        if not summary["crosscheck"]["agrees"]:
+            failures += 1
+            stderr.write(
+                f"crosscheck failed for {path}: trace totals disagree with "
+                f"the run's aggregate statistics\n"
+            )
+    if args.json:
+        out = payloads[0] if len(payloads) == 1 else payloads
+        stdout.write(json.dumps(_to_jsonable(out), indent=2, sort_keys=True) + "\n")
+    return 1 if failures else 0
+
+
+def _profile_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    """``repro profile``: run an experiment under the span profiler."""
+    import repro.obs.profile as obs_profile
+
+    experiment = EXPERIMENTS[args.experiment]
+    runner = _build_runner(args, stderr)
+    obs_profile.enable()
+    try:
+        experiment.run(runner, _build_scale(args))
+    finally:
+        profiler = obs_profile.disable()
+    _write_run_summary(runner, args, stderr)
+    stdout.write(profiler.format_table(top=args.top))
+    return 0
+
+
 def _bench_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
     if args.bench_command == "list":
         return _bench_list_command(stdout)
@@ -727,4 +876,8 @@ def main(
         return _sweep_command(args, stdout, stderr)
     if args.command == "bench":
         return _bench_command(args, stdout, stderr)
+    if args.command == "trace":
+        return _trace_command(args, stdout, stderr)
+    if args.command == "profile":
+        return _profile_command(args, stdout, stderr)
     return _run_command(args, stdout, stderr)

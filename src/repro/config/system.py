@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, replace
 from repro.config.controller_config import ControllerConfig
 from repro.config.cpu_config import CacheConfig, CPUConfig
 from repro.config.dram_config import DRAMConfig
+from repro.config.obs_config import ObsConfig
 from repro.config.refresh_config import RefreshConfig, RefreshMechanism
 
 
@@ -30,6 +31,11 @@ class SystemConfig:
     #: reference.  Excluded from :meth:`fingerprint` on purpose — the two
     #: kernels are bit-identical, so cached results are shared.
     kernel: str = "event"
+    #: Observability settings (command tracing, epoch sampling).  Like
+    #: ``kernel``, excluded from :meth:`fingerprint`: observation never
+    #: changes simulated results, so traced and untraced runs of the same
+    #: system share cached results.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     KERNELS = ("event", "cycle")
 
@@ -42,6 +48,10 @@ class SystemConfig:
     def with_kernel(self, kernel: str) -> "SystemConfig":
         """Return a copy running on a different execution kernel."""
         return replace(self, kernel=kernel)
+
+    def with_obs(self, **changes) -> "SystemConfig":
+        """Return a copy with observability settings changed."""
+        return replace(self, obs=replace(self.obs, **changes))
 
     def with_scheduler(self, scheduler: str) -> "SystemConfig":
         """Return a copy using a different demand-scheduling policy."""

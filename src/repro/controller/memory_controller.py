@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
+import repro.obs.profile as obs_profile
 from repro.config.system import SystemConfig
 from repro.controller.policies import create_scheduler
 from repro.controller.queues import RequestQueues
@@ -84,10 +86,14 @@ class ChannelController:
         config: SystemConfig,
         device: DRAMDevice,
         refresh_policy,
+        tracer=None,
     ):
         self.channel_id = channel_id
         self.config = config
         self.device = device
+        #: Optional :class:`~repro.obs.trace.CommandTracer`.  ``None`` when
+        #: tracing is off, so the hot-path cost is one identity check.
+        self.tracer = tracer
         org = config.dram.organization
         bank_keys = [
             (rank, bank)
@@ -185,6 +191,8 @@ class ChannelController:
     def _issue(self, command: Command, cycle: int) -> int:
         done = self.device.issue(command, cycle)
         self.stats.issued_commands += 1
+        if self.tracer is not None:
+            self.tracer.command(command, cycle, done)
         return done
 
     def _retire_request(self, request: MemRequest, completion_cycle: int) -> None:
@@ -258,6 +266,23 @@ class ChannelController:
         return completed
 
     def _local_next_event(self, now: int) -> Optional[int]:
+        """Profiling wrapper around :meth:`_scan_local_next_event`.
+
+        The horizon scan is one of the event kernel's candidate hot spots;
+        when span profiling is on it shows up as ``controller.horizon_scan``
+        in the ``repro profile`` table.  With profiling off the wrapper is
+        a single module-attribute load plus an identity check.
+        """
+        profiler = obs_profile.ACTIVE
+        if profiler is None:
+            return self._scan_local_next_event(now)
+        start = perf_counter()
+        try:
+            return self._scan_local_next_event(now)
+        finally:
+            profiler.add("controller.horizon_scan", perf_counter() - start)
+
+    def _scan_local_next_event(self, now: int) -> Optional[int]:
         """Earliest cycle after ``now`` at which this channel's scheduling
         outcome can change without a queue mutation (``None``: never).
 
@@ -377,12 +402,20 @@ class MemorySystem:
         self.device = DRAMDevice(
             config.dram, sarp_enabled=config.refresh.mechanism.uses_sarp
         )
+        if config.obs.trace:
+            from repro.obs.trace import CommandTracer
+
+            self.tracer = CommandTracer(config.obs.trace_buffer)
+        else:
+            self.tracer = None
+        self.device.tracer = self.tracer
         self.controllers = [
             ChannelController(
                 channel_id=ch,
                 config=config,
                 device=self.device,
                 refresh_policy=create_refresh_policy(config, ch),
+                tracer=self.tracer,
             )
             for ch in range(config.dram.organization.channels)
         ]

@@ -74,6 +74,11 @@ class DARPPolicy(RefreshPolicy):
                     and self.controller.demand_count(rank, nominal) > 0
                 ):
                     self.stats.postponed += 1
+                    tracer = self.controller.tracer
+                    if tracer is not None:
+                        tracer.decision(
+                            "DARP_POSTPONE", cycle, self.channel_id, rank, nominal
+                        )
                 self._round_robin[rank] = (nominal + 1) % self.num_banks
                 self._next_due[rank] += interval
 
@@ -105,6 +110,11 @@ class DARPPolicy(RefreshPolicy):
                 command = self._issue_refresh(cycle, rank, bank)
                 if command is not None:
                     self.stats.forced += 1
+                    tracer = self.controller.tracer
+                    if tracer is not None:
+                        tracer.decision(
+                            "DARP_FORCED", cycle, self.channel_id, rank, bank
+                        )
                     return command
                 precharge = self._precharge_for_refresh(cycle, rank, bank)
                 if precharge is not None:
@@ -139,6 +149,11 @@ class DARPPolicy(RefreshPolicy):
             for bank in owed_idle:
                 command = self._issue_refresh(cycle, rank, bank)
                 if command is not None:
+                    tracer = self.controller.tracer
+                    if tracer is not None:
+                        tracer.decision(
+                            "DARP_IDLE", cycle, self.channel_id, rank, bank
+                        )
                     return command
 
             # 3. Write-refresh parallelization (Algorithm 1): during
@@ -156,6 +171,15 @@ class DARPPolicy(RefreshPolicy):
                         self.stats.write_mode_refreshes += 1
                         if self._debt[rank][candidate] < 0:
                             self.stats.pulled_in += 1
+                        tracer = self.controller.tracer
+                        if tracer is not None:
+                            tracer.decision(
+                                "DARP_WRITE_MODE",
+                                cycle,
+                                self.channel_id,
+                                rank,
+                                candidate,
+                            )
                         return command
         return None
 
@@ -182,6 +206,11 @@ class DARPPolicy(RefreshPolicy):
             if command is not None:
                 if debts[bank] < 0:
                     self.stats.pulled_in += 1
+                tracer = self.controller.tracer
+                if tracer is not None:
+                    tracer.decision(
+                        "DARP_POSTDEMAND", cycle, self.channel_id, rank, bank
+                    )
                 return command
         return None
 

@@ -69,6 +69,10 @@ class DRAMDevice:
         self.organization = config.organization
         self.sarp_enabled = sarp_enabled
         self.stats = DeviceStats()
+        #: Optional :class:`~repro.obs.trace.CommandTracer`, installed by
+        #: :class:`~repro.controller.memory_controller.MemorySystem` so
+        #: SARP conflict accounting can be traced; ``None`` when off.
+        self.tracer = None
         self.channels: list[Channel] = []
         org = config.organization
         for ch in range(org.channels):
@@ -299,6 +303,18 @@ class DRAMDevice:
         bank = self.bank(command.channel, command.rank, command.bank)
         bank.record_subarray_conflict(command.row, count)
         self.stats.subarray_conflicts += count
+        if self.tracer is not None:
+            # cycle=-1: conflicts are charged to spans, not instants, and
+            # the count rides in the record's ``done`` slot.
+            self.tracer.decision(
+                "SARP_CONFLICT",
+                -1,
+                command.channel,
+                command.rank,
+                command.bank,
+                command.row,
+                count,
+            )
 
     # -- verification helpers ------------------------------------------------------
     def refresh_counts_per_bank(self) -> dict[tuple[int, int, int], int]:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+import repro.obs.profile as obs_profile
 from repro.engine.jobs import SimulationJob, execute_job
 from repro.engine.progress import (
     SOURCE_SIMULATED,
@@ -141,6 +142,8 @@ class SerialExecutor(JobExecutor):
         for index, job in pending:
             job_start = perf_counter()
             result = execute_job(job)
+            elapsed_s = perf_counter() - job_start
+            _record_job_span(job, elapsed_s)
             results.append(result)
             if store is not None:
                 store.put(job.key(), result)
@@ -152,10 +155,23 @@ class SerialExecutor(JobExecutor):
                         key=job.key(),
                         label=job.describe(),
                         source=SOURCE_SIMULATED,
-                        elapsed_s=perf_counter() - job_start,
+                        elapsed_s=elapsed_s,
                     )
                 )
         return results
+
+
+def _record_job_span(job: SimulationJob, elapsed_s: float) -> None:
+    """Feed one job's wall time to the active span profiler, if any.
+
+    Emitted beside the existing progress events: the aggregate
+    ``engine.job`` span measures total simulation time, and the per-job
+    label makes slow cells stand out in the ``repro profile`` table.
+    """
+    profiler = obs_profile.ACTIVE
+    if profiler is not None:
+        profiler.add("engine.job", elapsed_s)
+        profiler.add(f"engine.job:{job.describe()}", elapsed_s)
 
 
 def _timed_execute_job(job: SimulationJob) -> tuple["SimulationResult", float]:
@@ -192,6 +208,7 @@ class ParallelExecutor(JobExecutor):
                 for future in done:
                     slot, index, job = futures[future]
                     result, elapsed_s = future.result()
+                    _record_job_span(job, elapsed_s)
                     results[slot] = result
                     if store is not None:
                         store.put(job.key(), result)

@@ -17,10 +17,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.config.system import SystemConfig
+from repro.obs.log import get_logger
 from repro.workloads.mixes import Workload
 
 if TYPE_CHECKING:  # avoid repro.sim <-> repro.engine import cycle
     from repro.sim.results import SimulationResult
+
+log = get_logger(__name__)
 
 
 def fingerprint_digest(fingerprint: object) -> str:
@@ -67,13 +70,75 @@ class SimulationJob:
         )
 
     def run(self) -> "SimulationResult":
-        """Execute the simulation this job describes."""
+        """Execute the simulation this job describes.
+
+        When the configuration arms the tracer and names a trace
+        directory, the trace is persisted next to the result — this also
+        runs inside pool workers, since the job (and its
+        :class:`~repro.config.obs_config.ObsConfig`) pickles across the
+        process boundary.
+        """
         # Imported here to keep job specs importable without pulling the
         # whole simulator into every worker that only plans batches.
         from repro.sim.simulator import Simulator
 
+        log.debug(
+            "simulating %s (%d+%d cycles, seed %d)",
+            self.describe(),
+            self.warmup,
+            self.cycles,
+            self.seed,
+        )
         simulator = Simulator(self.config, self.workload, seed=self.seed)
-        return simulator.run(self.cycles, warmup=self.warmup)
+        result = simulator.run(self.cycles, warmup=self.warmup)
+        obs = self.config.obs
+        if obs.trace and obs.trace_dir:
+            self._write_trace(simulator, result)
+        return result
+
+    def _write_trace(self, simulator, result: "SimulationResult") -> None:
+        """Persist the run's command trace (and epoch samples) to disk."""
+        from pathlib import Path
+
+        from repro.obs.epochs import merge_epoch_samples
+        from repro.obs.trace import trace_header, write_trace
+
+        tracer = simulator.memory.tracer
+        if tracer is None:
+            return
+        obs = self.config.obs
+        extra = {
+            "device_stats": result.device_stats,
+            "refresh_stats": result.refresh_stats,
+            "controller_stats": result.controller_stats,
+            "epoch_interval": obs.epoch_interval,
+            "epochs": [sample.as_dict() for sample in simulator.epoch_samples],
+        }
+        if simulator.epoch_samples:
+            extra["epoch_totals"] = merge_epoch_samples(simulator.epoch_samples)
+        header = trace_header(
+            workload=self.workload.name,
+            mechanism=self.config.refresh.mechanism.value,
+            density_gb=self.config.dram.density_gb,
+            cycles=self.cycles,
+            warmup=self.warmup,
+            seed=self.seed,
+            job_key=self.key(),
+            tracer=tracer,
+            extra=extra,
+        )
+        directory = Path(obs.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        suffix = "jsonl" if obs.trace_format == "jsonl" else "bin"
+        name = self.describe().replace("/", "_").replace("@", "_")
+        path = directory / f"{name}_{self.key()[:12]}.{suffix}"
+        write_trace(path, header, tracer.records, fmt=obs.trace_format)
+        log.debug(
+            "wrote trace %s (%d records, %d dropped)",
+            path,
+            len(tracer.records),
+            tracer.dropped,
+        )
 
 
 def execute_job(job: SimulationJob) -> "SimulationResult":

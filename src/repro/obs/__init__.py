@@ -1,0 +1,30 @@
+"""Observability: command traces, epoch metrics, profiling spans, logging.
+
+The subsystem has four deliberately independent pieces:
+
+* :mod:`repro.obs.trace` — the command-stream tracer (ring buffer plus
+  JSONL / binary sinks) hooked into the memory controller;
+* :mod:`repro.obs.epochs` — the fixed-interval epoch sampler, whose
+  samples merge through the :mod:`repro.stats` registry;
+* :mod:`repro.obs.profile` — wall-clock span profiling for the event
+  kernel and the experiment engine;
+* :mod:`repro.obs.log` — the structured logger shared by the runner,
+  engine and workload layers.
+
+Everything here is observation-only: enabling any of it never changes
+simulated results (enforced by tests and the ``trace_overhead`` bench).
+This module keeps imports light so hot paths can guard on
+``tracer is not None`` without paying for unused machinery.
+"""
+
+from repro.obs.log import get_logger
+from repro.obs.record import TraceRecord
+from repro.obs.trace import CommandTracer, read_trace, write_trace
+
+__all__ = [
+    "CommandTracer",
+    "TraceRecord",
+    "get_logger",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,61 @@
+"""Structured logging for the runner, engine and workload layers.
+
+One shared stdlib ``logging`` hierarchy rooted at ``"repro"``: call
+:func:`get_logger` with a module name and log through it.  The root is
+configured exactly once — level from the ``REPRO_LOG_LEVEL`` environment
+variable (default ``WARNING``, so pytest runs and library use stay
+quiet), a single stderr handler, and ``propagate = False`` so host
+applications that configure the Python root logger do not get duplicate
+lines.
+
+Set ``REPRO_LOG_LEVEL=DEBUG`` to watch experiment planning, batch
+execution and trace persistence as they happen.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+#: Environment variable selecting the log level.
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Level used when the variable is unset or names no known level.
+DEFAULT_LEVEL = logging.WARNING
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _resolve_level(name: str) -> int:
+    level = logging.getLevelName(name.strip().upper())
+    return level if isinstance(level, int) else DEFAULT_LEVEL
+
+
+def configure(stream=None, force: bool = False) -> logging.Logger:
+    """Configure (once) and return the ``repro`` root logger."""
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if _configured and not force:
+        return root
+    root.handlers.clear()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(_resolve_level(os.environ.get(LEVEL_ENV, "")))
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the configured ``repro`` hierarchy.
+
+    ``name`` is usually ``__name__``; names outside the hierarchy are
+    nested under it so every repro logger shares the root's handler.
+    """
+    configure()
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,120 @@
+"""Wall-clock span profiling for the kernel and the experiment engine.
+
+A :class:`SpanProfiler` aggregates named spans into (count, total, max)
+triples; :func:`enable` installs one as the module-global ``ACTIVE`` that
+instrumented sites consult.  Sites read the global through the module
+attribute (``profile.ACTIVE``), never a ``from``-import, so enabling
+mid-process takes effect everywhere immediately; when ``ACTIVE`` is
+``None`` the hot-path cost is one attribute load and an identity check.
+
+The profiler measures the *host's* wall clock, not simulated time — it
+answers "where do my experiment seconds go" (kernel stepping, horizon
+scans, per-job engine time), which is the data the ROADMAP's hot-path
+optimisation item needs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Optional
+
+
+class SpanProfiler:
+    """Aggregates named wall-clock spans."""
+
+    __slots__ = ("spans",)
+
+    def __init__(self) -> None:
+        #: name -> [count, total_s, max_s]
+        self.spans: dict[str, list] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        entry = self.spans.get(name)
+        if entry is None:
+            self.spans[name] = [1, seconds, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+            if seconds > entry[2]:
+                entry[2] = seconds
+
+    def hotspots(self) -> list[tuple[str, int, float, float]]:
+        """(name, count, total_s, max_s) rows sorted by total descending."""
+        rows = [
+            (name, entry[0], entry[1], entry[2])
+            for name, entry in self.spans.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            name: {"count": count, "total_s": total, "max_s": peak}
+            for name, count, total, peak in self.hotspots()
+        }
+
+    def format_table(self, top: Optional[int] = None) -> str:
+        """Human-readable hot-spot table (``repro profile`` output)."""
+        rows = self.hotspots()
+        if top is not None:
+            rows = rows[:top]
+        if not rows:
+            return "no spans recorded\n"
+        width = max(len("span"), max(len(name) for name, *_ in rows))
+        lines = [
+            f"{'span':<{width}}  {'count':>10}  {'total (s)':>10}  "
+            f"{'mean (ms)':>10}  {'max (ms)':>10}",
+            "-" * (width + 48),
+        ]
+        for name, count, total, peak in rows:
+            mean_ms = 1000.0 * total / count if count else 0.0
+            lines.append(
+                f"{name:<{width}}  {count:>10}  {total:>10.3f}  "
+                f"{mean_ms:>10.3f}  {peak * 1000.0:>10.3f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        self.spans.clear()
+
+
+#: The process-wide active profiler; ``None`` means profiling is off.
+ACTIVE: Optional[SpanProfiler] = None
+
+
+def enable() -> SpanProfiler:
+    """Install (or return the already-active) process-wide profiler."""
+    global ACTIVE
+    if ACTIVE is None:
+        ACTIVE = SpanProfiler()
+    return ACTIVE
+
+
+def disable() -> Optional[SpanProfiler]:
+    """Remove the active profiler and return it (with its data)."""
+    global ACTIVE
+    profiler, ACTIVE = ACTIVE, None
+    return profiler
+
+
+def active() -> Optional[SpanProfiler]:
+    return ACTIVE
+
+
+@contextmanager
+def span(name: str):
+    """Context manager timing one span when profiling is on.
+
+    For code where a ``with`` block is affordable; the kernel's innermost
+    loops call :meth:`SpanProfiler.add` directly instead.
+    """
+    profiler = ACTIVE
+    if profiler is None:
+        yield
+        return
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        profiler.add(name, perf_counter() - start)

@@ -1,0 +1,76 @@
+"""Typed trace records and the operation vocabulary.
+
+A :class:`TraceRecord` is one event in a command-stream trace: either a
+DRAM command issued by a channel controller (``op`` is the command kind's
+name — ACT, RD, WR, RDA, WRA, PRE, REFAB, REFPB) or a refresh-policy
+decision (DARP out-of-order issue variants, SARP subarray-overlap
+conflicts).  Records are plain frozen dataclasses so both sinks — JSONL
+and the packed binary format — serialize the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: DRAM command operations, as emitted by the controller issue path.
+COMMAND_OPS: tuple[str, ...] = (
+    "ACT",
+    "RD",
+    "WR",
+    "RDA",
+    "WRA",
+    "PRE",
+    "REFAB",
+    "REFPB",
+)
+
+#: Refresh-policy decision operations.  DARP_* record out-of-order refresh
+#: scheduling decisions; SARP_CONFLICT records subarray-overlap accounting
+#: (``done`` carries the conflict count, ``cycle`` is -1 because SARP
+#: charges conflicts to a span, not an instant).
+DECISION_OPS: tuple[str, ...] = (
+    "DARP_POSTPONE",
+    "DARP_FORCED",
+    "DARP_IDLE",
+    "DARP_WRITE_MODE",
+    "DARP_POSTDEMAND",
+    "SARP_CONFLICT",
+)
+
+#: Every op either sink may carry, in a fixed order (the binary format
+#: indexes into this table).
+ALL_OPS: tuple[str, ...] = COMMAND_OPS + DECISION_OPS
+
+#: Ops that occupy a refresh window ``[cycle, done)``.
+REFRESH_OPS = frozenset({"REFAB", "REFPB"})
+
+#: Column commands — the accesses whose overlap with refreshes the paper's
+#: DARP/SARP mechanisms create.
+COLUMN_OPS = frozenset({"RD", "WR", "RDA", "WRA"})
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace event.
+
+    ``cycle`` is the issue cycle (-1 for span-accounted decisions),
+    ``done`` the completion cycle for commands (the device's returned
+    ready-cycle) or a count for SARP_CONFLICT decisions.  ``bank`` and
+    ``row`` are -1 when the op does not address one (e.g. all-bank
+    refresh has no bank, a decision may have no row).
+    """
+
+    cycle: int
+    op: str
+    channel: int
+    rank: int
+    bank: int = -1
+    row: int = -1
+    done: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceRecord":
+        return cls(**data)

@@ -1,0 +1,280 @@
+"""Trace analysis: overlap windows, bank utilization, row-hit runs.
+
+This is the read side of the tracer — ``repro trace summarize`` feeds a
+trace file through :func:`summarize_trace` and renders the result.  The
+headline analysis is the refresh-access overlap reconstruction: for every
+refresh window ``[cycle, done)`` it finds the column commands (RD/WR and
+their autoprecharging variants) issued to the same rank while the
+refresh was in flight.  Overlaps to *other* banks are exactly the
+parallelism DARP's out-of-order scheduling creates; overlaps to the
+*refreshing* bank itself are only possible with SARP's subarray-level
+parallelization and are reported separately.
+
+Every total the analysis produces is cross-checked against the run
+aggregates embedded in the trace header (device command counts, DARP
+decision counters); a complete trace (``dropped == 0``) must agree
+exactly, and the CLI turns disagreement into a non-zero exit code.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import Counter, defaultdict
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.obs.record import COLUMN_OPS, COMMAND_OPS, REFRESH_OPS, TraceRecord
+from repro.obs.trace import read_trace
+
+_COMMAND_OPS = frozenset(COMMAND_OPS)
+
+
+def _bank_key(channel: int, rank: int, bank: int) -> str:
+    return f"ch{channel}.r{rank}.b{bank}"
+
+
+def _overlap_windows(records: Iterable[TraceRecord]) -> dict:
+    """Reconstruct refresh-access overlap windows.
+
+    For each refresh, overlapping accesses are column commands on the
+    same (channel, rank) whose issue cycle falls inside the refresh
+    window.  Uses per-rank sorted cycle lists + binary search so the
+    scan is O(records log records) rather than refreshes x accesses.
+    """
+    columns: dict[tuple[int, int], list[tuple[int, int]]] = defaultdict(list)
+    refreshes = []
+    for record in records:
+        if record.op in COLUMN_OPS:
+            columns[(record.channel, record.rank)].append(
+                (record.cycle, record.bank)
+            )
+        elif record.op in REFRESH_OPS:
+            refreshes.append(record)
+    for entries in columns.values():
+        entries.sort()
+    windows = []
+    refreshes_with_overlap = 0
+    overlapped_commands = 0
+    same_bank_overlaps = 0
+    for refresh in refreshes:
+        entries = columns.get((refresh.channel, refresh.rank), ())
+        cycles = [cycle for cycle, _ in entries]
+        lo = bisect_left(cycles, refresh.cycle)
+        hi = bisect_right(cycles, refresh.done - 1)
+        other_bank = 0
+        same_bank = 0
+        for _, bank in entries[lo:hi]:
+            if refresh.op == "REFPB" and bank == refresh.bank:
+                same_bank += 1
+            else:
+                other_bank += 1
+        overlapped = other_bank + same_bank
+        if overlapped:
+            refreshes_with_overlap += 1
+            overlapped_commands += overlapped
+            same_bank_overlaps += same_bank
+        windows.append(
+            {
+                "op": refresh.op,
+                "channel": refresh.channel,
+                "rank": refresh.rank,
+                "bank": refresh.bank,
+                "start": refresh.cycle,
+                "end": refresh.done,
+                "overlapped": overlapped,
+                "same_bank": same_bank,
+            }
+        )
+    return {
+        "refreshes": len(refreshes),
+        "refreshes_with_overlap": refreshes_with_overlap,
+        "overlapped_commands": overlapped_commands,
+        "same_bank_overlaps": same_bank_overlaps,
+        "windows": windows,
+    }
+
+
+def _bank_utilization(records: list[TraceRecord]) -> dict:
+    """Per-bank busy cycles (sum of command service windows) and share."""
+    if not records:
+        return {}
+    commands = [
+        r for r in records if r.cycle >= 0 and r.bank >= 0 and r.done > r.cycle
+    ]
+    if not commands:
+        return {}
+    span_start = min(r.cycle for r in commands)
+    span_end = max(r.done for r in commands)
+    span = max(1, span_end - span_start)
+    busy: dict[str, int] = defaultdict(int)
+    counts: dict[str, int] = defaultdict(int)
+    for record in commands:
+        key = _bank_key(record.channel, record.rank, record.bank)
+        busy[key] += record.done - record.cycle
+        counts[key] += 1
+    return {
+        key: {
+            "commands": counts[key],
+            "busy_cycles": busy[key],
+            "utilization": busy[key] / span,
+        }
+        for key in sorted(busy)
+    }
+
+
+def _row_hit_runs(records: list[TraceRecord]) -> dict:
+    """Column-command run lengths per row activation (row-buffer locality)."""
+    runs: list[int] = []
+    current: dict[str, int] = {}
+    for record in sorted(records, key=lambda r: r.cycle):
+        if record.bank < 0:
+            continue
+        key = _bank_key(record.channel, record.rank, record.bank)
+        if record.op == "ACT":
+            if key in current:
+                runs.append(current[key])
+            current[key] = 0
+        elif record.op in COLUMN_OPS and key in current:
+            current[key] += 1
+    runs.extend(current.values())
+    if not runs:
+        return {"count": 0, "mean": 0.0, "max": 0}
+    return {
+        "count": len(runs),
+        "mean": sum(runs) / len(runs),
+        "max": max(runs),
+    }
+
+
+def _crosscheck(header: dict, op_counts: Counter, conflict_total: int) -> dict:
+    """Compare trace totals against the header's run aggregates.
+
+    Only complete traces (``dropped == 0``) are held to exact agreement;
+    a ring buffer that wrapped cannot reproduce run totals by design.
+    """
+    device = header.get("device_stats")
+    checks: dict[str, dict] = {}
+    if device:
+        expectations = {
+            "activates": op_counts["ACT"],
+            "reads": op_counts["RD"] + op_counts["RDA"],
+            "writes": op_counts["WR"] + op_counts["WRA"],
+            "precharges": op_counts["PRE"],
+            "all_bank_refreshes": op_counts["REFAB"],
+            "per_bank_refreshes": op_counts["REFPB"],
+            "subarray_conflicts": conflict_total,
+        }
+        for key, traced in expectations.items():
+            checks[f"device.{key}"] = {"trace": traced, "run": device.get(key, 0)}
+    refresh = header.get("refresh_stats")
+    if refresh and "darp" in str(header.get("mechanism", "")):
+        for stat, op in (
+            ("forced", "DARP_FORCED"),
+            ("postponed", "DARP_POSTPONE"),
+            ("write_mode_refreshes", "DARP_WRITE_MODE"),
+        ):
+            checks[f"refresh.{stat}"] = {
+                "trace": op_counts[op],
+                "run": refresh.get(stat, 0),
+            }
+    complete = header.get("dropped", 0) == 0
+    agrees = all(c["trace"] == c["run"] for c in checks.values())
+    return {
+        "complete": complete,
+        "checked": len(checks),
+        "agrees": agrees if complete else True,
+        "strict": complete,
+        "checks": checks,
+    }
+
+
+def summarize_trace(header: dict, records: list[TraceRecord]) -> dict:
+    """Full structured summary of one trace."""
+    op_counts = Counter(record.op for record in records)
+    conflict_total = sum(
+        record.done for record in records if record.op == "SARP_CONFLICT"
+    )
+    command_records = [r for r in records if r.op in _COMMAND_OPS]
+    summary = {
+        "header": {
+            key: header.get(key)
+            for key in (
+                "workload",
+                "mechanism",
+                "density_gb",
+                "cycles",
+                "warmup",
+                "records",
+                "dropped",
+            )
+        },
+        "commands": dict(sorted(op_counts.items())),
+        "refresh_overlap": _overlap_windows(records),
+        "bank_utilization": _bank_utilization(command_records),
+        "row_hit_runs": _row_hit_runs(command_records),
+        "sarp_conflicts": conflict_total,
+        "crosscheck": _crosscheck(header, op_counts, conflict_total),
+    }
+    return summary
+
+
+def summarize_path(path: Union[str, Path]) -> dict:
+    header, records = read_trace(path)
+    return summarize_trace(header, records)
+
+
+def format_summary(summary: dict, top_banks: int = 8) -> str:
+    """Human-readable rendering of :func:`summarize_trace` output."""
+    head = summary["header"]
+    overlap = summary["refresh_overlap"]
+    lines = [
+        f"workload={head.get('workload')} mechanism={head.get('mechanism')} "
+        f"density={head.get('density_gb')}Gb cycles={head.get('cycles')}",
+        f"records={head.get('records')} dropped={head.get('dropped')}",
+        "",
+        "commands: "
+        + " ".join(f"{op}={n}" for op, n in summary["commands"].items()),
+        "",
+        f"refresh-access overlap: {overlap['refreshes_with_overlap']} of "
+        f"{overlap['refreshes']} refresh windows overlapped demand accesses; "
+        f"{overlap['overlapped_commands']} commands issued under refresh "
+        f"({overlap['same_bank_overlaps']} to the refreshing bank itself, "
+        f"SARP)",
+        f"sarp subarray conflicts: {summary['sarp_conflicts']}",
+        "",
+        f"row-hit runs: count={summary['row_hit_runs']['count']} "
+        f"mean={summary['row_hit_runs']['mean']:.2f} "
+        f"max={summary['row_hit_runs']['max']}",
+    ]
+    utilization = summary["bank_utilization"]
+    if utilization:
+        lines.append("")
+        lines.append(f"busiest banks (top {top_banks}):")
+        ranked = sorted(
+            utilization.items(), key=lambda kv: -kv[1]["utilization"]
+        )[:top_banks]
+        for key, info in ranked:
+            lines.append(
+                f"  {key}: {info['utilization'] * 100:5.1f}% busy "
+                f"({info['commands']} commands, {info['busy_cycles']} cycles)"
+            )
+    check = summary["crosscheck"]
+    lines.append("")
+    if not check["strict"]:
+        lines.append(
+            f"crosscheck: skipped (trace dropped "
+            f"{head.get('dropped')} records; totals are partial)"
+        )
+    elif check["agrees"]:
+        lines.append(
+            f"crosscheck: OK — {check['checked']} trace totals match the "
+            f"run's aggregate statistics"
+        )
+    else:
+        lines.append("crosscheck: FAILED")
+        for name, result in sorted(check["checks"].items()):
+            if result["trace"] != result["run"]:
+                lines.append(
+                    f"  {name}: trace={result['trace']} run={result['run']}"
+                )
+    return "\n".join(lines) + "\n"

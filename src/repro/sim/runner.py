@@ -24,10 +24,12 @@ from dataclasses import replace
 from typing import Iterable, Optional, Sequence
 
 from repro.config.controller_config import PAGE_POLICIES
+from repro.config.obs_config import ObsConfig
 from repro.config.presets import paper_system
 from repro.config.refresh_config import RefreshMechanism
 from repro.config.system import SystemConfig
 from repro.controller.policies import scheduler_class
+from repro.obs.log import get_logger
 from repro.engine.executor import JobExecutor, SerialExecutor
 from repro.engine.jobs import SimulationJob
 from repro.engine.progress import SOURCE_MEMORY, JobEvent, ProgressCallback
@@ -41,6 +43,8 @@ from repro.workloads.mixes import Workload, make_workload, make_workload_categor
 DEFAULT_CYCLES = 26000
 #: Default warmup window (one refresh interval).
 DEFAULT_WARMUP = 2600
+
+log = get_logger(__name__)
 
 
 def default_cycles() -> int:
@@ -84,6 +88,13 @@ class ExperimentRunner:
         ``--scheduler`` / ``--page-policy`` CLI flags.  Unlike the kernel,
         these *do* change results, so they are part of every fingerprint
         through :meth:`ControllerConfig.fingerprint`.
+    obs:
+        Optional :class:`~repro.config.obs_config.ObsConfig` applied to
+        every configuration this runner simulates (the ``--trace`` /
+        ``--epoch-interval`` CLI flags).  Like the kernel, observability
+        never changes results and is excluded from fingerprints — but
+        note the flip side: a job resolved from a store or memory cache
+        skips simulation entirely and therefore writes no trace.
     """
 
     def __init__(
@@ -97,6 +108,7 @@ class ExperimentRunner:
         kernel: Optional[str] = None,
         scheduler: Optional[str] = None,
         page_policy: Optional[str] = None,
+        obs: Optional[ObsConfig] = None,
     ):
         self.cycles = cycles if cycles is not None else default_cycles()
         self.warmup = warmup if warmup is not None else default_warmup()
@@ -117,6 +129,7 @@ class ExperimentRunner:
             )
         self.scheduler = scheduler
         self.page_policy = page_policy
+        self.obs = obs
         self.memory_hits = 0
         self._simulation_cache: dict[tuple, SimulationResult] = {}
         self._alone_ipc_cache: dict[tuple, float] = {}
@@ -138,6 +151,8 @@ class ExperimentRunner:
             and config.controller.page_policy != self.page_policy
         ):
             config = config.with_page_policy(self.page_policy)
+        if self.obs is not None and config.obs != self.obs:
+            config = replace(config, obs=self.obs)
         return config
 
     def _job(self, config: SystemConfig, workload: Workload) -> SimulationJob:
@@ -208,6 +223,12 @@ class ExperimentRunner:
                 missing_fingerprints.add(fingerprint)
                 missing_positions.append(index)
         if missing:
+            log.debug(
+                "batch of %d jobs: %d cache hits, %d to execute",
+                len(jobs),
+                len(jobs) - len(missing),
+                len(missing),
+            )
             progress = self.progress
             forward = None
             if progress is not None:
@@ -291,6 +312,11 @@ class ExperimentRunner:
                 if alone_key not in planned_alone:
                     planned_alone.add(alone_key)
                     plan.append((alone_config, self._alone_workload(benchmark)))
+        log.debug(
+            "run_many: %d workload runs + %d alone runs planned",
+            len(pairs),
+            len(plan) - len(pairs),
+        )
         self.simulate_many(plan)
         # Assembly is all cache hits now that the batch has run.
         return [

@@ -9,8 +9,10 @@ instructions (``issue_width * cpu_cycles_per_dram_cycle``).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
+import repro.obs.profile as obs_profile
 from repro.cache.llc import LastLevelCache
 from repro.config.system import SystemConfig
 from repro.controller.memory_controller import MemorySystem
@@ -62,6 +64,15 @@ class Simulator:
         #: time, and ``first_unaccounted`` is the first cycle whose stall
         #: has not yet been added to the core's statistics.
         self._core_sleep: list = [None] * len(self.cores)
+        #: Epoch samples of the most recent :meth:`run` (empty unless
+        #: ``config.obs.epoch_interval`` > 0).
+        self.epoch_samples: list = []
+        if config.obs.epoch_interval > 0:
+            from repro.obs.epochs import EpochSampler
+
+            self._epoch_sampler = EpochSampler(config.obs.epoch_interval)
+        else:
+            self._epoch_sampler = None
 
     def _functional_warmup(
         self,
@@ -228,24 +239,67 @@ class Simulator:
         self._current_cycle = target
 
     def _advance_to(self, limit: int) -> None:
-        """Advance the system to ``limit`` using the configured kernel."""
+        """Advance the system to ``limit`` using the configured kernel.
+
+        When span profiling is active every kernel step is timed
+        individually (``kernel.step_event`` / ``kernel.step``); the
+        profiler reference is hoisted out of the loop so the disabled
+        path costs one module-attribute load per call.
+        """
+        profiler = obs_profile.ACTIVE
         if self.config.kernel == "event":
-            while self._current_cycle < limit:
-                self._step_event(limit)
+            if profiler is None:
+                while self._current_cycle < limit:
+                    self._step_event(limit)
+            else:
+                add = profiler.add
+                while self._current_cycle < limit:
+                    start = perf_counter()
+                    self._step_event(limit)
+                    add("kernel.step_event", perf_counter() - start)
         else:
-            while self._current_cycle < limit:
-                self.step()
+            if profiler is None:
+                while self._current_cycle < limit:
+                    self.step()
+            else:
+                add = profiler.add
+                while self._current_cycle < limit:
+                    start = perf_counter()
+                    self.step()
+                    add("kernel.step", perf_counter() - start)
 
     def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
-        """Run ``warmup`` + ``cycles`` DRAM cycles and report the measured window."""
+        """Run ``warmup`` + ``cycles`` DRAM cycles and report the measured window.
+
+        With ``config.obs.epoch_interval`` > 0 the measured window is
+        advanced in epoch-sized chunks, sampling at every boundary.  The
+        chunking cannot change results: each kernel step is already
+        clamped to its limit, and the boundary flush only materializes
+        stall accounting that would have been charged later anyway — a
+        property pinned by the epoch bit-identity tests.
+        """
         if cycles <= 0:
             raise ValueError("cycles must be positive")
-        self._advance_to(self._current_cycle + warmup)
+        with obs_profile.span("sim.warmup"):
+            self._advance_to(self._current_cycle + warmup)
         if warmup:
             self._flush_core_sleep()
             self._reset_measurement_state()
         start_cycle = self._current_cycle
-        self._advance_to(start_cycle + cycles)
+        sampler = self._epoch_sampler
+        with obs_profile.span("sim.measure"):
+            if sampler is None:
+                self._advance_to(start_cycle + cycles)
+            else:
+                sampler.begin(self, start_cycle)
+                limit = start_cycle + cycles
+                boundary = start_cycle
+                while boundary < limit:
+                    boundary = min(boundary + sampler.interval, limit)
+                    self._advance_to(boundary)
+                    self._flush_core_sleep()
+                    sampler.sample(self, self._current_cycle)
+                self.epoch_samples = sampler.samples
         self._flush_core_sleep()
         elapsed = self._current_cycle - start_cycle
         return self._build_result(elapsed, warmup)
@@ -260,6 +314,10 @@ class Simulator:
         """
         for core in self.cores:
             core.reset_stats()
+        if self.memory.tracer is not None:
+            # The trace should cover exactly the measured window, so its
+            # totals can be cross-checked against the run's aggregates.
+            self.memory.tracer.reset()
         self.memory.device.stats.reset()
         for controller in self.memory.controllers:
             controller.stats.reset()

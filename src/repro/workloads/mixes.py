@@ -13,11 +13,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.obs.log import get_logger
 from repro.workloads.benchmark_suite import (
     Benchmark,
     intensive_benchmarks,
     non_intensive_benchmarks,
 )
+
+log = get_logger(__name__)
 
 #: The five memory-intensity categories used throughout the evaluation.
 INTENSITY_CATEGORIES: tuple[int, ...] = (0, 25, 50, 75, 100)
@@ -110,6 +113,12 @@ def make_workload_category(
     picks = [rng.choice(intensive_pool) for _ in range(num_intensive)]
     picks += [rng.choice(quiet_pool) for _ in range(num_cores - num_intensive)]
     rng.shuffle(picks)
+    log.debug(
+        "mix%03d_%02d: %s",
+        category,
+        index,
+        "+".join(benchmark.name for benchmark in picks),
+    )
     return Workload(
         name=f"mix{category:03d}_{index:02d}",
         benchmarks=tuple(picks),

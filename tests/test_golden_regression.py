@@ -21,6 +21,7 @@ import pathlib
 
 import pytest
 
+from repro.config.obs_config import ObsConfig
 from repro.sim import experiments
 from repro.sim.experiments import ExperimentScale
 from repro.sim.runner import ExperimentRunner
@@ -78,3 +79,21 @@ def test_figure13_32gb_row_pinned(runner, update_golden):
     """Figure 13, 32 Gb row: average % WS improvement over REFab."""
     result = experiments.figure13_all_mechanisms(runner=runner, scale=SCALE)
     check_golden("figure13_32gb_row", result[32], update_golden)
+
+
+def test_table2_summary_with_observability_identical(update_golden):
+    """Tracing and epoch sampling must not move a single pinned number.
+
+    Reruns the Table 2 pipeline with the command tracer armed (in-memory
+    only) and an awkward epoch interval that never divides the window,
+    then compares against the same checked-in fixture the plain runner is
+    held to — the strongest statement that observability is pure.
+    """
+    if update_golden:
+        pytest.skip("golden regeneration uses the plain runner")
+    golden_path = GOLDEN_DIR / "table2_summary.json"
+    assert golden_path.exists(), "generate the plain fixture first"
+    obs = ObsConfig(trace=True, epoch_interval=293)
+    runner = ExperimentRunner(cycles=CYCLES, warmup=WARMUP, obs=obs)
+    result = experiments.table2_improvement_summary(runner=runner, scale=SCALE)
+    assert canonical(result) == json.loads(golden_path.read_text())

@@ -1,0 +1,120 @@
+"""End-to-end CLI surface: ``repro run --trace`` and ``repro trace``.
+
+Drives the installed command paths with StringIO streams: a traced DARP
+run must leave per-job trace files behind, ``repro trace summarize``
+must reconstruct and crosscheck them (exit 0), and a tampered trace
+whose totals disagree with its embedded run aggregates must exit 1.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN_ARGS = [
+    "run",
+    "darp_components",
+    "--densities",
+    "32",
+    "--workloads-per-category",
+    "1",
+    "--cycles",
+    "600",
+    "--warmup",
+    "100",
+]
+
+
+def invoke(argv):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+# The binary sink's CLI path (--trace-format binary) shares everything
+# but the format string with this run and is pinned at the job level by
+# test_obs_trace's crosscheck fixture, so one traced CLI run suffices.
+@pytest.fixture(scope="module")
+def traced_run_dir(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli-jsonl")
+    trace_dir = tmp / "traces"
+    code, _, _ = invoke(
+        RUN_ARGS
+        + [
+            "--trace",
+            str(trace_dir),
+            "--epoch-interval",
+            "200",
+            "--output",
+            str(tmp / "result.json"),
+        ]
+    )
+    assert code == 0
+    return trace_dir, "jsonl"
+
+
+def test_traced_run_writes_one_file_per_simulated_job(traced_run_dir):
+    trace_dir, fmt = traced_run_dir
+    suffix = ".jsonl" if fmt == "jsonl" else ".bin"
+    files = sorted(trace_dir.iterdir())
+    assert files, "traced run produced no trace files"
+    assert all(path.suffix == suffix for path in files)
+    # darp_components plans 30 distinct jobs at this scale: 15 alone runs
+    # plus 5 workloads x (refab + 2 darp variants).
+    assert len(files) == 30
+
+
+def test_summarize_crosschecks_every_trace(traced_run_dir):
+    trace_dir, _ = traced_run_dir
+    files = sorted(str(path) for path in trace_dir.iterdir())
+    code, out, err = invoke(["trace", "summarize"] + files)
+    assert code == 0, err
+    assert out.count("crosscheck: OK") == len(files)
+    assert "refresh-access overlap" in out
+    assert "row-hit runs" in out
+
+
+def test_summarize_json_is_structured(traced_run_dir):
+    trace_dir, _ = traced_run_dir
+    darp = sorted(p for p in trace_dir.iterdir() if "darp" in p.name)[0]
+    code, out, _ = invoke(["trace", "summarize", str(darp), "--json"])
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["crosscheck"]["agrees"] is True
+    assert summary["header"]["mechanism"] == "darp"
+    overlap = summary["refresh_overlap"]
+    assert overlap["refreshes"] == len(overlap["windows"])
+    # Epoch samples ride in the trace header and merge to run totals.
+    header, _ = _read(darp)
+    assert len(header["epochs"]) == 3  # 600 cycles / 200-cycle epochs
+    assert header["epoch_totals"]["cycles"] == 600
+
+
+def test_tampered_trace_fails_the_crosscheck(tmp_path, traced_run_dir):
+    trace_dir, _ = traced_run_dir
+    source = sorted(p for p in trace_dir.iterdir() if "darp" in p.name)[0]
+    lines = source.read_text().splitlines()
+    head = json.loads(lines[0])
+    head["header"]["device_stats"]["activates"] += 1
+    tampered = tmp_path / "tampered.jsonl"
+    tampered.write_text("\n".join([json.dumps(head)] + lines[1:]) + "\n")
+    code, _, err = invoke(["trace", "summarize", str(tampered)])
+    assert code == 1
+    assert "crosscheck failed" in err
+
+
+def test_unreadable_trace_is_a_usage_error(tmp_path):
+    missing = tmp_path / "nope.jsonl"
+    code, _, err = invoke(["trace", "summarize", str(missing)])
+    assert code == 2
+    assert "error" in err
+
+
+def _read(path):
+    from repro.obs.trace import read_trace
+
+    return read_trace(path)

@@ -1,0 +1,86 @@
+"""Structured logging: hierarchy, env-var level selection, quiet default."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture
+def reconfigure():
+    """Force a reconfiguration inside the test, restore defaults after."""
+
+    def apply(level_name=None, monkeypatch=None, stream=None):
+        if monkeypatch is not None:
+            if level_name is None:
+                monkeypatch.delenv(obs_log.LEVEL_ENV, raising=False)
+            else:
+                monkeypatch.setenv(obs_log.LEVEL_ENV, level_name)
+        return obs_log.configure(stream=stream, force=True)
+
+    yield apply
+    # The monkeypatched env is gone by teardown-time of *this* fixture?
+    # No — fixtures tear down LIFO, so restore explicitly from the real
+    # environment to leave the session logger in its default state.
+    obs_log.configure(force=True)
+
+
+class TestHierarchy:
+    def test_module_names_nest_under_repro(self):
+        assert obs_log.get_logger("repro.sim.runner").name == "repro.sim.runner"
+        assert obs_log.get_logger("tests.helper").name == "repro.tests.helper"
+        assert obs_log.get_logger("repro").name == "repro"
+
+    def test_root_does_not_propagate(self):
+        root = obs_log.configure()
+        assert root.propagate is False
+        assert len(root.handlers) == 1
+
+
+class TestLevels:
+    def test_quiet_by_default(self, reconfigure, monkeypatch):
+        stream = io.StringIO()
+        reconfigure(None, monkeypatch, stream)
+        log = obs_log.get_logger("repro.test_quiet")
+        log.debug("hidden")
+        log.info("hidden too")
+        log.warning("visible")
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "WARNING repro.test_quiet: visible" in output
+
+    def test_env_var_lowers_threshold(self, reconfigure, monkeypatch):
+        stream = io.StringIO()
+        reconfigure("DEBUG", monkeypatch, stream)
+        obs_log.get_logger("repro.test_debug").debug("now visible")
+        assert "DEBUG repro.test_debug: now visible" in stream.getvalue()
+
+    def test_invalid_level_falls_back_to_default(self, reconfigure, monkeypatch):
+        root = reconfigure("chatty-please", monkeypatch)
+        assert root.level == logging.WARNING
+
+    def test_configure_is_once_unless_forced(self):
+        first = obs_log.configure()
+        handler = first.handlers[0]
+        again = obs_log.configure(stream=io.StringIO())  # ignored: configured
+        assert again.handlers[0] is handler
+
+
+def test_runner_logs_batch_planning(reconfigure, monkeypatch):
+    """The engine layers actually emit through this logger at DEBUG."""
+    from repro.sim.runner import ExperimentRunner
+
+    from tests.conftest import small_system, small_workload
+
+    stream = io.StringIO()
+    reconfigure("DEBUG", monkeypatch, stream)
+    runner = ExperimentRunner(cycles=300, warmup=50)
+    runner.simulate(small_system("refab"), small_workload())
+    output = stream.getvalue()
+    assert "repro.sim.runner" in output
+    assert "repro.engine.jobs" in output
+    assert "simulating" in output
