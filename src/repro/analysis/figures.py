@@ -1,17 +1,21 @@
-"""Plain-text rendering of figure data series.
+"""Tabular rendering of the paper's figure-level data series.
 
-Each ``format_figureN`` function accepts the corresponding experiment
-function's return value (see :mod:`repro.sim.experiments`) and renders the
-same series the paper plots, as a text table suitable for terminal output
-or for pasting into EXPERIMENTS.md.
+Each ``tabulate_figureN`` function accepts the corresponding experiment
+function's return value (see :mod:`repro.sim.experiments`) and reduces the
+same series the paper plots to one or more
+:class:`~repro.analysis.model.Table` blocks.  The historical
+``format_figureN`` helpers render those blocks as fixed-width text for
+terminal output or ``results/*.txt`` artifacts; the report subsystem
+renders the same model as markdown, LaTeX and plots.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import format_table
+from repro.analysis.model import Table
+from repro.analysis.tables import format_table  # noqa: F401  (re-export)
 
 
-def format_figure5(points) -> str:
+def tabulate_figure5(points) -> Table:
     """Figure 5: refresh latency (tRFCab) trend vs density."""
     rows = []
     for point in points:
@@ -24,14 +28,19 @@ def format_figure5(points) -> str:
                 f"{point.projection2_ns:.0f}",
             ]
         )
-    return format_table(
+    return Table.build(
         ["Density (Gb)", "Present (ns)", "Projection 1 (ns)", "Projection 2 (ns)"],
         rows,
         title="Figure 5: refresh latency (tRFCab) trend",
     )
 
 
-def format_figure6(result: dict) -> str:
+def format_figure5(points) -> str:
+    """Figure 5: refresh latency (tRFCab) trend vs density."""
+    return tabulate_figure5(points).to_text()
+
+
+def tabulate_figure6(result: dict) -> Table:
     """Figure 6: % performance loss of REFab vs the ideal, by category."""
     densities = sorted(next(iter(result.values())).keys())
     rows = []
@@ -40,14 +49,19 @@ def format_figure6(result: dict) -> str:
             [f"{category}%"] + [f"{result[category][d]:.1f}" for d in densities]
         )
     rows.append(["Mean"] + [f"{result[-1][d]:.1f}" for d in densities])
-    return format_table(
+    return Table.build(
         ["Intensive share"] + [f"{d}Gb loss (%)" for d in densities],
         rows,
         title="Figure 6: performance loss due to REFab",
     )
 
 
-def format_figure7(result: dict) -> str:
+def format_figure6(result: dict) -> str:
+    """Figure 6: % performance loss of REFab vs the ideal, by category."""
+    return tabulate_figure6(result).to_text()
+
+
+def tabulate_figure7(result: dict) -> Table:
     """Figure 7: % performance loss of REFab and REFpb vs the ideal."""
     rows = []
     for density in sorted(result):
@@ -58,15 +72,20 @@ def format_figure7(result: dict) -> str:
                 f"{result[density]['refpb']:.1f}",
             ]
         )
-    return format_table(
+    return Table.build(
         ["Density", "REFab loss (%)", "REFpb loss (%)"],
         rows,
         title="Figure 7: performance loss due to REFab and REFpb",
     )
 
 
-def format_figure12(sweep: dict) -> str:
-    """Figure 12: per-workload WS normalized to REFab."""
+def format_figure7(result: dict) -> str:
+    """Figure 7: % performance loss of REFab and REFpb vs the ideal."""
+    return tabulate_figure7(result).to_text()
+
+
+def tabulate_figure12(sweep: dict) -> list[Table]:
+    """Figure 12: per-workload WS normalized to REFab (one block per density)."""
     blocks = []
     for density in sorted(sweep):
         per_workload = sweep[density]
@@ -77,16 +96,21 @@ def format_figure12(sweep: dict) -> str:
                 [name] + [f"{per_workload[name][m]:.3f}" for m in mechanisms]
             )
         blocks.append(
-            format_table(
+            Table.build(
                 ["Workload"] + mechanisms,
                 rows,
                 title=f"Figure 12 ({density}Gb): WS normalized to REFab",
             )
         )
-    return "\n\n".join(blocks)
+    return blocks
 
 
-def format_figure13(result: dict) -> str:
+def format_figure12(sweep: dict) -> str:
+    """Figure 12: per-workload WS normalized to REFab."""
+    return "\n\n".join(block.to_text() for block in tabulate_figure12(sweep))
+
+
+def tabulate_figure13(result: dict) -> Table:
     """Figure 13: average WS improvement over REFab for all mechanisms."""
     mechanisms = list(next(iter(result.values())).keys())
     rows = []
@@ -94,14 +118,19 @@ def format_figure13(result: dict) -> str:
         rows.append(
             [f"{density}Gb"] + [f"{result[density][m]:+.1f}" for m in mechanisms]
         )
-    return format_table(
+    return Table.build(
         ["Density"] + mechanisms,
         rows,
         title="Figure 13: average WS improvement over REFab (%)",
     )
 
 
-def format_figure14(result: dict) -> str:
+def format_figure13(result: dict) -> str:
+    """Figure 13: average WS improvement over REFab for all mechanisms."""
+    return tabulate_figure13(result).to_text()
+
+
+def tabulate_figure14(result: dict) -> Table:
     """Figure 14: energy per access for all mechanisms."""
     mechanisms = list(next(iter(result.values())).keys())
     rows = []
@@ -109,14 +138,19 @@ def format_figure14(result: dict) -> str:
         rows.append(
             [f"{density}Gb"] + [f"{result[density][m]:.1f}" for m in mechanisms]
         )
-    return format_table(
+    return Table.build(
         ["Density"] + mechanisms,
         rows,
         title="Figure 14: energy per access (nJ)",
     )
 
 
-def format_figure15(result: dict) -> str:
+def format_figure14(result: dict) -> str:
+    """Figure 14: energy per access for all mechanisms."""
+    return tabulate_figure14(result).to_text()
+
+
+def tabulate_figure15(result: dict) -> Table:
     """Figure 15: DSARP gains over REFab / REFpb by memory intensity."""
     categories = sorted(result)
     densities = sorted(next(iter(result.values())).keys())
@@ -132,14 +166,19 @@ def format_figure15(result: dict) -> str:
                     f"{entry['vs_refpb']:+.1f}",
                 ]
             )
-    return format_table(
+    return Table.build(
         ["Intensive share", "Density", "vs REFab (%)", "vs REFpb (%)"],
         rows,
         title="Figure 15: DSARP improvement by memory intensity",
     )
 
 
-def format_figure16(result: dict) -> str:
+def format_figure15(result: dict) -> str:
+    """Figure 15: DSARP gains over REFab / REFpb by memory intensity."""
+    return tabulate_figure15(result).to_text()
+
+
+def tabulate_figure16(result: dict) -> Table:
     """Figure 16: WS normalized to REFab for FGR / AR / DSARP."""
     mechanisms = list(next(iter(result.values())).keys())
     rows = []
@@ -147,8 +186,13 @@ def format_figure16(result: dict) -> str:
         rows.append(
             [f"{density}Gb"] + [f"{result[density][m]:.3f}" for m in mechanisms]
         )
-    return format_table(
+    return Table.build(
         ["Density"] + mechanisms,
         rows,
         title="Figure 16: WS normalized to REFab (FGR / AR / DSARP)",
     )
+
+
+def format_figure16(result: dict) -> str:
+    """Figure 16: WS normalized to REFab for FGR / AR / DSARP."""
+    return tabulate_figure16(result).to_text()

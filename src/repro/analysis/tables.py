@@ -1,14 +1,19 @@
-"""Plain-text table rendering of experiment results.
+"""Tabular rendering of the paper's table-level experiment results.
 
-Each ``format_tableN`` function accepts the corresponding experiment
-function's return value (see :mod:`repro.sim.experiments`) and renders it
-with the same rows/columns as the paper's table, so the benchmark harness
-output can be compared side-by-side with the publication.
+Each ``tabulate_tableN`` function accepts the corresponding experiment
+function's return value (see :mod:`repro.sim.experiments`) and reduces it
+to the renderer-independent :class:`~repro.analysis.model.Table` with the
+same rows/columns as the paper's table.  The historical ``format_tableN``
+helpers render that model as fixed-width text (the benchmark harness's
+``results/*.txt`` artifacts); the report subsystem renders the same model
+as markdown and LaTeX.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+from repro.analysis.model import Table
 
 
 def format_table(
@@ -17,24 +22,10 @@ def format_table(
     title: str = "",
 ) -> str:
     """Render a simple fixed-width text table."""
-    columns = len(headers)
-    str_rows = [[str(cell) for cell in row] for row in rows]
-    widths = [len(str(headers[i])) for i in range(columns)]
-    for row in str_rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    header_line = " | ".join(str(headers[i]).ljust(widths[i]) for i in range(columns))
-    lines.append(header_line)
-    lines.append("-+-".join("-" * width for width in widths))
-    for row in str_rows:
-        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(columns)))
-    return "\n".join(lines)
+    return Table.build(headers, rows, title=title).to_text()
 
 
-def format_table2(summary: dict) -> str:
+def tabulate_table2(summary: dict) -> Table:
     """Table 2: max / gmean WS improvement over REFpb and REFab."""
     rows = []
     for density in sorted(summary):
@@ -50,7 +41,7 @@ def format_table2(summary: dict) -> str:
                     f"{entry['gmean_refab']:.1f}",
                 ]
             )
-    return format_table(
+    return Table.build(
         ["Density", "Mechanism", "Max% vs REFpb", "Max% vs REFab",
          "Gmean% vs REFpb", "Gmean% vs REFab"],
         rows,
@@ -58,7 +49,12 @@ def format_table2(summary: dict) -> str:
     )
 
 
-def format_table3(result: dict) -> str:
+def format_table2(summary: dict) -> str:
+    """Table 2: max / gmean WS improvement over REFpb and REFab."""
+    return tabulate_table2(summary).to_text()
+
+
+def tabulate_table3(result: dict) -> Table:
     """Table 3: DSARP effect on multi-core system metrics."""
     rows = []
     for cores in sorted(result):
@@ -72,7 +68,7 @@ def format_table3(result: dict) -> str:
                 f"{entry['energy_per_access_reduction']:.1f}",
             ]
         )
-    return format_table(
+    return Table.build(
         ["Cores", "WS improv. (%)", "HS improv. (%)",
          "Max-slowdown red. (%)", "Energy/access red. (%)"],
         rows,
@@ -80,32 +76,47 @@ def format_table3(result: dict) -> str:
     )
 
 
-def format_table4(result: dict) -> str:
+def format_table3(result: dict) -> str:
+    """Table 3: DSARP effect on multi-core system metrics."""
+    return tabulate_table3(result).to_text()
+
+
+def tabulate_table4(result: dict) -> Table:
     """Table 4: SARPpb improvement over REFpb as tFAW/tRRD vary."""
     tfaws = sorted(result)
     rows = [
         ["tFAW/tRRD (cycles)"] + [f"{t}/{max(1, t // 5)}" for t in tfaws],
         ["WS improvement (%)"] + [f"{result[t]:.1f}" for t in tfaws],
     ]
-    return format_table(
+    return Table.build(
         ["metric"] + [str(t) for t in tfaws],
         rows,
         title="Table 4: SARPpb over REFpb vs tFAW",
     )
 
 
-def format_table5(result: dict) -> str:
+def format_table4(result: dict) -> str:
+    """Table 4: SARPpb improvement over REFpb as tFAW/tRRD vary."""
+    return tabulate_table4(result).to_text()
+
+
+def tabulate_table5(result: dict) -> Table:
     """Table 5: SARPpb improvement over REFpb as subarrays per bank vary."""
     counts = sorted(result)
     rows = [["WS improvement (%)"] + [f"{result[c]:.1f}" for c in counts]]
-    return format_table(
+    return Table.build(
         ["Subarrays-per-bank"] + [str(c) for c in counts],
         rows,
         title="Table 5: effect of subarrays per bank",
     )
 
 
-def format_table6(result: dict) -> str:
+def format_table5(result: dict) -> str:
+    """Table 5: SARPpb improvement over REFpb as subarrays per bank vary."""
+    return tabulate_table5(result).to_text()
+
+
+def tabulate_table6(result: dict) -> Table:
     """Table 6: DSARP improvement at 64 ms retention."""
     rows = []
     for density in sorted(result):
@@ -119,9 +130,14 @@ def format_table6(result: dict) -> str:
                 f"{entry['gmean_refab']:.1f}",
             ]
         )
-    return format_table(
+    return Table.build(
         ["Density", "Max% vs REFpb", "Max% vs REFab",
          "Gmean% vs REFpb", "Gmean% vs REFab"],
         rows,
         title="Table 6: DSARP improvement with 64 ms retention",
     )
+
+
+def format_table6(result: dict) -> str:
+    """Table 6: DSARP improvement at 64 ms retention."""
+    return tabulate_table6(result).to_text()

@@ -92,6 +92,30 @@ def default_json_path(now: Optional[datetime] = None) -> Path:
     return artifact_dir() / f"BENCH_{stamp}.json"
 
 
+def append_history(directory: str | os.PathLike, document: "BenchDocument") -> Path:
+    """Append one snapshot to a history directory; returns the written path.
+
+    The filename embeds the document's ``created_utc`` stamp compacted to
+    ``BENCH_<YYYYmmddTHHMMSSZ>.json`` so lexicographic directory order is
+    chronological — the invariant :func:`repro.report.trend.load_history`
+    relies on.  Same-second collisions get a numeric suffix instead of
+    overwriting an earlier snapshot.
+    """
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    stamp = document.created_utc.replace("-", "").replace(":", "")
+    if not stamp:
+        stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    path = out / f"BENCH_{stamp}.json"
+    suffix = 0
+    while path.exists():
+        suffix += 1
+        # "_" sorts after ".", so BENCH_<stamp>_1.json stays chronologically
+        # after BENCH_<stamp>.json in lexicographic directory order.
+        path = out / f"BENCH_{stamp}_{suffix}.json"
+    return document.save(path)
+
+
 @dataclass
 class BenchContext:
     """What a benchmark target gets to run with.

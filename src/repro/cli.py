@@ -13,6 +13,9 @@ drives the performance-benchmark suite and its regression gate::
     python -m repro bench run --tier quick --workers 4 --json bench.json
     python -m repro bench compare benchmarks/baseline.json bench.json \
         --max-regression 25%
+    python -m repro report paper --store results/cache.jsonl --out paper/
+    python -m repro report trend --history benchmarks/history
+    python -m repro report run traces/ --profile profile.json --out report/
 
 ``--workers N`` fans simulations out over N worker processes (results are
 identical to a serial run).  ``--store PATH`` persists every simulation
@@ -322,6 +325,28 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment-scale options shared by ``run``, ``profile``, ``report``."""
+    parser.add_argument(
+        "--workloads-per-category",
+        type=int,
+        default=None,
+        help="workloads per intensity category for the sweep experiments",
+    )
+    parser.add_argument(
+        "--sensitivity-workloads",
+        type=int,
+        default=None,
+        help="workload count for the sensitivity experiments",
+    )
+    parser.add_argument(
+        "--densities",
+        type=_density_list,
+        default=None,
+        help="comma-separated DRAM densities in Gb (default: 8,16,32)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -340,24 +365,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which figure/table to reproduce",
     )
     _add_engine_arguments(run_parser)
-    run_parser.add_argument(
-        "--workloads-per-category",
-        type=int,
-        default=None,
-        help="workloads per intensity category for the sweep experiments",
-    )
-    run_parser.add_argument(
-        "--sensitivity-workloads",
-        type=int,
-        default=None,
-        help="workload count for the sensitivity experiments",
-    )
-    run_parser.add_argument(
-        "--densities",
-        type=_density_list,
-        default=None,
-        help="comma-separated DRAM densities in Gb (default: 8,16,32)",
-    )
+    _add_scale_arguments(run_parser)
     run_parser.add_argument(
         "--output",
         metavar="PATH",
@@ -442,6 +450,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip writing the per-benchmark text artifacts",
     )
+    bench_run.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help=(
+            "also append the result document to this history directory as "
+            "BENCH_<timestamp>.json ('repro report trend' reads the "
+            "trajectory; the repo commits benchmarks/history/)"
+        ),
+    )
     _add_engine_arguments(bench_run)
 
     bench_compare = bench_subparsers.add_parser(
@@ -518,29 +536,114 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which figure/table to profile",
     )
     _add_engine_arguments(profile_parser)
-    profile_parser.add_argument(
-        "--workloads-per-category",
-        type=int,
-        default=None,
-        help="workloads per intensity category for the sweep experiments",
-    )
-    profile_parser.add_argument(
-        "--sensitivity-workloads",
-        type=int,
-        default=None,
-        help="workload count for the sensitivity experiments",
-    )
-    profile_parser.add_argument(
-        "--densities",
-        type=_density_list,
-        default=None,
-        help="comma-separated DRAM densities in Gb (default: 8,16,32)",
-    )
+    _add_scale_arguments(profile_parser)
     profile_parser.add_argument(
         "--top",
         type=_positive_int,
         default=20,
         help="rows to show in the hot-spot table (default: 20)",
+    )
+    profile_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit a machine-readable repro.obs.profile JSON document "
+            "(spans + engine summary) instead of the text table; feed it "
+            "to 'repro report run --profile'"
+        ),
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="generate paper artifacts, bench trend and run reports",
+        description=(
+            "Generate publishable report bundles: 'paper' regenerates the "
+            "Table 2-6 / Figure 5-16 artifacts (markdown, LaTeX, SVG, "
+            "canonical JSON) from the result store with a golden-fixture "
+            "crosscheck; 'trend' renders per-benchmark trajectories over "
+            "the committed benchmarks/history/ snapshots with drift "
+            "flagging; 'run' stitches trace summaries, epoch IPC "
+            "trajectories and profile hot spots into one document."
+        ),
+    )
+    report_subparsers = report_parser.add_subparsers(
+        dest="report_command", required=True
+    )
+
+    report_paper = report_subparsers.add_parser(
+        "paper", help="regenerate the paper's table/figure artifacts"
+    )
+    _add_engine_arguments(report_paper)
+    _add_scale_arguments(report_paper)
+    report_paper.add_argument(
+        "--out",
+        metavar="DIR",
+        default="results/report/paper",
+        help="artifact output directory (default: results/report/paper)",
+    )
+    report_paper.add_argument(
+        "--artifacts",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="generate only this artifact, e.g. table2 (repeatable)",
+    )
+    report_paper.add_argument(
+        "--no-crosscheck",
+        action="store_true",
+        help="skip the golden-fixture crosscheck",
+    )
+
+    report_trend = report_subparsers.add_parser(
+        "trend", help="render benchmark trajectories from committed history"
+    )
+    report_trend.add_argument(
+        "--history",
+        metavar="DIR",
+        default="benchmarks/history",
+        help="history snapshot directory (default: benchmarks/history)",
+    )
+    report_trend.add_argument(
+        "--current",
+        metavar="PATH",
+        default=None,
+        help="uncommitted BENCH_*.json to append as the newest snapshot",
+    )
+    report_trend.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write trend.md / trend.json / sparkline SVGs here",
+    )
+    report_trend.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit 1 when the latest snapshot fails the compare gate",
+    )
+
+    report_run = report_subparsers.add_parser(
+        "run", help="stitch traces, epochs and a profile into one report"
+    )
+    report_run.add_argument(
+        "traces",
+        nargs="*",
+        metavar="TRACE",
+        help="trace files or directories of traces (written with --trace)",
+    )
+    report_run.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="repro.obs.profile JSON document (from 'repro profile --json')",
+    )
+    report_run.add_argument(
+        "--out",
+        metavar="DIR",
+        default="results/report/run",
+        help="output directory for report.md / report.html",
+    )
+    report_run.add_argument(
+        "--title", default="Run report", help="report document title"
     )
     return parser
 
@@ -746,6 +849,11 @@ def _bench_run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO)
     )
     json_path = Path(args.json) if args.json else default_json_path()
     document.save(json_path)
+    if args.history:
+        from repro.bench.run import append_history
+
+        history_path = append_history(args.history, document)
+        stderr.write(f"history snapshot appended: {history_path}\n")
     _write_run_summary(runner, args, stderr)
     failed = [record for record in document.benchmarks if not record.checks_passed]
     stdout.write(
@@ -830,8 +938,128 @@ def _profile_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -
     finally:
         profiler = obs_profile.disable()
     _write_run_summary(runner, args, stderr)
-    stdout.write(profiler.format_table(top=args.top))
+    if args.json:
+        document = {
+            "schema": "repro.obs.profile",
+            "version": 1,
+            "experiment": args.experiment,
+            "spans": profiler.as_dict(),
+            "engine": runner.summary(),
+        }
+        stdout.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    else:
+        stdout.write(profiler.format_table(top=args.top))
     return 0
+
+
+def _expand_trace_paths(raw: list[str], stderr: TextIO) -> Optional[list[Path]]:
+    """Expand trace file/directory arguments; None signals a bad path."""
+    paths: list[Path] = []
+    for entry in raw:
+        path = Path(entry)
+        if path.is_dir():
+            found = sorted(
+                candidate
+                for candidate in path.iterdir()
+                if candidate.suffix in (".jsonl", ".bin")
+            )
+            if not found:
+                stderr.write(f"warning: no traces found in {path}\n")
+            paths.extend(found)
+        elif path.exists():
+            paths.append(path)
+        else:
+            stderr.write(f"error: trace {path} does not exist\n")
+            return None
+    return paths
+
+
+def _report_paper_command(
+    args: argparse.Namespace, stdout: TextIO, stderr: TextIO
+) -> int:
+    from repro.report.paper import ReportError, generate_paper_report
+
+    runner = _build_runner(args, stderr)
+    try:
+        report = generate_paper_report(
+            args.out,
+            runner=runner,
+            scale=_build_scale(args),
+            names=args.artifacts,
+            crosscheck=not args.no_crosscheck,
+        )
+    except ReportError as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    _write_run_summary(runner, args, stderr)
+    stdout.write(
+        f"{len(report.artifacts)} artifacts written to {report.out_dir}\n"
+    )
+    for check in report.crosschecks:
+        line = f"crosscheck {check.fixture}: {check.status}"
+        if check.detail:
+            line += f" ({check.detail})"
+        stdout.write(line + "\n")
+    if not report.ok:
+        stderr.write("error: golden crosscheck failed; do not publish\n")
+        return 1
+    return 0
+
+
+def _report_trend_command(
+    args: argparse.Namespace, stdout: TextIO, stderr: TextIO
+) -> int:
+    from repro.bench import BenchDocument, BenchError
+    from repro.report.trend import TrendError, build_trend_report, write_trend_report
+
+    current = None
+    try:
+        if args.current:
+            current = BenchDocument.load(args.current)
+        report = build_trend_report(
+            args.history,
+            current=current,
+            current_label=Path(args.current).name if args.current else "<current run>",
+        )
+    except (TrendError, BenchError, OSError) as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    stdout.write(report.to_markdown() + "\n")
+    if args.out:
+        written = write_trend_report(report, args.out)
+        stderr.write(f"{len(written)} trend files written to {args.out}\n")
+    if args.fail_on_drift and not report.ok:
+        return 1
+    return 0
+
+
+def _report_run_command(
+    args: argparse.Namespace, stdout: TextIO, stderr: TextIO
+) -> int:
+    from repro.report.run import build_run_report, write_run_report
+
+    traces = _expand_trace_paths(args.traces, stderr)
+    if traces is None:
+        return 2
+    try:
+        report = build_run_report(
+            traces, profile_path=args.profile, title=args.title
+        )
+    except (OSError, ValueError) as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    written = write_run_report(report, args.out)
+    stdout.write(report.to_markdown() + "\n")
+    stderr.write(f"{len(written)} report files written to {args.out}\n")
+    return 0
+
+
+def _report_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    if args.report_command == "paper":
+        return _report_paper_command(args, stdout, stderr)
+    if args.report_command == "trend":
+        return _report_trend_command(args, stdout, stderr)
+    return _report_run_command(args, stdout, stderr)
 
 
 def _bench_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
@@ -880,4 +1108,6 @@ def main(
         return _trace_command(args, stdout, stderr)
     if args.command == "profile":
         return _profile_command(args, stdout, stderr)
+    if args.command == "report":
+        return _report_command(args, stdout, stderr)
     return _run_command(args, stdout, stderr)

@@ -215,6 +215,13 @@ def summarize_trace(header: dict, records: list[TraceRecord]) -> dict:
         "sarp_conflicts": conflict_total,
         "crosscheck": _crosscheck(header, op_counts, conflict_total),
     }
+    # Degenerate traces (empty file, header-only) still produce a complete
+    # all-zeros summary rather than None counters.
+    head = summary["header"]
+    if head["records"] is None:
+        head["records"] = len(records)
+    if head["dropped"] is None:
+        head["dropped"] = 0
     return summary
 
 

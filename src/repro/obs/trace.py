@@ -149,8 +149,10 @@ def _write_jsonl(path: Path, header: dict, records: Iterable[TraceRecord]) -> No
 def _read_jsonl(path: Path) -> tuple[dict, list[TraceRecord]]:
     with path.open("r", encoding="utf-8") as handle:
         first = handle.readline()
-        if not first:
-            raise ValueError(f"{path} is empty; not a trace file")
+        if not first.strip():
+            # An empty (or whitespace-only) file is a legitimate degenerate
+            # trace — a run that recorded nothing — not a format error.
+            return {}, []
         head = json.loads(first)
         if "header" not in head:
             raise ValueError(f"{path} does not start with a trace header line")

@@ -1,0 +1,556 @@
+"""Paper artifact generator: Tables 2-6 and Figures 5-16 from the store.
+
+Following the SimCash ``paper_generator`` pattern, every headline artifact
+of the reproduction is regenerated from data rather than copied from test
+output: each :class:`PaperArtifact` names one paper table/figure, the
+experiment function that produces its payload, the
+:mod:`repro.analysis` tabulation that models it, and a chart extraction
+for the SVG plot.  :func:`generate_paper_report` runs the experiments
+through a shared (optionally store-backed)
+:class:`~repro.sim.runner.ExperimentRunner`, so a **warm fingerprint-keyed
+result store regenerates every artifact with zero simulations** — the
+engine summary embedded in the report index proves it.
+
+Per artifact the generator writes four files into the output directory:
+
+* ``<name>.json`` — the canonical experiment payload (sorted keys),
+* ``<name>.md``   — the markdown table(s),
+* ``<name>.tex``  — a LaTeX-ready ``tabular`` block,
+* ``<name>.svg``  — the plot.
+
+Golden crosscheck: when the run's window and scale match the pinned
+golden identity (the same reduced scale ``tests/golden/`` is generated
+at), the freshly computed Table 2 summary and Figure 13 32 Gb row are
+compared against the committed fixtures — a report that disagrees with
+the pinned paper numbers fails loudly instead of silently publishing
+drifted artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.analysis import figures as fig
+from repro.analysis import tables as tab
+from repro.analysis.model import Chart, Table
+from repro.report.plot import render_chart
+from repro.sim import experiments
+from repro.sim.experiments import ExperimentScale, default_scale
+from repro.sim.runner import ExperimentRunner
+
+#: The golden fixtures' identity (see ``tests/test_golden_regression.py``:
+#: the fixtures are regenerated under exactly this window and scale, so
+#: the crosscheck only claims disagreement when it compares like with
+#: like).
+GOLDEN_CYCLES = 1200
+GOLDEN_WARMUP = 200
+GOLDEN_SCALE = ExperimentScale(
+    workloads_per_category=1, sensitivity_workloads=1, densities=(8, 32)
+)
+
+#: Golden fixture file -> how to slice the artifact payloads for it.
+GOLDEN_FIXTURES = {
+    "table2_summary": ("table2", lambda payload: payload),
+    "figure13_32gb_row": ("figure13", lambda payload: payload.get("32")),
+}
+
+
+class ReportError(ValueError):
+    """A report request or input document is malformed."""
+
+
+def canonical(payload: object) -> object:
+    """JSON round trip: int keys become strings, tuples become lists."""
+    return json.loads(json.dumps(payload, sort_keys=True, default=_jsonable))
+
+
+def _jsonable(value: object) -> object:
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
+def golden_dir() -> Optional[Path]:
+    """The repo's ``tests/golden`` directory, or ``None`` when not in a
+    source checkout (installed packages cannot crosscheck)."""
+    root = Path(__file__).resolve().parents[3]
+    candidate = root / "tests" / "golden"
+    if (root / "pyproject.toml").exists() and candidate.is_dir():
+        return candidate
+    return None
+
+
+# -- chart extractions -------------------------------------------------------
+
+
+def _density_series(result: dict, kind: str, title: str, y_label: str) -> Chart:
+    """``{density: {mechanism: value}}`` -> one series per mechanism."""
+    densities = sorted(result)
+    mechanisms = list(next(iter(result.values())).keys())
+    return Chart.build(
+        title,
+        [f"{d}Gb" for d in densities],
+        {m: [result[d][m] for d in densities] for m in mechanisms},
+        kind=kind,
+        y_label=y_label,
+    )
+
+
+def _chart_figure5(points) -> Chart:
+    return Chart.build(
+        "Figure 5: refresh latency (tRFCab) trend",
+        [p.density_gb for p in points],
+        {
+            "present": [p.present_ns for p in points],
+            "projection 1": [p.projection1_ns for p in points],
+            "projection 2": [p.projection2_ns for p in points],
+        },
+        kind="line",
+        y_label="tRFCab (ns)",
+    )
+
+
+def _chart_figure6(result: dict) -> Chart:
+    densities = sorted(next(iter(result.values())).keys())
+    categories = sorted(k for k in result if k >= 0)
+    return Chart.build(
+        "Figure 6: performance loss due to REFab",
+        [f"{c}%" for c in categories],
+        {f"{d}Gb": [result[c][d] for c in categories] for d in densities},
+        kind="bar",
+        y_label="WS loss (%)",
+    )
+
+
+def _chart_figure7(result: dict) -> Chart:
+    return _density_series(
+        result, "bar", "Figure 7: performance loss due to REFab and REFpb",
+        "WS loss (%)"
+    )
+
+
+def _chart_figure12(sweep: dict) -> Chart:
+    # One bar group per workload at the largest density (the paper's
+    # headline panel); the per-density tables carry the full data.
+    density = max(sweep)
+    per_workload = sweep[density]
+    mechanisms = sorted(next(iter(per_workload.values())).keys())
+    names = sorted(per_workload)
+    return Chart.build(
+        f"Figure 12 ({density}Gb): WS normalized to REFab",
+        names,
+        {m: [per_workload[w][m] for w in names] for m in mechanisms},
+        kind="bar",
+        y_label="normalized WS",
+    )
+
+
+def _chart_figure13(result: dict) -> Chart:
+    return _density_series(
+        result, "bar", "Figure 13: average WS improvement over REFab (%)",
+        "improvement (%)"
+    )
+
+
+def _chart_figure14(result: dict) -> Chart:
+    return _density_series(
+        result, "bar", "Figure 14: energy per access (nJ)", "nJ/access"
+    )
+
+
+def _chart_figure15(result: dict) -> Chart:
+    categories = sorted(result)
+    densities = sorted(next(iter(result.values())).keys())
+    series = {}
+    for density in densities:
+        series[f"vs REFab {density}Gb"] = [
+            result[c][density]["vs_refab"] for c in categories
+        ]
+        series[f"vs REFpb {density}Gb"] = [
+            result[c][density]["vs_refpb"] for c in categories
+        ]
+    return Chart.build(
+        "Figure 15: DSARP improvement by memory intensity",
+        [f"{c}%" for c in categories],
+        series,
+        kind="bar",
+        y_label="improvement (%)",
+    )
+
+
+def _chart_figure16(result: dict) -> Chart:
+    return _density_series(
+        result, "bar", "Figure 16: WS normalized to REFab (FGR / AR / DSARP)",
+        "normalized WS"
+    )
+
+
+def _chart_table2(summary: dict) -> Chart:
+    densities = sorted(summary)
+    mechanisms = ("darp", "sarppb", "dsarp")
+    return Chart.build(
+        "Table 2: gmean WS improvement over REFpb (%)",
+        [f"{d}Gb" for d in densities],
+        {m: [summary[d][m]["gmean_refpb"] for d in densities] for m in mechanisms},
+        kind="bar",
+        y_label="gmean improvement (%)",
+    )
+
+
+def _chart_table3(result: dict) -> Chart:
+    cores = sorted(result)
+    keys = (
+        "weighted_speedup_improvement",
+        "harmonic_speedup_improvement",
+        "maximum_slowdown_reduction",
+        "energy_per_access_reduction",
+    )
+    return Chart.build(
+        "Table 3: DSARP vs REFab across core counts",
+        [str(c) for c in cores],
+        {key: [result[c][key] for c in cores] for key in keys},
+        kind="line",
+        y_label="improvement (%)",
+    )
+
+
+def _chart_table4(result: dict) -> Chart:
+    tfaws = sorted(result)
+    return Chart.build(
+        "Table 4: SARPpb over REFpb vs tFAW",
+        [str(t) for t in tfaws],
+        {"WS improvement": [result[t] for t in tfaws]},
+        kind="line",
+        y_label="improvement (%)",
+    )
+
+
+def _chart_table5(result: dict) -> Chart:
+    counts = sorted(result)
+    return Chart.build(
+        "Table 5: effect of subarrays per bank",
+        [str(c) for c in counts],
+        {"WS improvement": [result[c] for c in counts]},
+        kind="line",
+        y_label="improvement (%)",
+    )
+
+
+def _chart_table6(result: dict) -> Chart:
+    densities = sorted(result)
+    keys = ("gmean_refpb", "gmean_refab", "max_refpb", "max_refab")
+    return Chart.build(
+        "Table 6: DSARP improvement with 64 ms retention",
+        [f"{d}Gb" for d in densities],
+        {key: [result[d][key] for d in densities] for key in keys},
+        kind="bar",
+        y_label="improvement (%)",
+    )
+
+
+# -- the artifact registry ---------------------------------------------------
+
+
+def _blocks(tabulate: Callable) -> Callable[[object], list[Table]]:
+    """Normalize a tabulation to a list of table blocks."""
+
+    def wrapped(payload: object) -> list[Table]:
+        result = tabulate(payload)
+        return result if isinstance(result, list) else [result]
+
+    return wrapped
+
+
+@dataclass(frozen=True)
+class PaperArtifact:
+    """One regenerable paper artifact."""
+
+    name: str
+    title: str
+    experiment: Callable
+    tabulate: Callable[[object], list[Table]]
+    chart: Callable[[object], Chart]
+    simulates: bool = True
+
+    def payload(self, runner: ExperimentRunner, scale: ExperimentScale) -> object:
+        if not self.simulates:
+            return self.experiment()
+        return self.experiment(runner=runner, scale=scale)
+
+
+ARTIFACTS: dict[str, PaperArtifact] = {
+    artifact.name: artifact
+    for artifact in (
+        PaperArtifact(
+            "figure5", "Figure 5: refresh latency (tRFCab) trend",
+            experiments.figure5_refresh_latency_trend,
+            _blocks(fig.tabulate_figure5), _chart_figure5, simulates=False,
+        ),
+        PaperArtifact(
+            "figure6", "Figure 6: performance loss due to REFab",
+            experiments.figure6_refab_performance_loss,
+            _blocks(fig.tabulate_figure6), _chart_figure6,
+        ),
+        PaperArtifact(
+            "figure7", "Figure 7: performance loss due to REFab and REFpb",
+            experiments.figure7_refab_vs_refpb_loss,
+            _blocks(fig.tabulate_figure7), _chart_figure7,
+        ),
+        PaperArtifact(
+            "figure12", "Figure 12: per-workload WS normalized to REFab",
+            experiments.figure12_workload_sweep,
+            _blocks(fig.tabulate_figure12), _chart_figure12,
+        ),
+        PaperArtifact(
+            "figure13", "Figure 13: average WS improvement over REFab",
+            experiments.figure13_all_mechanisms,
+            _blocks(fig.tabulate_figure13), _chart_figure13,
+        ),
+        PaperArtifact(
+            "figure14", "Figure 14: energy per access",
+            experiments.figure14_energy_per_access,
+            _blocks(fig.tabulate_figure14), _chart_figure14,
+        ),
+        PaperArtifact(
+            "figure15", "Figure 15: DSARP improvement by memory intensity",
+            experiments.figure15_memory_intensity,
+            _blocks(fig.tabulate_figure15), _chart_figure15,
+        ),
+        PaperArtifact(
+            "figure16", "Figure 16: WS normalized to REFab (FGR / AR / DSARP)",
+            experiments.figure16_fgr_comparison,
+            _blocks(fig.tabulate_figure16), _chart_figure16,
+        ),
+        PaperArtifact(
+            "table2", "Table 2: WS improvement of DARP/SARPpb/DSARP",
+            experiments.table2_improvement_summary,
+            _blocks(tab.tabulate_table2), _chart_table2,
+        ),
+        PaperArtifact(
+            "table3", "Table 3: DSARP vs REFab across core counts",
+            experiments.table3_core_count,
+            _blocks(tab.tabulate_table3), _chart_table3,
+        ),
+        PaperArtifact(
+            "table4", "Table 4: SARPpb over REFpb vs tFAW",
+            experiments.table4_tfaw_sensitivity,
+            _blocks(tab.tabulate_table4), _chart_table4,
+        ),
+        PaperArtifact(
+            "table5", "Table 5: effect of subarrays per bank",
+            experiments.table5_subarray_sensitivity,
+            _blocks(tab.tabulate_table5), _chart_table5,
+        ),
+        PaperArtifact(
+            "table6", "Table 6: DSARP improvement with 64 ms retention",
+            experiments.table6_refresh_interval,
+            _blocks(tab.tabulate_table6), _chart_table6,
+        ),
+    )
+}
+
+
+# -- generation --------------------------------------------------------------
+
+
+@dataclass
+class CrosscheckResult:
+    """Verdict of one golden-fixture comparison."""
+
+    fixture: str
+    artifact: str
+    status: str  # "ok" | "mismatch" | "skipped"
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "mismatch"
+
+
+@dataclass
+class PaperReport:
+    """What :func:`generate_paper_report` produced."""
+
+    out_dir: Path
+    artifacts: list = field(default_factory=list)  # (name, [paths])
+    crosschecks: list = field(default_factory=list)
+    engine_summary: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(check.failed for check in self.crosschecks)
+
+
+def _artifact_markdown(artifact: PaperArtifact, blocks: list[Table]) -> str:
+    lines = [f"## {artifact.title}", ""]
+    for block in blocks:
+        if block.title and block.title != artifact.title:
+            lines.append(f"### {block.title}")
+            lines.append("")
+        lines.append(block.to_markdown())
+        lines.append("")
+    lines.append(f"![{artifact.name}]({artifact.name}.svg)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _crosscheck_applies(runner: ExperimentRunner, scale: ExperimentScale) -> bool:
+    return (
+        runner.cycles == GOLDEN_CYCLES
+        and runner.warmup == GOLDEN_WARMUP
+        and runner.seed == 0
+        and runner.scheduler is None
+        and runner.page_policy is None
+        and scale == GOLDEN_SCALE
+    )
+
+
+def crosscheck_goldens(
+    payloads: dict,
+    runner: ExperimentRunner,
+    scale: ExperimentScale,
+) -> list[CrosscheckResult]:
+    """Compare freshly computed payloads against the pinned golden numbers.
+
+    Checks are strict equality on the canonical JSON form — exactly the
+    comparison ``tests/test_golden_regression.py`` makes — but only when
+    the run matches the golden identity (window, seed, scale, default
+    policies); any other configuration legitimately produces different
+    numbers and is reported as ``skipped``.
+    """
+    fixtures_dir = golden_dir()
+    results = []
+    for fixture, (artifact_name, slicer) in GOLDEN_FIXTURES.items():
+        if artifact_name not in payloads:
+            continue
+        if not _crosscheck_applies(runner, scale):
+            results.append(
+                CrosscheckResult(
+                    fixture, artifact_name, "skipped",
+                    "run window/scale differs from the golden identity",
+                )
+            )
+            continue
+        if fixtures_dir is None or not (fixtures_dir / f"{fixture}.json").exists():
+            results.append(
+                CrosscheckResult(
+                    fixture, artifact_name, "skipped",
+                    "golden fixtures unavailable (not a source checkout)",
+                )
+            )
+            continue
+        golden = json.loads((fixtures_dir / f"{fixture}.json").read_text())
+        computed = slicer(canonical(payloads[artifact_name]))
+        if computed == golden:
+            results.append(CrosscheckResult(fixture, artifact_name, "ok"))
+        else:
+            results.append(
+                CrosscheckResult(
+                    fixture, artifact_name, "mismatch",
+                    f"regenerated {artifact_name} disagrees with the pinned "
+                    f"tests/golden/{fixture}.json; the result store is stale "
+                    f"or tampered, or behavior drifted — do not publish",
+                )
+            )
+    return results
+
+
+def _index_markdown(report: PaperReport, runner: ExperimentRunner,
+                    scale: ExperimentScale) -> str:
+    summary = report.engine_summary
+    lines = [
+        "# Paper artifacts",
+        "",
+        f"Regenerated from the result store: {summary.get('jobs', 0)} jobs "
+        f"planned — {summary.get('simulated', 0)} simulated, "
+        f"{summary.get('store_hits', 0)} store hits, "
+        f"{summary.get('memory_hits', 0)} memory hits.",
+        "",
+        f"- window: cycles={runner.cycles} warmup={runner.warmup} "
+        f"seed={runner.seed}",
+        f"- scale: workloads_per_category={scale.workloads_per_category} "
+        f"sensitivity_workloads={scale.sensitivity_workloads} "
+        f"densities={list(scale.densities)}",
+        "",
+        "| artifact | files |",
+        "|---|---|",
+    ]
+    for name, paths in report.artifacts:
+        files = ", ".join(f"[{p.name}]({p.name})" for p in paths)
+        lines.append(f"| {name} | {files} |")
+    lines.append("")
+    lines.append("## Golden crosscheck")
+    lines.append("")
+    if not report.crosschecks:
+        lines.append("- not applicable (no golden-pinned artifact requested)")
+    for check in report.crosschecks:
+        status = "OK" if check.status == "ok" else check.status.upper()
+        detail = f" — {check.detail}" if check.detail else ""
+        lines.append(f"- {check.fixture}: **{status}**{detail}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_paper_report(
+    out_dir: str | Path,
+    runner: Optional[ExperimentRunner] = None,
+    scale: Optional[ExperimentScale] = None,
+    names: Optional[Sequence[str]] = None,
+    crosscheck: bool = True,
+) -> PaperReport:
+    """Regenerate paper artifacts into ``out_dir``; returns the report.
+
+    ``names`` selects a subset of :data:`ARTIFACTS` (default: all).
+    Simulations run only for result-store misses; a warm store (or a
+    memoized runner) regenerates everything without simulating.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    scale = scale if scale is not None else default_scale()
+    selected = list(names) if names else sorted(ARTIFACTS)
+    unknown = [name for name in selected if name not in ARTIFACTS]
+    if unknown:
+        raise ReportError(
+            f"unknown artifact(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(ARTIFACTS))}"
+        )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    report = PaperReport(out_dir=out)
+    payloads: dict[str, object] = {}
+    for name in selected:
+        artifact = ARTIFACTS[name]
+        payload = artifact.payload(runner, scale)
+        payloads[name] = payload
+        blocks = artifact.tabulate(payload)
+        paths = []
+        json_path = out / f"{name}.json"
+        json_path.write_text(
+            json.dumps(canonical(payload), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        paths.append(json_path)
+        md_path = out / f"{name}.md"
+        md_path.write_text(_artifact_markdown(artifact, blocks), encoding="utf-8")
+        paths.append(md_path)
+        tex_path = out / f"{name}.tex"
+        tex_path.write_text(
+            "\n\n".join(block.to_latex() for block in blocks) + "\n",
+            encoding="utf-8",
+        )
+        paths.append(tex_path)
+        svg_path = out / f"{name}.svg"
+        svg_path.write_text(render_chart(artifact.chart(payload)), encoding="utf-8")
+        paths.append(svg_path)
+        report.artifacts.append((name, paths))
+    if crosscheck:
+        report.crosschecks = crosscheck_goldens(payloads, runner, scale)
+    report.engine_summary = runner.summary()
+    (out / "index.md").write_text(
+        _index_markdown(report, runner, scale), encoding="utf-8"
+    )
+    return report

@@ -1,0 +1,242 @@
+"""Dependency-free, deterministic SVG plotting for report artifacts.
+
+The container this repo targets carries no plotting stack, so report
+plots are rendered by hand as SVG: line charts, grouped bar charts and
+sparklines built from the renderer-independent
+:class:`~repro.analysis.model.Chart`.  Two properties matter more than
+beauty:
+
+* **No dependencies** — pure string assembly; works everywhere Python
+  does.  (If matplotlib is ever added to the environment, it can render
+  the same :class:`Chart` model; nothing here assumes it exists.)
+* **Determinism** — the same chart data always produces the same bytes,
+  so generated ``.svg`` artifacts can be committed, diffed and
+  golden-checked exactly like the markdown tables.
+
+:func:`unicode_sparkline` renders a tiny inline trend (▁▂▄█) for
+markdown reports where an image would be overkill.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.model import Chart
+
+#: Categorical palette (colorblind-safe Okabe-Ito subset).
+PALETTE = (
+    "#0072b2",
+    "#d55e00",
+    "#009e73",
+    "#cc79a7",
+    "#e69f00",
+    "#56b4e9",
+    "#f0e442",
+    "#000000",
+)
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (keeps output deterministic)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _finite(values) -> list[float]:
+    return [v for v in values if v is not None]
+
+
+def _axis_range(values: Sequence[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo > 0:
+        # Anchor at zero when the data is non-negative: bar heights and
+        # line positions then encode magnitude, not just variation.
+        lo = 0.0
+    if hi == lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def unicode_sparkline(values: Sequence[Optional[float]]) -> str:
+    """Eight-level block-character trend line for inline markdown."""
+    finite = _finite(values)
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for value in values:
+        if value is None:
+            out.append(" ")
+            continue
+        if span == 0:
+            out.append(_SPARK_LEVELS[3])
+            continue
+        level = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+class _Svg:
+    """Tiny SVG element buffer."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'font-family="monospace" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+
+    def text(self, x: float, y: float, content: str, **attrs: str) -> None:
+        extra = "".join(
+            f' {key.replace("_", "-")}="{value}"' for key, value in attrs.items()
+        )
+        content = (
+            content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        self.parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}"{extra}>{content}</text>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, stroke: str,
+             width: float = 1.0, dash: str = "") -> None:
+        extra = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}"{extra}/>'
+        )
+
+    def polyline(self, points: Sequence[tuple[float, float]], stroke: str) -> None:
+        path = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="1.5"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float, fill: str) -> None:
+        self.parts.append(
+            f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="{_fmt(r)}" fill="{fill}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str) -> None:
+        self.parts.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" '
+            f'height="{_fmt(h)}" fill="{fill}"/>'
+        )
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"]) + "\n"
+
+
+def _frame(svg: _Svg, chart: Chart, left: float, top: float,
+           right: float, bottom: float, lo: float, hi: float) -> None:
+    """Axes, four horizontal gridlines with tick labels, title, y label."""
+    svg.text(left, 16, chart.title, font_weight="bold")
+    if chart.y_label:
+        svg.text(left, top - 6, chart.y_label, fill="#555555")
+    ticks = 4
+    for i in range(ticks + 1):
+        frac = i / ticks
+        y = bottom - frac * (bottom - top)
+        value = lo + frac * (hi - lo)
+        svg.line(left, y, right, y, "#dddddd")
+        svg.text(left - 6, y + 4, f"{value:g}", text_anchor="end", fill="#555555")
+    svg.line(left, bottom, right, bottom, "#333333")
+    svg.line(left, top, left, bottom, "#333333")
+
+
+def _legend(svg: _Svg, chart: Chart, right: float, top: float) -> None:
+    y = top
+    for index, series in enumerate(chart.series):
+        color = PALETTE[index % len(PALETTE)]
+        svg.rect(right + 10, y - 8, 10, 10, color)
+        svg.text(right + 24, y, series.name)
+        y += 16
+
+
+def render_chart(chart: Chart, width: int = 640, height: int = 300) -> str:
+    """Render a :class:`Chart` (line or grouped bars) to SVG text."""
+    legend_w = max([len(s.name) for s in chart.series], default=0) * 7 + 40
+    left, top = 56.0, 32.0
+    right, bottom = float(width - legend_w), float(height - 36)
+    svg = _Svg(width, height)
+    finite = [v for s in chart.series for v in _finite(s.values)]
+    if not finite or not chart.x_labels:
+        svg.text(left, height / 2, "no data")
+        return svg.render()
+    lo, hi = _axis_range(finite)
+    _frame(svg, chart, left, top, right, bottom, lo, hi)
+    _legend(svg, chart, right, top)
+
+    def y_of(value: float) -> float:
+        return bottom - (value - lo) / (hi - lo) * (bottom - top)
+
+    n = len(chart.x_labels)
+    slot = (right - left) / n
+    for i, label in enumerate(chart.x_labels):
+        svg.text(left + (i + 0.5) * slot, bottom + 16, label, text_anchor="middle")
+    if chart.kind == "bar":
+        bars = len(chart.series)
+        bar_w = slot * 0.8 / max(bars, 1)
+        zero = y_of(max(lo, min(0.0, hi)))
+        for s_index, series in enumerate(chart.series):
+            color = PALETTE[s_index % len(PALETTE)]
+            for i, value in enumerate(series.values[:n]):
+                if value is None:
+                    continue
+                x = left + (i + 0.1) * slot + s_index * bar_w
+                y = y_of(value)
+                svg.rect(x, min(y, zero), bar_w * 0.92, abs(zero - y), color)
+    else:
+        for s_index, series in enumerate(chart.series):
+            color = PALETTE[s_index % len(PALETTE)]
+            points = [
+                (left + (i + 0.5) * slot, y_of(value))
+                for i, value in enumerate(series.values[:n])
+                if value is not None
+            ]
+            if len(points) > 1:
+                svg.polyline(points, color)
+            for x, y in points:
+                svg.circle(x, y, 2.5, color)
+    return svg.render()
+
+
+def render_sparkline(
+    values: Sequence[Optional[float]], width: int = 160, height: int = 36
+) -> str:
+    """Small standalone SVG trend line (one series, no axes)."""
+    svg = _Svg(width, height)
+    finite = _finite(values)
+    if not finite:
+        svg.text(4, height / 2, "no data")
+        return svg.render()
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        hi = lo + 1.0
+    pad = 4.0
+    n = len(values)
+    step = (width - 2 * pad) / max(n - 1, 1)
+    points = [
+        (pad + i * step, height - pad - (v - lo) / (hi - lo) * (height - 2 * pad))
+        for i, v in enumerate(values)
+        if v is not None
+    ]
+    if len(points) > 1:
+        svg.polyline(points, PALETTE[0])
+    if points:
+        svg.circle(points[-1][0], points[-1][1], 2.5, PALETTE[1])
+    return svg.render()
+
+
+__all__ = [
+    "PALETTE",
+    "render_chart",
+    "render_sparkline",
+    "unicode_sparkline",
+]

@@ -1,0 +1,350 @@
+"""Run report: traces, epoch trajectories and profiles in one document.
+
+A simulation run leaves three kinds of observability residue behind
+(PRs 6's ``repro.obs``): command **traces** (``--trace DIR``), in-trace
+**epoch samples** (``--epoch-interval N``) and **profile** hot-spot
+timings (``repro profile --json``).  :func:`build_run_report` stitches
+them into a single human-readable document — per-trace summaries with
+the structured :func:`~repro.obs.summarize.summarize_trace` sections,
+epoch IPC trajectories as sparklines, and the profiler's hot-spot table
+— rendered as markdown and, via a small dependency-free converter, HTML.
+CI publishes the pair as a browsable artifact.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.model import Table
+from repro.obs.summarize import summarize_trace
+from repro.obs.trace import read_trace
+from repro.report.plot import render_sparkline, unicode_sparkline
+
+#: Schema stamp of ``repro profile --json`` documents.
+PROFILE_SCHEMA = "repro.obs.profile"
+
+
+@dataclass
+class TraceSection:
+    """One trace file's digest inside the run report."""
+
+    name: str
+    summary: dict
+    epochs: list = field(default_factory=list)  # header["epochs"] dicts
+    epoch_totals: dict = field(default_factory=dict)
+
+    @property
+    def ipc_series(self) -> list:
+        return [sample.get("ipc") for sample in self.epochs]
+
+
+@dataclass
+class RunReport:
+    """Assembled run report; render with :meth:`to_markdown`."""
+
+    title: str = "Run report"
+    traces: list = field(default_factory=list)  # [TraceSection]
+    profile: Optional[dict] = None  # parsed profile --json document
+    notes: list = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        lines = [f"# {self.title}", ""]
+        for note in self.notes:
+            lines.append(f"> {note}")
+            lines.append("")
+        if not self.traces and self.profile is None:
+            lines.append("Nothing to report: no traces or profile supplied.")
+            lines.append("")
+        for section in self.traces:
+            lines.extend(_trace_markdown(section))
+        if self.profile is not None:
+            lines.extend(_profile_markdown(self.profile))
+        return "\n".join(lines)
+
+    def to_html(self) -> str:
+        return markdown_to_html(self.to_markdown(), title=self.title)
+
+
+def _command_table(summary: dict) -> Table:
+    commands = summary.get("commands", {})
+    return Table.build(
+        ["command", "count"],
+        [[op, count] for op, count in commands.items()],
+    )
+
+
+def _bank_table(summary: dict, top: int = 8) -> Table:
+    utilization = summary.get("bank_utilization", {})
+    ranked = sorted(utilization.items(), key=lambda kv: -kv[1]["utilization"])[:top]
+    rows = [
+        [key, f"{info['utilization'] * 100:.1f}%", info["commands"],
+         info["busy_cycles"]]
+        for key, info in ranked
+    ]
+    return Table.build(["bank", "busy", "commands", "busy cycles"], rows)
+
+
+def _trace_markdown(section: TraceSection) -> list[str]:
+    head = section.summary.get("header", {})
+    overlap = section.summary.get("refresh_overlap", {})
+    runs = section.summary.get("row_hit_runs", {})
+    crosscheck = section.summary.get("crosscheck", {})
+    lines = [
+        f"## Trace: {section.name}",
+        "",
+        f"- workload `{head.get('workload')}` mechanism "
+        f"`{head.get('mechanism')}` density {head.get('density_gb')}Gb",
+        f"- cycles {head.get('cycles')} (warmup {head.get('warmup')}), "
+        f"{head.get('records')} records, {head.get('dropped')} dropped",
+        f"- refresh overlap: {overlap.get('refreshes_with_overlap', 0)} of "
+        f"{overlap.get('refreshes', 0)} refresh windows overlapped demand "
+        f"accesses ({overlap.get('same_bank_overlaps', 0)} same-bank, SARP)",
+        f"- SARP subarray conflicts: {section.summary.get('sarp_conflicts', 0)}",
+        f"- row-hit runs: count={runs.get('count', 0)} "
+        f"mean={runs.get('mean', 0.0):.2f} max={runs.get('max', 0)}",
+    ]
+    if crosscheck:
+        verdict = "OK" if crosscheck.get("ok", True) else "MISMATCH"
+        lines.append(f"- device-counter crosscheck: **{verdict}**")
+    lines.append("")
+    lines.append("### Commands")
+    lines.append("")
+    lines.append(_command_table(section.summary).to_markdown())
+    lines.append("")
+    bank_table = _bank_table(section.summary)
+    if bank_table.rows:
+        lines.append("### Busiest banks")
+        lines.append("")
+        lines.append(bank_table.to_markdown())
+        lines.append("")
+    if section.epochs:
+        ipc = section.ipc_series
+        finite = [v for v in ipc if v is not None]
+        lines.append("### Epoch IPC trajectory")
+        lines.append("")
+        lines.append(
+            f"- {len(section.epochs)} epochs; IPC "
+            f"min={min(finite):.4f} max={max(finite):.4f} "
+            f"last={finite[-1]:.4f}" if finite else "- no IPC samples"
+        )
+        lines.append(f"- trend: `{unicode_sparkline(ipc)}`")
+        if section.epoch_totals:
+            totals = section.epoch_totals
+            parts = " ".join(
+                f"{key}={totals[key]}" for key in sorted(totals)
+                if isinstance(totals[key], (int, float))
+            )
+            lines.append(f"- totals: {parts}")
+        lines.append("")
+    return lines
+
+
+def _profile_markdown(profile: dict) -> list[str]:
+    spans = profile.get("spans", {})
+    rows = []
+    for name, info in sorted(
+        spans.items(), key=lambda kv: -kv[1].get("total_s", 0.0)
+    ):
+        count = info.get("count", 0)
+        total = info.get("total_s", 0.0)
+        per_call = total / count if count else 0.0
+        rows.append(
+            [name, count, f"{total:.4f}", f"{per_call * 1e3:.3f}",
+             f"{info.get('max_s', 0.0) * 1e3:.3f}"]
+        )
+    lines = [
+        "## Profile hot spots",
+        "",
+    ]
+    experiment = profile.get("experiment")
+    if experiment:
+        lines.append(f"- experiment: `{experiment}`")
+    engine = profile.get("engine", {})
+    if engine:
+        lines.append(
+            f"- engine: {engine.get('jobs', 0)} jobs, "
+            f"{engine.get('simulated', 0)} simulated"
+        )
+    lines.append("")
+    lines.append(
+        Table.build(
+            ["span", "calls", "total (s)", "mean (ms)", "max (ms)"], rows
+        ).to_markdown()
+    )
+    lines.append("")
+    return lines
+
+
+def load_profile(path: str | Path) -> dict:
+    """Load and validate a ``repro profile --json`` document."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {PROFILE_SCHEMA} document "
+            f"(run `repro profile --json`)"
+        )
+    return data
+
+
+def build_run_report(
+    trace_paths: Sequence[str | Path] = (),
+    profile_path: Optional[str | Path] = None,
+    title: str = "Run report",
+) -> RunReport:
+    """Summarize every trace and the optional profile into one report."""
+    report = RunReport(title=title)
+    for path in trace_paths:
+        path = Path(path)
+        header, records = read_trace(path)
+        section = TraceSection(
+            name=path.name,
+            summary=summarize_trace(header, records),
+            epochs=list(header.get("epochs", ())),
+            epoch_totals=dict(header.get("epoch_totals", {})),
+        )
+        report.traces.append(section)
+    if profile_path is not None:
+        report.profile = load_profile(profile_path)
+    return report
+
+
+def write_run_report(report: RunReport, out_dir: str | Path) -> list[Path]:
+    """Write ``report.md``, ``report.html`` and per-trace IPC sparklines."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    md_path = out / "report.md"
+    md_path.write_text(report.to_markdown() + "\n", encoding="utf-8")
+    written.append(md_path)
+    html_path = out / "report.html"
+    html_path.write_text(report.to_html(), encoding="utf-8")
+    written.append(html_path)
+    for section in report.traces:
+        if section.epochs:
+            svg_path = out / f"ipc_{Path(section.name).stem}.svg"
+            svg_path.write_text(
+                render_sparkline(section.ipc_series), encoding="utf-8"
+            )
+            written.append(svg_path)
+    return written
+
+
+# -- minimal markdown -> HTML ------------------------------------------------
+
+_HTML_STYLE = """\
+body { font-family: sans-serif; max-width: 60rem; margin: 2rem auto;
+       padding: 0 1rem; color: #1c1c1c; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; text-align: left; }
+th { background: #f2f2f2; }
+code { font-family: monospace; background: #f6f6f6; padding: 0 0.2rem; }
+pre { background: #f6f6f6; padding: 0.6rem; overflow-x: auto; }
+blockquote { color: #555; border-left: 3px solid #ccc; margin-left: 0;
+             padding-left: 0.8rem; }
+"""
+
+
+def _inline(text: str) -> str:
+    """Escape, then re-introduce `code` and **bold** spans."""
+    escaped = _html.escape(text, quote=False)
+    out = []
+    # Backtick spans first (they may contain ** sequences).
+    parts = escaped.split("`")
+    for index, part in enumerate(parts):
+        if index % 2 == 1 and index < len(parts) - (len(parts) % 2):
+            out.append(f"<code>{part}</code>")
+        else:
+            chunks = part.split("**")
+            for j, chunk in enumerate(chunks):
+                if j % 2 == 1 and j < len(chunks) - (len(chunks) % 2):
+                    out.append(f"<strong>{chunk}</strong>")
+                else:
+                    out.append(chunk)
+    return "".join(out)
+
+
+def markdown_to_html(markdown: str, title: str = "report") -> str:
+    """Convert the restricted markdown this package emits to HTML.
+
+    Handles headings, pipe tables, unordered lists, blockquotes and fenced
+    code blocks — exactly the constructs the report renderers produce.
+    Not a general markdown parser.
+    """
+    body: list[str] = []
+    lines = markdown.splitlines()
+    i = 0
+    in_list = False
+
+    def close_list() -> None:
+        nonlocal in_list
+        if in_list:
+            body.append("</ul>")
+            in_list = False
+
+    while i < len(lines):
+        line = lines[i]
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            close_list()
+            i += 1
+            block = []
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                block.append(lines[i])
+                i += 1
+            body.append(
+                "<pre><code>"
+                + _html.escape("\n".join(block), quote=False)
+                + "</code></pre>"
+            )
+            i += 1
+            continue
+        if stripped.startswith("|") and i + 1 < len(lines) and set(
+            lines[i + 1].strip()
+        ) <= set("|-: "):
+            close_list()
+            header_cells = [c.strip() for c in stripped.strip("|").split("|")]
+            body.append("<table><thead><tr>")
+            body.extend(f"<th>{_inline(cell)}</th>" for cell in header_cells)
+            body.append("</tr></thead><tbody>")
+            i += 2
+            while i < len(lines) and lines[i].strip().startswith("|"):
+                cells = [c.strip() for c in lines[i].strip().strip("|").split("|")]
+                body.append("<tr>")
+                body.extend(f"<td>{_inline(cell)}</td>" for cell in cells)
+                body.append("</tr>")
+                i += 1
+            body.append("</tbody></table>")
+            continue
+        if stripped.startswith("#"):
+            close_list()
+            level = len(stripped) - len(stripped.lstrip("#"))
+            level = min(level, 6)
+            body.append(
+                f"<h{level}>{_inline(stripped[level:].strip())}</h{level}>"
+            )
+        elif stripped.startswith("- "):
+            if not in_list:
+                body.append("<ul>")
+                in_list = True
+            body.append(f"<li>{_inline(stripped[2:])}</li>")
+        elif stripped.startswith("> "):
+            close_list()
+            body.append(f"<blockquote>{_inline(stripped[2:])}</blockquote>")
+        elif stripped:
+            close_list()
+            body.append(f"<p>{_inline(stripped)}</p>")
+        else:
+            close_list()
+        i += 1
+    close_list()
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_HTML_STYLE}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

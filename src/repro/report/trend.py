@@ -1,0 +1,243 @@
+"""Benchmark trend reporting over the committed ``benchmarks/history/``.
+
+The repo commits one schema-versioned :class:`~repro.bench.run.BenchDocument`
+snapshot per recorded run under ``benchmarks/history/BENCH_<stamp>.json``
+(see ``repro bench run --history``).  :func:`build_trend_report` loads
+that trajectory — optionally appending an uncommitted current run — and
+renders, per benchmark, the wall-clock and fidelity-metric history as
+markdown tables with inline unicode sparklines plus standalone SVG
+sparkline files.
+
+Drift detection reuses the exact compare gate the CI baseline check
+applies (:func:`repro.bench.compare.compare_documents` with its default
+thresholds and the per-record ``max_regression`` overrides): the latest
+snapshot is diffed against its predecessor, and any failing entry marks
+the benchmark's trend row with :data:`DRIFT_MARKER`.  The report always
+prints a ``drift gate:`` verdict line so automation can grep for it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.compare import Comparison, compare_documents
+from repro.bench.run import BenchDocument
+from repro.bench.spec import BenchError
+from repro.report.plot import render_sparkline, unicode_sparkline
+
+#: Grep-able marker attached to benchmarks whose latest snapshot fails
+#: the compare gate against its predecessor.
+DRIFT_MARKER = "[DRIFT]"
+
+#: Glob for history snapshots; the embedded UTC stamp makes lexicographic
+#: order chronological.
+HISTORY_GLOB = "BENCH_*.json"
+
+
+class TrendError(BenchError):
+    """The history directory or its documents are unusable."""
+
+
+def load_history(history_dir: str | Path) -> list[tuple[str, BenchDocument]]:
+    """Load ``(filename, document)`` snapshots in chronological order."""
+    directory = Path(history_dir)
+    if not directory.is_dir():
+        raise TrendError(f"history directory {directory} does not exist")
+    snapshots = []
+    for path in sorted(directory.glob(HISTORY_GLOB)):
+        try:
+            snapshots.append((path.name, BenchDocument.load(path)))
+        except BenchError as error:
+            raise TrendError(f"unreadable history snapshot {path.name}: {error}")
+    return snapshots
+
+
+@dataclass
+class BenchTrend:
+    """One benchmark's trajectory across the history."""
+
+    name: str
+    wall_clock_s: list = field(default_factory=list)  # float | None per snapshot
+    metrics: dict = field(default_factory=dict)  # key -> [float | None]
+    drift: bool = False
+    drift_detail: str = ""
+
+    @property
+    def latest_wall(self) -> Optional[float]:
+        present = [v for v in self.wall_clock_s if v is not None]
+        return present[-1] if present else None
+
+
+@dataclass
+class TrendReport:
+    """The assembled trajectory plus the latest-vs-previous drift verdict."""
+
+    labels: list = field(default_factory=list)  # snapshot filenames
+    tiers: list = field(default_factory=list)
+    trends: list = field(default_factory=list)  # [BenchTrend]
+    comparison: Optional[Comparison] = None
+
+    @property
+    def drifted(self) -> list:
+        return [trend for trend in self.trends if trend.drift]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted
+
+    def verdict_line(self) -> str:
+        """The always-printed, grep-able gate line."""
+        if len(self.labels) < 2:
+            return (
+                "drift gate: skipped "
+                f"({len(self.labels)} snapshot(s); need at least 2)"
+            )
+        if self.ok:
+            return f"drift gate: PASS ({len(self.trends)} benchmarks stable)"
+        names = ", ".join(trend.name for trend in self.drifted)
+        return (
+            f"drift gate: FAIL ({len(self.drifted)} of {len(self.trends)} "
+            f"benchmarks drifting: {names}) {DRIFT_MARKER}"
+        )
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Benchmark trend report",
+            "",
+            f"Snapshots ({len(self.labels)}, oldest first):",
+            "",
+        ]
+        for label, tier in zip(self.labels, self.tiers):
+            lines.append(f"- `{label}` (tier: {tier})")
+        lines.append("")
+        lines.append(f"**{self.verdict_line()}**")
+        lines.append("")
+        lines.append("## Wall clock")
+        lines.append("")
+        lines.append("| benchmark | trend | latest (s) | status |")
+        lines.append("|---|---|---:|---|")
+        for trend in self.trends:
+            spark = unicode_sparkline(trend.wall_clock_s) or "—"
+            latest = "—" if trend.latest_wall is None else f"{trend.latest_wall:.3f}"
+            if trend.drift:
+                status = f"{DRIFT_MARKER} {trend.drift_detail}".strip()
+            else:
+                status = "stable"
+            lines.append(f"| {trend.name} | `{spark}` | {latest} | {status} |")
+        lines.append("")
+        metric_rows = [
+            (trend.name, key, values)
+            for trend in self.trends
+            for key, values in sorted(trend.metrics.items())
+        ]
+        if metric_rows:
+            lines.append("## Fidelity metrics")
+            lines.append("")
+            lines.append("| benchmark | metric | trend | latest |")
+            lines.append("|---|---|---|---:|")
+            for name, key, values in metric_rows:
+                spark = unicode_sparkline(values) or "—"
+                present = [v for v in values if v is not None]
+                latest = "—" if not present else f"{present[-1]:g}"
+                lines.append(f"| {name} | {key} | `{spark}` | {latest} |")
+            lines.append("")
+        if self.comparison is not None:
+            lines.append("## Latest vs previous (compare gate)")
+            lines.append("")
+            lines.append(self.comparison.to_markdown())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": "repro.report.trend",
+            "version": 1,
+            "snapshots": list(self.labels),
+            "verdict": self.verdict_line(),
+            "ok": self.ok,
+            "benchmarks": [
+                {
+                    "name": trend.name,
+                    "wall_clock_s": trend.wall_clock_s,
+                    "metrics": trend.metrics,
+                    "drift": trend.drift,
+                    "drift_detail": trend.drift_detail,
+                }
+                for trend in self.trends
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def build_trend_report(
+    history_dir: str | Path,
+    current: Optional[BenchDocument] = None,
+    current_label: str = "<current run>",
+) -> TrendReport:
+    """Assemble the trajectory from committed history plus an optional
+    uncommitted current document (appended as the newest snapshot)."""
+    snapshots = load_history(history_dir)
+    if current is not None:
+        snapshots.append((current_label, current))
+    report = TrendReport(
+        labels=[label for label, _ in snapshots],
+        tiers=[doc.tier for _, doc in snapshots],
+    )
+    names: list[str] = []
+    for _, doc in snapshots:
+        for name in doc.names():
+            if name not in names:
+                names.append(name)
+    for name in sorted(names):
+        trend = BenchTrend(name=name)
+        for _, doc in snapshots:
+            record = doc.record(name)
+            trend.wall_clock_s.append(
+                record.wall_clock_s if record is not None else None
+            )
+            if record is not None:
+                for key, value in record.metrics.items():
+                    trend.metrics.setdefault(key, [])
+            for key in trend.metrics:
+                record_value = (
+                    record.metrics.get(key) if record is not None else None
+                )
+                column = trend.metrics[key]
+                # Backfill snapshots seen before this metric first appeared.
+                while len(column) < len(trend.wall_clock_s) - 1:
+                    column.append(None)
+                column.append(record_value)
+        report.trends.append(trend)
+    if len(snapshots) >= 2:
+        previous, latest = snapshots[-2][1], snapshots[-1][1]
+        comparison = compare_documents(previous, latest)
+        report.comparison = comparison
+        failing = {entry.name: entry for entry in comparison.failures}
+        for trend in report.trends:
+            entry = failing.get(trend.name)
+            if entry is not None:
+                trend.drift = True
+                trend.drift_detail = f"{entry.status}: {entry.detail}".rstrip(": ")
+    return report
+
+
+def write_trend_report(report: TrendReport, out_dir: str | Path) -> list[Path]:
+    """Write ``trend.md``, ``trend.json`` and per-benchmark sparkline SVGs."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    md_path = out / "trend.md"
+    md_path.write_text(report.to_markdown() + "\n", encoding="utf-8")
+    written.append(md_path)
+    json_path = out / "trend.json"
+    json_path.write_text(report.to_json() + "\n", encoding="utf-8")
+    written.append(json_path)
+    for trend in report.trends:
+        svg_path = out / f"spark_{trend.name}.svg"
+        svg_path.write_text(
+            render_sparkline(trend.wall_clock_s), encoding="utf-8"
+        )
+        written.append(svg_path)
+    return written

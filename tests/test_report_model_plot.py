@@ -1,0 +1,96 @@
+"""The Table/Chart model and the dependency-free SVG renderer.
+
+``Table.to_text()`` must stay byte-identical to the historical
+``format_table`` output (the bench text artifacts and terminal paths
+depend on it); markdown/LaTeX renderings must escape their metacharacters;
+SVG output must be deterministic — same data, same bytes — because the
+report bundle commits and diffs the files.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import Chart, Series, Table, latex_escape
+from repro.report.plot import render_chart, render_sparkline, unicode_sparkline
+
+
+class TestTableRenderings:
+    def test_to_text_matches_historical_format(self):
+        table = Table.build(
+            ["Density", "WS"], [["8Gb", "1.000"], ["32Gb", "0.900"]], title="T"
+        )
+        assert table.to_text() == (
+            "T\n"
+            "Density | WS   \n"
+            "--------+------\n"
+            "8Gb     | 1.000\n"
+            "32Gb    | 0.900"
+        )
+
+    def test_markdown_escapes_pipes(self):
+        table = Table.build(["a|b"], [["x|y"]])
+        text = table.to_markdown()
+        assert "a\\|b" in text and "x\\|y" in text
+        assert text.splitlines()[1] == "|---|"
+
+    def test_latex_escapes_metacharacters(self):
+        assert latex_escape("50%_of & $x^2") == (
+            r"50\%\_of \& \$x\textasciicircum{}2"
+        )
+        table = Table.build(["improv %"], [["1_2"]], title="Title % done")
+        tex = table.to_latex()
+        assert tex.startswith("% Title % done")
+        assert r"improv \%" in tex and r"1\_2" in tex
+
+    def test_build_stringifies_cells(self):
+        table = Table.build(["n"], [[1], [2.5]])
+        assert table.rows == (("1",), ("2.5",))
+
+
+class TestChartModel:
+    def test_build_normalizes_series(self):
+        chart = Chart.build("t", [8, 32], {"ws": [1.0, 0.9]}, kind="bar")
+        assert chart.x_labels == ("8", "32")
+        assert chart.series == (Series("ws", (1.0, 0.9)),)
+
+
+class TestSvgRendering:
+    def test_line_and_bar_charts_are_deterministic_svg(self):
+        for kind in ("line", "bar"):
+            chart = Chart.build(
+                "T", ["a", "b", "c"], {"s1": [1, 2, 3], "s2": [3, None, 1]},
+                kind=kind,
+            )
+            first, second = render_chart(chart), render_chart(chart)
+            assert first == second
+            assert first.startswith("<svg ") and first.rstrip().endswith("</svg>")
+            assert "NaN" not in first and "None" not in first
+
+    def test_empty_chart_renders_no_data_placeholder(self):
+        chart = Chart.build("T", [], {})
+        assert "no data" in render_chart(chart)
+
+    def test_title_is_escaped(self):
+        chart = Chart.build("a<b", ["x"], {"s": [1]})
+        svg = render_chart(chart)
+        assert "a<b" not in svg and "a&lt;b" in svg
+
+    def test_sparkline_handles_gaps_and_flats(self):
+        svg = render_sparkline([1.0, None, 2.0])
+        assert "<polyline" in svg
+        assert render_sparkline([]) != render_sparkline([1.0])
+        assert "no data" in render_sparkline([None, None])
+
+
+class TestUnicodeSparkline:
+    def test_levels_span_min_to_max(self):
+        spark = unicode_sparkline([0, 1, 2, 3])
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_none_becomes_a_gap(self):
+        assert unicode_sparkline([1.0, None, 2.0])[1] == " "
+
+    def test_flat_series_is_mid_level(self):
+        assert unicode_sparkline([5, 5]) == "▄▄"
+
+    def test_empty_is_empty(self):
+        assert unicode_sparkline([]) == ""

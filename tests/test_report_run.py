@@ -1,0 +1,194 @@
+"""Run report: trace stitching, epoch trajectories, profiles and HTML.
+
+Traces here are hand-crafted through the real
+:func:`~repro.obs.trace.write_trace` sink, so the report path exercises
+the same reader the engine uses.  Also pins the degenerate-trace fixes:
+an empty or header-only trace summarizes to a clean all-zeros document
+(CLI exit 0), and ``repro profile --json`` emits the schema the run
+report ingests.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import TraceRecord, read_trace, write_trace
+from repro.report.run import build_run_report, markdown_to_html, write_run_report
+
+
+def invoke(argv):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+def make_trace(path, with_epochs=True):
+    records = [
+        TraceRecord(cycle=10, op="ACT", channel=0, rank=0, bank=0, done=14),
+        TraceRecord(cycle=14, op="RD", channel=0, rank=0, bank=0, done=18),
+        TraceRecord(cycle=30, op="REFPB", channel=0, rank=0, bank=1, done=80),
+    ]
+    header = {
+        "schema": "repro.obs.trace",
+        "version": 1,
+        "workload": "mix_0",
+        "mechanism": "dsarp",
+        "density_gb": 8,
+        "cycles": 100,
+        "warmup": 10,
+        "records": len(records),
+        "dropped": 0,
+    }
+    if with_epochs:
+        header["epochs"] = [
+            {"start": 0, "cycles": 50, "instructions": 40, "ipc": 0.8},
+            {"start": 50, "cycles": 50, "instructions": 60, "ipc": 1.2},
+        ]
+        header["epoch_totals"] = {"epochs": 2, "instructions": 100, "ipc": 1.0}
+    return write_trace(path, header, records)
+
+
+@pytest.fixture()
+def profile_json(tmp_path):
+    path = tmp_path / "profile.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro.obs.profile",
+                "version": 1,
+                "experiment": "figure7",
+                "spans": {
+                    "kernel.step": {"count": 10, "total_s": 2.0, "max_s": 0.5},
+                    "engine.job": {"count": 2, "total_s": 3.0, "max_s": 1.6},
+                },
+                "engine": {"jobs": 2, "simulated": 2},
+            }
+        )
+    )
+    return path
+
+
+class TestBuildRunReport:
+    def test_stitches_traces_and_profile(self, tmp_path, profile_json):
+        trace = make_trace(tmp_path / "t.jsonl")
+        report = build_run_report([trace], profile_path=profile_json)
+        text = report.to_markdown()
+        assert "## Trace: t.jsonl" in text
+        assert "mix_0" in text and "dsarp" in text
+        assert "### Epoch IPC trajectory" in text
+        assert "## Profile hot spots" in text
+        # Hot spots are sorted by total time, descending.
+        assert text.index("engine.job") < text.index("kernel.step")
+
+    def test_epochless_trace_omits_trajectory_section(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl", with_epochs=False)
+        report = build_run_report([trace])
+        assert "Epoch IPC" not in report.to_markdown()
+
+    def test_empty_inputs_say_so(self):
+        assert "Nothing to report" in build_run_report([]).to_markdown()
+
+    def test_non_profile_json_is_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(ValueError, match="repro.obs.profile"):
+            build_run_report([], profile_path=bogus)
+
+    def test_bundle_written_with_ipc_sparkline(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        report = build_run_report([trace])
+        written = write_run_report(report, tmp_path / "out")
+        names = {path.name for path in written}
+        assert names == {"report.md", "report.html", "ipc_t.svg"}
+
+
+class TestRunCli:
+    def test_directory_expansion_and_exit_zero(self, tmp_path, profile_json):
+        traces = tmp_path / "traces"
+        traces.mkdir()
+        make_trace(traces / "a.jsonl")
+        make_trace(traces / "b.jsonl", with_epochs=False)
+        out = tmp_path / "out"
+        code, stdout, _ = invoke(
+            ["report", "run", str(traces), "--profile", str(profile_json),
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "## Trace: a.jsonl" in stdout and "## Trace: b.jsonl" in stdout
+        assert (out / "report.html").exists()
+
+    def test_missing_trace_is_a_usage_error(self, tmp_path):
+        code, _, stderr = invoke(
+            ["report", "run", str(tmp_path / "nope.jsonl"),
+             "--out", str(tmp_path / "out")]
+        )
+        assert code == 2
+        assert "does not exist" in stderr
+
+
+class TestDegenerateTraces:
+    def test_empty_trace_reads_as_no_records(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.touch()
+        header, records = read_trace(path)
+        assert header == {} and records == []
+
+    def test_empty_trace_summarizes_to_zeros_exit_zero(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.touch()
+        code, stdout, stderr = invoke(["trace", "summarize", str(path)])
+        assert code == 0, stderr
+        assert "records=0 dropped=0" in stdout
+
+    def test_header_only_trace_summarizes_cleanly(self, tmp_path):
+        path = tmp_path / "head.jsonl"
+        write_trace(
+            path,
+            {"workload": "w", "mechanism": "refab", "records": 0, "dropped": 0},
+            [],
+        )
+        code, stdout, _ = invoke(["trace", "summarize", str(path), "--json"])
+        assert code == 0
+        summary = json.loads(stdout)
+        assert summary["header"]["records"] == 0
+        assert summary["commands"] == {}
+
+    def test_empty_trace_in_run_report(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.touch()
+        report = build_run_report([path])
+        assert "## Trace: empty.jsonl" in report.to_markdown()
+
+
+class TestProfileJsonCli:
+    def test_profile_json_document_round_trips_into_report(self, tmp_path):
+        code, stdout, stderr = invoke(["profile", "figure5", "--json"])
+        assert code == 0, stderr
+        document = json.loads(stdout)
+        assert document["schema"] == "repro.obs.profile"
+        assert document["experiment"] == "figure5"
+        assert "engine" in document and "spans" in document
+        path = tmp_path / "profile.json"
+        path.write_text(stdout)
+        report = build_run_report([], profile_path=path)
+        assert "## Profile hot spots" in report.to_markdown()
+
+
+class TestMarkdownToHtml:
+    def test_tables_headings_lists_render(self):
+        html = markdown_to_html(
+            "# Title\n\n- item `code`\n\n| a | b |\n|---|---|\n| 1 | 2 |\n"
+        )
+        assert "<h1>Title</h1>" in html
+        assert "<li>item <code>code</code></li>" in html
+        assert "<th>a</th>" in html and "<td>2</td>" in html
+
+    def test_content_is_escaped(self):
+        html = markdown_to_html("a <script> & **bold**")
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+        assert "<strong>bold</strong>" in html

@@ -1,0 +1,208 @@
+"""Trend reporter: trajectories, drift flagging and the history helper.
+
+All documents here are synthetic (no simulation): the drift verdict must
+reuse the compare gate's exact semantics — wall-clock regressions beyond
+the threshold, any fidelity drift, missing benchmarks — and the
+``drift gate:`` line plus :data:`DRIFT_MARKER` must be grep-able from
+the CLI output, which is what the CI report-smoke step greps.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.bench.run import BenchDocument, BenchRecord, append_history
+from repro.cli import main
+from repro.report.trend import (
+    DRIFT_MARKER,
+    TrendError,
+    build_trend_report,
+    load_history,
+    write_trend_report,
+)
+
+
+def invoke(argv):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+def make_document(stamp, wall_a=1.0, metric_a=5.0, include_b=True):
+    benchmarks = [
+        BenchRecord(
+            name="bench_a", tier="quick", wall_clock_s=wall_a,
+            metrics={"fidelity": metric_a},
+        )
+    ]
+    if include_b:
+        benchmarks.append(
+            BenchRecord(name="bench_b", tier="quick", wall_clock_s=0.5)
+        )
+    return BenchDocument(
+        tier="quick", created_utc=stamp, environment={}, benchmarks=benchmarks
+    )
+
+
+@pytest.fixture()
+def history(tmp_path):
+    directory = tmp_path / "history"
+    append_history(directory, make_document("2026-08-01T10:00:00Z"))
+    append_history(directory, make_document("2026-08-02T10:00:00Z", wall_a=1.02))
+    return directory
+
+
+class TestHistoryHelper:
+    def test_filenames_sort_chronologically(self, history):
+        names = [name for name, _ in load_history(history)]
+        assert names == sorted(names)
+        assert names == [
+            "BENCH_20260801T100000Z.json",
+            "BENCH_20260802T100000Z.json",
+        ]
+
+    def test_same_second_snapshots_never_overwrite(self, tmp_path):
+        doc = make_document("2026-08-01T10:00:00Z")
+        first = append_history(tmp_path, doc)
+        second = append_history(tmp_path, doc)
+        assert first != second
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            first.name,
+            second.name,
+        ]
+
+    def test_missing_directory_is_a_trend_error(self, tmp_path):
+        with pytest.raises(TrendError, match="does not exist"):
+            load_history(tmp_path / "nope")
+
+
+class TestTrendReport:
+    def test_stable_history_passes_the_gate(self, history):
+        report = build_trend_report(history)
+        assert report.ok
+        assert report.verdict_line().startswith("drift gate: PASS")
+        assert DRIFT_MARKER not in report.to_markdown()
+
+    def test_single_snapshot_skips_the_gate(self, tmp_path):
+        directory = tmp_path / "one"
+        append_history(directory, make_document("2026-08-01T10:00:00Z"))
+        report = build_trend_report(directory)
+        assert "drift gate: skipped" in report.verdict_line()
+
+    def test_fidelity_drift_is_flagged(self, history):
+        current = make_document("2026-08-03T10:00:00Z", metric_a=6.0)
+        report = build_trend_report(history, current=current)
+        assert not report.ok
+        assert [t.name for t in report.drifted] == ["bench_a"]
+        assert DRIFT_MARKER in report.verdict_line()
+        assert "fidelity" in report.drifted[0].drift_detail
+
+    def test_wall_clock_regression_is_flagged(self, history):
+        current = make_document("2026-08-03T10:00:00Z", wall_a=2.0)
+        report = build_trend_report(history, current=current)
+        assert [t.name for t in report.drifted] == ["bench_a"]
+
+    def test_missing_benchmark_is_flagged(self, history):
+        current = make_document("2026-08-03T10:00:00Z", include_b=False)
+        report = build_trend_report(history, current=current)
+        assert [t.name for t in report.drifted] == ["bench_b"]
+
+    def test_trajectories_align_across_sparse_snapshots(self, tmp_path):
+        directory = tmp_path / "sparse"
+        append_history(
+            directory, make_document("2026-08-01T10:00:00Z", include_b=False)
+        )
+        append_history(directory, make_document("2026-08-02T10:00:00Z"))
+        report = build_trend_report(directory)
+        by_name = {t.name: t for t in report.trends}
+        assert by_name["bench_b"].wall_clock_s == [None, 0.5]
+        assert by_name["bench_a"].metrics["fidelity"] == [5.0, 5.0]
+
+    def test_markdown_has_sparklines_and_tables(self, history):
+        text = build_trend_report(history).to_markdown()
+        assert "## Wall clock" in text
+        assert "## Fidelity metrics" in text
+        assert any(level in text for level in "▁▂▃▄▅▆▇█")
+
+
+class TestTrendCli:
+    def test_cli_prints_grepable_verdict(self, history):
+        code, stdout, _ = invoke(["report", "trend", "--history", str(history)])
+        assert code == 0
+        assert "drift gate: PASS" in stdout
+
+    def test_fail_on_drift_exit_code(self, history, tmp_path):
+        current = make_document("2026-08-03T10:00:00Z", metric_a=9.0)
+        current_path = tmp_path / "current.json"
+        current.save(current_path)
+        code, stdout, _ = invoke(
+            ["report", "trend", "--history", str(history),
+             "--current", str(current_path), "--fail-on-drift"]
+        )
+        assert code == 1
+        assert DRIFT_MARKER in stdout
+        # Without the flag the same drift is reported but not fatal.
+        code, stdout, _ = invoke(
+            ["report", "trend", "--history", str(history),
+             "--current", str(current_path)]
+        )
+        assert code == 0
+        assert DRIFT_MARKER in stdout
+
+    def test_out_writes_bundle(self, history, tmp_path):
+        out = tmp_path / "bundle"
+        code, _, _ = invoke(
+            ["report", "trend", "--history", str(history), "--out", str(out)]
+        )
+        assert code == 0
+        assert (out / "trend.md").exists()
+        assert (out / "trend.json").exists()
+        assert (out / "spark_bench_a.svg").exists()
+
+    def test_missing_history_is_a_usage_error(self, tmp_path):
+        code, _, stderr = invoke(
+            ["report", "trend", "--history", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "does not exist" in stderr
+
+
+class TestCommittedHistory:
+    def test_repo_history_renders_and_passes(self):
+        """The committed benchmarks/history/ snapshots must stay coherent."""
+        import pathlib
+
+        history = (
+            pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "history"
+        )
+        snapshots = load_history(history)
+        assert len(snapshots) >= 2, (
+            "benchmarks/history/ needs at least two committed snapshots for "
+            "'repro report trend' to render a trajectory"
+        )
+        report = build_trend_report(history)
+        assert report.trends, "committed history renders no benchmarks"
+
+    def test_bench_run_history_flag_appends_snapshot(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "scratch"))
+        history = tmp_path / "history"
+        code, _, stderr = invoke(
+            ["bench", "run", "--only", "figure05_trfc_trend",
+             "--json", str(tmp_path / "bench.json"),
+             "--history", str(history), "--no-txt"]
+        )
+        assert code == 0, stderr
+        written = list(history.glob("BENCH_*.json"))
+        assert len(written) == 1
+        assert "history snapshot appended" in stderr
+        BenchDocument.load(written[0])  # schema-valid
+
+
+def test_write_trend_report_bundle_is_deterministic(history, tmp_path):
+    report = build_trend_report(history)
+    first = write_trend_report(report, tmp_path / "a")
+    second = write_trend_report(report, tmp_path / "b")
+    for one, two in zip(first, second):
+        assert one.read_bytes() == two.read_bytes()
