@@ -843,21 +843,34 @@ def _trace_overhead(context: BenchContext):
         trace=True, epoch_interval=max(1, context.cycles // 8)
     )
     simulator, on_result, on_s = run(traced)
+    tracer = simulator.memory.tracer
+    # Count SARP_CONFLICT records by the per-cycle count riding in their
+    # ``done`` slot: the event kernel coalesces the conflicts of a skipped
+    # span into one record, so the *raw* record count varies with how far
+    # each skip reaches while the weighted count is a deterministic
+    # simulation output, identical across kernels and skip batchings.
+    weighted = sum(
+        record.done if record.op == "SARP_CONFLICT" else 1
+        for record in tracer.records
+    )
     return {
         "off_s": min(off_times),
         "on_s": on_s,
         "identical": on_result.to_dict() == off_result.to_dict(),
-        "records": len(simulator.memory.tracer.records),
-        "dropped": simulator.memory.tracer.dropped,
+        "records": len(tracer.records),
+        "weighted_records": weighted,
+        "dropped": tracer.dropped,
         "epochs": len(simulator.epoch_samples),
     }
 
 
 def _trace_overhead_metrics(payload) -> dict:
-    # Record/epoch counts are deterministic simulation outputs: gate them.
+    # Weighted record/epoch counts are deterministic simulation outputs:
+    # gate them.  (The raw record count is not — see the weighting in
+    # ``_trace_overhead``.)
     return {
         "results_identical": 1.0 if payload["identical"] else 0.0,
-        "trace_records": float(payload["records"] + payload["dropped"]),
+        "trace_records": float(payload["weighted_records"] + payload["dropped"]),
         "epoch_samples": float(payload["epochs"]),
     }
 
@@ -1170,6 +1183,149 @@ register(
         checks=_kernel_speedup_checks,
         format=_kernel_speedup_format,
         artifact="kernel_speedup",
+        max_regression=0.5,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 8-core intensive hot path: event versus cycle kernel on the paper cells
+# ---------------------------------------------------------------------------
+#: Best-of-N paired runs per cell.  Each ``_timed_pair`` call times both
+#: kernels back to back, so the per-pair ratio is robust against slow
+#: machine-wide drift; taking the best pair filters transient load spikes.
+INTENSIVE_8CORE_REPS = 3
+
+#: Enforced event-kernel speedup floors at the full measured window.  The
+#: ceilings here are structural, not tuning slack: the event kernel must
+#: stay bit-identical to the reference, and on the 8-core intensive mixes
+#: most wall time is work both kernels share (command legality probes,
+#: queue maintenance, DRAM state updates).  DSARP is the extreme case —
+#: its idle-bank refresh draws consume RNG state every cycle, so the event
+#: kernel must replay every draw tick and can only skip the fully
+#: quiescent spans, capping its ratio near 2.5x on this machine (REFab,
+#: with no per-cycle randomness, reaches ~2.9x).  The floors below are the
+#: levels both cells clear with wide margin across noisy runs; the actual
+#: measured ratios are recorded in the run's timings and tracked by the
+#: trend history.
+INTENSIVE_8CORE_FLOORS = {"refab": 1.5, "dsarp": 1.3}
+
+
+def _intensive_8core_at(cycles: int, warmup: int, reps: int) -> dict:
+    rows = []
+    identical = True
+    for mechanism in ("refab", "dsarp"):
+        config = paper_system(
+            density_gb=DENSITY_GB, mechanism=mechanism, num_cores=8
+        )
+        workload = make_workload_category(100, index=0, num_cores=8)
+        best = None
+        for _ in range(reps):
+            cycle_s, event_s, same = _timed_pair(config, workload, cycles, warmup)
+            identical = identical and same
+            if best is None or cycle_s / event_s > best[0] / best[1]:
+                best = (cycle_s, event_s)
+        rows.append(
+            {
+                "mechanism": mechanism,
+                "cycle_s": best[0],
+                "event_s": best[1],
+                "speedup": best[0] / best[1],
+            }
+        )
+    return {
+        "cycles": cycles,
+        "warmup": warmup,
+        "reps": reps,
+        "rows": rows,
+        "identical": identical,
+    }
+
+
+def _intensive_8core(context: BenchContext):
+    """Event-vs-cycle kernel on the 8-core intensive REFab/DSARP cells."""
+    reps = INTENSIVE_8CORE_REPS if _full_window(context) else 1
+    return _intensive_8core_at(context.cycles, context.warmup, reps)
+
+
+def _intensive_8core_full(context: BenchContext):
+    """The 8-core hot-path gate at the paper's full measured window."""
+    return _intensive_8core_at(DEFAULT_CYCLES, DEFAULT_WARMUP, INTENSIVE_8CORE_REPS)
+
+
+def _intensive_8core_metrics(payload) -> dict:
+    return {"results_identical": 1.0 if payload["identical"] else 0.0}
+
+
+def _intensive_8core_timings(payload) -> dict:
+    timings = {}
+    for row in payload["rows"]:
+        timings[f"{row['mechanism']}_cycle_s"] = row["cycle_s"]
+        timings[f"{row['mechanism']}_event_s"] = row["event_s"]
+        timings[f"{row['mechanism']}_speedup"] = row["speedup"]
+    return timings
+
+
+def _intensive_8core_checks(payload, context: BenchContext) -> None:
+    assert payload["identical"], "event and cycle kernels diverged"
+    # Like the kernel_speedup gate, the speedup floors only hold at the
+    # paper's full window — a reduced REPRO_CYCLES window is dominated by
+    # warmup transients with few skippable idle stretches.
+    if payload["cycles"] >= DEFAULT_CYCLES:
+        for row in payload["rows"]:
+            floor = INTENSIVE_8CORE_FLOORS[row["mechanism"]]
+            assert row["speedup"] >= floor, (
+                f"8-core intensive {row['mechanism']}: expected >= {floor}x "
+                f"event-kernel speedup, got {row['speedup']:.2f}x"
+            )
+
+
+def _intensive_8core_format(payload) -> str:
+    lines = [
+        f"Event-kernel speedup on the 8-core intensive cells "
+        f"({DENSITY_GB} Gb, {payload['cycles']} + {payload['warmup']} warmup "
+        f"cycles, best of {payload['reps']} paired runs; results verified "
+        f"bit-identical per run)",
+    ]
+    for row in payload["rows"]:
+        floor = INTENSIVE_8CORE_FLOORS[row["mechanism"]]
+        lines.append(
+            f"  8-core intensive {row['mechanism']:6s}: "
+            f"cycle {row['cycle_s']:6.2f} s -> event {row['event_s']:6.2f} s  "
+            f"({row['speedup']:4.2f}x, floor {floor}x)"
+        )
+    lines.append(
+        "  DSARP's ratio is capped by its per-cycle refresh draws (the event"
+    )
+    lines.append(
+        "  kernel replays them for bit-identity); see README 'Hot path'."
+    )
+    return "\n".join(lines)
+
+
+register(
+    BenchSpec(
+        name="intensive_8core",
+        target=_intensive_8core,
+        metrics=_intensive_8core_metrics,
+        timings=_intensive_8core_timings,
+        checks=_intensive_8core_checks,
+        format=_intensive_8core_format,
+        # Paired-kernel wall time; the ratio in timings is the signal.
+        max_regression=0.5,
+    )
+)
+
+register(
+    BenchSpec(
+        name="intensive_8core_full",
+        target=_intensive_8core_full,
+        tier="full",
+        metrics=_intensive_8core_metrics,
+        timings=_intensive_8core_timings,
+        checks=_intensive_8core_checks,
+        format=_intensive_8core_format,
+        artifact="intensive_8core",
         max_regression=0.5,
     )
 )

@@ -1,0 +1,84 @@
+"""Calendar queue of controller wake-up cycles for the event kernel.
+
+The event kernel's whole-system skip asks, on every provably idle cycle,
+"when can any channel controller act again?".  Answering by re-deriving
+each controller's horizon per query costs a scan that grows with channel
+count and runs on the hottest idle path.  The calendar inverts the
+direction: controllers *post* their wake-up cycle whenever it changes (a
+window install, an issue, a queue mutation), and the query side reads the
+earliest live posting in amortized O(1).
+
+The structure is a calendar keyed by absolute wake-up cycle with lazy
+invalidation: each slot (controller) has at most one *live* posting; a
+min-heap orders all postings ever made, and superseded entries are
+discarded when they surface at the heap head.  A slot that cannot promise
+any horizon — draw mode, a deferred enqueue batch, an uncached window —
+*pins* the calendar instead, which clamps every query to ``now + 1``
+(step one cycle; never skip).  Pinning is also the universal safe
+fallback: a query that finds a live posting in the past returns
+``now + 1`` rather than trusting it, so a stale posting can cost a wasted
+step but never an unsound skip.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Optional
+
+
+class WakeCalendar:
+    """Earliest-wake-cycle calendar over a fixed set of slots.
+
+    ``post(slot, cycle)`` records that the slot cannot act before
+    ``cycle`` (``None``: no self-scheduled event at all); ``pin(slot)``
+    withdraws any such promise until the next post.  ``earliest(now)``
+    returns the soonest cycle any slot may act, ``None`` when no slot has
+    one, or ``now + 1`` when a pin (or a defensive fallback) forbids
+    skipping.
+    """
+
+    __slots__ = ("_posted", "_pins", "_heap")
+
+    def __init__(self, slots: int):
+        #: Per-slot live posting: the wake cycle, or None (no event /
+        #: pinned — disambiguated by membership in ``_pins``).
+        self._posted: list[Optional[int]] = [None] * slots
+        #: Slots currently refusing to promise a horizon.  All slots
+        #: start pinned: nothing is known before the first install.
+        self._pins = set(range(slots))
+        #: Min-heap of (cycle, slot) postings; entries whose cycle no
+        #: longer matches the slot's live posting are stale and dropped
+        #: lazily at the head.
+        self._heap: list[tuple[int, int]] = []
+
+    def post(self, slot: int, cycle: Optional[int]) -> None:
+        """Record the slot's current wake cycle, superseding prior posts."""
+        self._pins.discard(slot)
+        if self._posted[slot] == cycle:
+            return
+        self._posted[slot] = cycle
+        if cycle is not None:
+            heappush(self._heap, (cycle, slot))
+
+    def pin(self, slot: int) -> None:
+        """Withdraw the slot's promise: queries step one cycle at a time."""
+        self._pins.add(slot)
+
+    def earliest(self, now: int) -> Optional[int]:
+        """Earliest cycle any slot may act after ``now`` (None: no event)."""
+        if self._pins:
+            return now + 1
+        heap = self._heap
+        posted = self._posted
+        while heap:
+            cycle, slot = heap[0]
+            if posted[slot] != cycle:
+                heappop(heap)
+                continue
+            if cycle <= now:
+                # A live posting in the past should be impossible (every
+                # posting is refreshed by the tick that precedes a
+                # query); never skip on one.
+                return now + 1
+            return cycle
+        return None

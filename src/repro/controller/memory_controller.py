@@ -15,12 +15,14 @@ from typing import Optional
 
 import repro.obs.profile as obs_profile
 from repro.config.system import SystemConfig
+from repro.controller.calendar import WakeCalendar
 from repro.controller.policies import create_scheduler
+from repro.controller.policies.frfcfs import WIN_ACT, WIN_COL
 from repro.controller.queues import RequestQueues
 from repro.controller.request import MemRequest
 from repro.controller.write_drain import WriteDrainState
 from repro.dram.address import AddressMapper
-from repro.dram.commands import Command
+from repro.dram.commands import Command, CommandType
 from repro.dram.device import DRAMDevice
 from repro.stats import StatsSchema, StatsStruct, WeightedAverage, register_schema
 
@@ -125,15 +127,45 @@ class ChannelController:
         #: "no self-scheduled event at all"; 0 means "not cached".
         self._sleep_until: Optional[int] = 0
         self._sleep_queue_version = -1
-        #: Whether the policy overrides the per-cycle replay hook (only
-        #: DARP does); lets the fast path skip a no-op method call.
-        #: Imported lazily to keep the substrate importable without the
-        #: policy layer (mirrors the factory import in MemorySystem).
-        from repro.core.base import RefreshPolicy
-
-        self._policy_replays = (
-            type(self.refresh_policy).skip_cycles is not RefreshPolicy.skip_cycles
-        )
+        #: When the frozen window expires exactly at a *demand* ready cycle
+        #: — strictly before every policy/refresh deadline it is clamped by
+        #: — the expiry tick is a fast issue: ``select``'s outcome is the
+        #: first schedule entry whose ready cycle has passed, so the full
+        #: pre-demand/FR-FCFS/post-demand scan is skipped.  ``None`` means
+        #: the window expiry needs a reference tick.
+        self._demand_wake: Optional[int] = None
+        #: Refresh-walk state cached across incremental installs (policy
+        #: state and untouched-bank deadlines are frozen over a licensed
+        #: span): candidate banks per rank, the per-bank deadline minima,
+        #: and the rank-level refresh-occupancy minimum.
+        self._walk_banks: list = []
+        self._walk_map: dict = {}
+        self._walk_rank_min: Optional[int] = None
+        #: Policy schedule cached across incremental installs: the license
+        #: keeps every wake strictly below the policy's next event, so the
+        #: value computed at the last full install is still exact.
+        self._policy_event: Optional[int] = None
+        #: In-window enqueues are *deferred*: the touched bank keys are
+        #: batched here and folded into the window in one incremental
+        #: install at the top of the next tick (the very next cycle — the
+        #: skip horizon is pinned while a batch is pending), so a burst of
+        #: same-cycle enqueues re-evaluates the window once, not per core.
+        self._dirty_keys: Optional[list] = None
+        self._dirty_version = -1
+        #: Wake calendar shared across the memory system (bound by
+        #: :class:`MemorySystem`); every event tick ends by posting this
+        #: controller's wake-up cycle so :meth:`MemorySystem
+        #: .next_skip_event` answers in O(1) instead of rescanning.
+        self.calendar = None
+        #: While True, window cycles are *draw ticks*: the refresh policy
+        #: consumes randomness (and may issue) every cycle, so the fast
+        #: path must call its real ``post_demand`` instead of skipping it.
+        self._draw_mode = False
+        #: Which hook issued the last tick's command ("pre" / "demand" /
+        #: "post" / None); pre-demand issues block window installation
+        #: because ``pre_demand`` may act again next cycle ungated (its
+        #: early return leaves later options untried this cycle).
+        self._issue_source: Optional[str] = None
 
     # -- request intake -----------------------------------------------------
     def can_accept(self, is_write: bool) -> bool:
@@ -143,11 +175,69 @@ class ChannelController:
 
     def enqueue(self, request: MemRequest) -> bool:
         """Enqueue a request; returns False (and drops it) if the queue is full."""
-        if not self.queues.can_accept(request):
+        queues = self.queues
+        if not queues.can_accept(request):
             self.stats.rejected_enqueues += 1
             return False
-        self.queues.enqueue(request)
+        version = queues.version
+        live = self._sleep_until != 0 and (
+            version == self._sleep_queue_version
+            or (self._dirty_keys is not None and version == self._dirty_version)
+        )
+        queues.enqueue(request)
+        if self.calendar is not None:
+            # The cached wake no longer covers the new request; forbid
+            # whole-system skips until the next tick re-posts.
+            self.calendar.pin(self.channel_id)
+        if live:
+            self._enqueue_update(request)
+        else:
+            self._dirty_keys = None
         return True
+
+    def _enqueue_update(self, request: MemRequest) -> None:
+        """Fold an in-window enqueue into the frozen window incrementally.
+
+        An enqueue only touches one bank's demand queue; for policies that
+        certify enqueues cannot *add* pre-demand options
+        (:meth:`RefreshPolicy.enqueue_preserves_window` — demand arriving
+        can only make banks non-idle, removing refresh opportunities), the
+        rest of the frozen-window proof still holds, so the new request is
+        spliced into the persistent candidate set and the window
+        re-evaluated in place of the reference tick the version mismatch
+        would otherwise force.  Two extra guards mirror the post-issue
+        install: the write-drain state must remain at a fixed point with
+        the new occupancy, and the policy must not be per-cycle stateful.
+        Declining is always sound — the version mismatch then falls back
+        to a full reference tick.
+
+        The splice itself is *deferred*: the bank key joins
+        :attr:`_dirty_keys` and the batch is drained in one incremental
+        install at the top of the next tick, which is always the very
+        next cycle (cores only enqueue on cycles they are active, and
+        :meth:`skip_horizon` pins the horizon while a batch is pending),
+        so same-cycle enqueues from several cores cost one window
+        evaluation instead of one each.
+        """
+        policy = self.refresh_policy
+        if not policy.enqueue_preserves_window():
+            self._dirty_keys = None
+            return
+        occupancy = self.queues.write_count
+        cfg = self.config.controller
+        if self.drain.in_drain:
+            if occupancy <= cfg.write_low_watermark:
+                self._dirty_keys = None
+                return
+        elif occupancy >= cfg.write_high_watermark:
+            self._dirty_keys = None
+            return
+        keys = self._dirty_keys
+        if keys is None:
+            self._dirty_keys = [request.bank_key]
+        else:
+            keys.append(request.bank_key)
+        self._dirty_version = self.queues.version
 
     # -- state queries used by refresh policies ------------------------------
     @property
@@ -169,12 +259,14 @@ class ChannelController:
 
         command = self.refresh_policy.pre_demand(cycle)
         if command is not None:
+            self._issue_source = "pre"
             self._issue(command, cycle)
             return completed
 
         selection = self.scheduler.select(cycle)
         if selection is not None:
             command, request = selection
+            self._issue_source = "demand"
             done = self._issue(command, cycle)
             if command.kind.is_column and request is not None:
                 self._retire_request(request, done)
@@ -182,8 +274,10 @@ class ChannelController:
 
         command = self.refresh_policy.post_demand(cycle)
         if command is not None:
+            self._issue_source = "post"
             self._issue(command, cycle)
             return completed
+        self._issue_source = None
         self.last_tick_issued = False
         return completed
 
@@ -226,109 +320,366 @@ class ChannelController:
     def tick_event(self, cycle: int) -> list[MemRequest]:
         """Event-kernel tick: identical behaviour to :meth:`tick`, faster.
 
-        After a tick that issued nothing, scheduling is a pure function of
-        the cycle number until either the channel's next timing event or a
-        queue mutation.  While that holds, this fast path skips the whole
-        pre-demand / FR-FCFS / post-demand scan and replays only the
-        per-cycle side effects the full tick would have produced (data
-        arrivals, the writeback-mode cycle counter, re-recorded SARP
-        conflicts, DARP's random draws).  :meth:`tick` itself is left
+        While a frozen *sleep window* holds, scheduling is a pure function
+        of the cycle number: the fast path skips the whole pre-demand /
+        FR-FCFS / post-demand scan and replays only the per-cycle side
+        effects the full tick would have produced (data arrivals, the
+        writeback-mode cycle counter, re-recorded SARP conflicts); in draw
+        mode it additionally runs the refresh policy's real randomized
+        draw each cycle.  A window is installed after *every* full tick —
+        including issuing ones, where the scheduler's exact
+        :meth:`~repro.controller.policies.frfcfs.FRFCFSScheduler.demand_window`
+        proves readiness from the post-issue deadlines — unless a guard in
+        :meth:`_install_window` forbids it.  :meth:`tick` itself is left
         untouched so the cycle kernel remains an independent reference for
         the differential suite.
         """
-        sleep_until = self._sleep_until
-        if (
-            sleep_until is None or cycle < sleep_until
-        ) and self.queues.version == self._sleep_queue_version:
-            pending = self._pending_reads
-            completed = (
-                self._pop_completed_reads(cycle)
-                if pending and pending[0][0] <= cycle
-                else []
-            )
-            drain = self.drain
-            if drain.in_drain:
-                drain.skip_cycles(self.queues.write_count, 1)
-            conflicts = self.scheduler.last_conflicts
-            if conflicts:
-                for command in conflicts:
-                    self.device.record_subarray_conflict(command)
-            if self._policy_replays:
-                self.refresh_policy.skip_cycles(1)
-            self.last_tick_issued = False
-            return completed
+        keys = self._dirty_keys
+        if keys is not None:
+            # Drain the deferred enqueue batch: one incremental install
+            # covers every enqueue since the last tick (always last
+            # cycle's — the skip horizon is pinned while a batch waits),
+            # re-synchronising the window with the queue version.
+            self._dirty_keys = None
+            if self.queues.version == self._dirty_version:
+                self._compute_window(cycle - 1, dirty=keys)
+        if self.queues.version == self._sleep_queue_version:
+            sleep_until = self._sleep_until
+            if sleep_until is None or cycle < sleep_until:
+                if self._draw_mode:
+                    return self._draw_tick(cycle)
+                pending = self._pending_reads
+                completed = (
+                    self._pop_completed_reads(cycle)
+                    if pending and pending[0][0] <= cycle
+                    else []
+                )
+                drain = self.drain
+                if drain.in_drain:
+                    drain.skip_cycles(self.queues.write_count, 1)
+                conflicts = self.scheduler.last_conflicts
+                if conflicts:
+                    for command in conflicts:
+                        self.device.record_subarray_conflict(command)
+                self.last_tick_issued = False
+                self._post_wake()
+                return completed
+            if cycle == self._demand_wake:
+                return self._fast_issue_tick(cycle)
         completed = self.tick(cycle)
-        if self.last_tick_issued:
-            self._sleep_until = 0
-        else:
-            self._sleep_until = self._local_next_event(cycle)
-            self._sleep_queue_version = self.queues.version
+        self._install_window(cycle)
+        self._post_wake()
         return completed
 
-    def _local_next_event(self, now: int) -> Optional[int]:
-        """Profiling wrapper around :meth:`_scan_local_next_event`.
+    def _post_wake(self) -> None:
+        """Post this controller's wake-up cycle to the shared calendar.
 
-        The horizon scan is one of the event kernel's candidate hot spots;
-        when span profiling is on it shows up as ``controller.horizon_scan``
-        in the ``repro profile`` table.  With profiling off the wrapper is
-        a single module-attribute load plus an identity check.
+        Runs at the end of every event tick, so the calendar is always
+        fresh when the kernel queries it (queries only happen on cycles
+        where every tick was a no-op).  A controller that cannot promise
+        a horizon — draw mode, a pending enqueue batch, an uncached
+        window — pins the calendar instead, forcing single-cycle steps.
         """
+        calendar = self.calendar
+        if calendar is None:
+            return
+        if (
+            self._draw_mode
+            or self._sleep_until == 0
+            or self._dirty_keys is not None
+            or self.queues.version != self._sleep_queue_version
+        ):
+            calendar.pin(self.channel_id)
+            return
+        wake = self._sleep_until
+        pending = self._pending_reads
+        if pending:
+            arrival = pending[0][0]
+            if wake is None or arrival < wake:
+                wake = arrival
+        calendar.post(self.channel_id, wake)
+
+    def _fast_issue_tick(self, cycle: int) -> list[MemRequest]:
+        """Window expiry at a licensed demand-ready cycle: issue directly.
+
+        The frozen window proved every scheduling hook idle through the
+        window, the expiry cycle is strictly earlier than every policy /
+        refresh-walk / conflict-expiry deadline, and the queues kept their
+        version — so at this cycle ``pre_demand`` is still a no-op and
+        ``select``'s outcome is fully determined by the stashed schedule:
+        the first candidate (in probe order) whose exact ready cycle has
+        passed issues, and the failing conflicting activates probed before
+        it record their subarray conflicts.  Replaying that outcome from
+        :attr:`~repro.controller.policies.base.SchedulerPolicy
+        .window_schedule` skips the whole pre-demand / FR-FCFS /
+        post-demand scan (``post_demand`` never runs on an issuing tick in
+        the reference kernel, so no randomness is consumed even in draw
+        mode).
+        """
+        scheduler = self.scheduler
+        winner_pos = -1
+        for pos, ready in enumerate(scheduler.window_ready):
+            if ready <= cycle:
+                winner_pos = pos
+                break
+        if winner_pos < 0:
+            # Defensive: the license guarantees a ready candidate, but a
+            # reference tick is always sound.
+            completed = self.tick(cycle)
+            self._install_window(cycle)
+            return completed
+        completed = self._pop_completed_reads(cycle)
+        self.drain.update(self.queues.write_count, self.queues.read_count)
+        conflicts: list[Command] = []
+        for pos, expiry, conflict in scheduler.window_conflicts:
+            if pos < winner_pos and expiry > cycle:
+                self.device.record_subarray_conflict(conflict)
+                conflicts.append(conflict)
+        scheduler.last_conflicts = conflicts
+        entry = scheduler.window_schedule[winner_pos]
+        req = entry[2]
+        kind = entry[3]
+        rank_i = entry[6]
+        bank_i = entry[7]
+        if kind == WIN_COL:
+            command = scheduler._column_command(req, scheduler.window_writes)
+        elif kind == WIN_ACT:
+            command = Command(
+                kind=CommandType.ACT,
+                channel=self.channel_id,
+                rank=rank_i,
+                bank=bank_i,
+                row=req.row,
+                request=req,
+            )
+        else:
+            command = Command(
+                kind=CommandType.PRE,
+                channel=self.channel_id,
+                rank=rank_i,
+                bank=bank_i,
+            )
+        scheduler.note_issue(command)
+        self._issue_source = "demand"
+        self.last_tick_issued = True
+        done = self._issue(command, cycle)
+        if kind == WIN_COL:
+            self._retire_request(req, done)
+        self._install_window(cycle, dirty=((rank_i, bank_i),))
+        self._post_wake()
+        return completed
+
+    def _draw_tick(self, cycle: int) -> list[MemRequest]:
+        """Window cycle for a policy that draws randomness every idle cycle.
+
+        The window proves pre-demand and demand scheduling are no-ops, but
+        DARP's ``post_demand`` still draws a random pool bank per rank and
+        may issue a refresh; running the real hook keeps the RNG stream —
+        and any resulting issue — bit-identical to the reference kernel.
+        An issue ends the frozen span exactly like a full issuing tick.
+        """
+        pending = self._pending_reads
+        completed = (
+            self._pop_completed_reads(cycle)
+            if pending and pending[0][0] <= cycle
+            else []
+        )
+        drain = self.drain
+        if drain.in_drain:
+            drain.skip_cycles(self.queues.write_count, 1)
+        conflicts = self.scheduler.last_conflicts
+        if conflicts:
+            for command in conflicts:
+                self.device.record_subarray_conflict(command)
+        command = self.refresh_policy.post_demand(cycle)
+        if command is not None:
+            self._issue_source = "post"
+            self._issue(command, cycle)
+            self.last_tick_issued = True
+            self._install_window(cycle)
+            self._post_wake()
+        else:
+            self.last_tick_issued = False
+        return completed
+
+    def _install_window(self, cycle: int, dirty=None) -> None:
+        """Cache the frozen sleep window opening at ``cycle``.
+
+        After a *no-op* tick every window is sound: the tick itself proved
+        all scheduling hooks idle, and they stay idle until a watched
+        deadline passes.  After an *issuing* tick three extra guards
+        apply, each covering a way the issue could enable an action at
+        ``cycle + 1`` that no deadline gates:
+
+        * the policy must opt in (:attr:`RefreshPolicy
+          .supports_post_issue_freeze`) — per-cycle-stateful policies need
+          the reference tick;
+        * a pre-demand issue always voids the window: ``pre_demand``
+          returned early, so untried options (another forced bank, a
+          precharge) may be legal immediately;
+        * the write-drain state must be at a fixed point — a retired write
+          can put occupancy past a watermark, flipping writeback mode on
+          the very next ``update``.
+        """
+        if self.last_tick_issued:
+            if (
+                self._issue_source == "pre"
+                or not self.refresh_policy.supports_post_issue_freeze
+            ):
+                self._sleep_until = 0
+                self._demand_wake = None
+                return
+            occupancy = self.queues.write_count
+            cfg = self.config.controller
+            if self.drain.in_drain:
+                if occupancy <= cfg.write_low_watermark:
+                    self._sleep_until = 0
+                    self._demand_wake = None
+                    return
+            elif occupancy >= cfg.write_high_watermark:
+                self._sleep_until = 0
+                self._demand_wake = None
+                return
         profiler = obs_profile.ACTIVE
         if profiler is None:
-            return self._scan_local_next_event(now)
+            self._compute_window(cycle, dirty)
+            return
         start = perf_counter()
         try:
-            return self._scan_local_next_event(now)
+            self._compute_window(cycle, dirty)
         finally:
             profiler.add("controller.horizon_scan", perf_counter() - start)
 
-    def _scan_local_next_event(self, now: int) -> Optional[int]:
+    def _compute_window(self, now: int, dirty=None) -> None:
         """Earliest cycle after ``now`` at which this channel's scheduling
         outcome can change without a queue mutation (``None``: never).
 
         Combines the three sources of self-scheduled change: the refresh
-        policy's own schedule, the demand-side horizon the FR-FCFS
-        scheduler derives from its frozen candidate set, and the timing
-        state of banks the policy is currently trying to refresh (their
-        activity windows, refresh completions, and — for open banks — the
-        precharge that must clear them first).
+        policy's own schedule, the exact demand window the scheduler
+        derives from its frozen candidate set (including the SARP conflict
+        set to replay each window cycle), and the timing state of banks
+        the policy is currently trying to refresh (their activity windows,
+        refresh completions, and — for open banks — the precharge that
+        must clear them first).
         """
-        candidates = []
         policy = self.refresh_policy
-        policy_event = policy.next_event_cycle(now)
-        if policy_event is not None and policy_event > now:
-            if policy_event == now + 1:
-                # Nothing can be earlier; skip the horizon scan entirely
-                # (DARP returns this whenever a random draw could issue).
-                return policy_event
-            candidates.append(policy_event)
+        if dirty is None:
+            policy_event = policy.next_scheduled_event(now)
+            if policy_event is not None and policy_event <= now:
+                policy_event = None
+            self._policy_event = policy_event
+        else:
+            # The license placed every wake strictly before the policy's
+            # next event, so the value cached at the last full install is
+            # still exact (and still strictly in the future).
+            policy_event = self._policy_event
 
-        scheduler_event = self.scheduler.next_event_cycle(now)
-        if scheduler_event is not None:
-            candidates.append(scheduler_event)
+        demand_event, conflicts = self.scheduler.demand_window(now, dirty)
 
         # Refresh candidates need their bank free of activity (t_act,
         # refresh markers) or a precharge first (t_pre); column deadlines
         # can never gate a refresh.  Rank-level refresh occupancy gates
-        # the legality of further refreshes in the rank.
+        # the legality of further refreshes in the rank.  The candidate
+        # lists — and every deadline of an *untouched* bank — are frozen
+        # across a licensed fast issue or in-window enqueue (``dirty``
+        # set): the license puts the wake strictly before every walked
+        # deadline, so none can have passed.  Incremental installs
+        # therefore refresh only the dirty bank's slot in the cached
+        # per-bank walk minima instead of re-walking every bank.
         channel = self.device.channels[self.channel_id]
-        for rank_index, rank in enumerate(channel.ranks):
-            refresh_banks = policy.refresh_candidate_banks(rank_index)
-            if not refresh_banks:
-                continue
-            if rank.refab_until > now:
-                candidates.append(rank.refab_until)
-            if rank.pb_refresh_until > now:
-                candidates.append(rank.pb_refresh_until)
-            for bank_index in refresh_banks:
-                bank = rank.banks[bank_index]
+        ranks = channel.ranks
+        if dirty is None:
+            walk_banks = [
+                policy.refresh_candidate_banks(rank_index)
+                for rank_index in range(len(ranks))
+            ]
+            self._walk_banks = walk_banks
+            walk_map: dict = {}
+            rank_vals = []
+            for rank_index, rank in enumerate(ranks):
+                refresh_banks = walk_banks[rank_index]
+                if not refresh_banks:
+                    continue
+                if rank.refab_until > now:
+                    rank_vals.append(rank.refab_until)
+                if rank.pb_refresh_until > now:
+                    rank_vals.append(rank.pb_refresh_until)
+                banks = rank.banks
+                for bank_index in refresh_banks:
+                    bank = banks[bank_index]
+                    slot = None
+                    if bank.t_act > now:
+                        slot = bank.t_act
+                    until = bank.refresh_until
+                    if until > now and (slot is None or until < slot):
+                        slot = until
+                    if bank.open_row is not None:
+                        t_pre = bank.t_pre
+                        if t_pre > now and (slot is None or t_pre < slot):
+                            slot = t_pre
+                    if slot is not None:
+                        walk_map[(rank_index, bank_index)] = slot
+            self._walk_map = walk_map
+            self._walk_rank_min = min(rank_vals) if rank_vals else None
+        else:
+            walk_map = self._walk_map
+            for key in dirty:
+                rank_index, bank_index = key
+                if bank_index not in self._walk_banks[rank_index]:
+                    continue
+                bank = ranks[rank_index].banks[bank_index]
+                slot = None
                 if bank.t_act > now:
-                    candidates.append(bank.t_act)
-                if bank.refresh_until > now:
-                    candidates.append(bank.refresh_until)
-                if bank.open_row is not None and bank.t_pre > now:
-                    candidates.append(bank.t_pre)
-        return min(candidates) if candidates else None
+                    slot = bank.t_act
+                until = bank.refresh_until
+                if until > now and (slot is None or until < slot):
+                    slot = until
+                if bank.open_row is not None:
+                    t_pre = bank.t_pre
+                    if t_pre > now and (slot is None or t_pre < slot):
+                        slot = t_pre
+                if slot is not None:
+                    walk_map[key] = slot
+                else:
+                    walk_map.pop(key, None)
+        other_min = policy_event
+        if walk_map:
+            walk_min = min(walk_map.values())
+            if other_min is None or walk_min < other_min:
+                other_min = walk_min
+        rank_min = self._walk_rank_min
+        if rank_min is not None and (other_min is None or rank_min < other_min):
+            other_min = rank_min
+
+        # Fast-issue license: when the window expires at the demand
+        # horizon *strictly before* every policy/refresh deadline and
+        # every recorded conflict's expiry, the expiry tick's outcome is
+        # fully determined by the stashed schedule (pre-demand provably
+        # still idle, conflict replay set unchanged) — provided the policy
+        # tolerates post-issue freezing, since the fast issue installs the
+        # next window without a reference tick.
+        wake = None
+        sleep_until = other_min
+        if demand_event is not None:
+            if sleep_until is None or demand_event < sleep_until:
+                sleep_until = demand_event
+            scheduler = self.scheduler
+            expiry = scheduler.window_conflict_expiry
+            if (
+                policy.supports_post_issue_freeze
+                and scheduler.window_demand_ready is not None
+                and (expiry is None or demand_event < expiry)
+                and (other_min is None or demand_event < other_min)
+            ):
+                wake = demand_event
+        self._demand_wake = wake
+        self._sleep_until = sleep_until
+        self._sleep_queue_version = self.queues.version
+        self._draw_mode = policy.wants_draw_ticks()
+        # The window's conflict set is exactly what a no-op ``select``
+        # would record on each window cycle; the fast path and
+        # ``skip_idle_cycles`` replay it from here.
+        self.scheduler.last_conflicts = conflicts
 
     def next_event_cycle(self, now: int) -> Optional[int]:
         """Earliest cycle after ``now`` at which this controller's observable
@@ -378,6 +729,17 @@ class ChannelController:
         This is the public accessor :meth:`MemorySystem.next_skip_event`
         aggregates; ``None`` means "no self-scheduled event at all".
         """
+        if self._draw_mode:
+            # Every window cycle consumes randomness (and may issue), so
+            # whole-system skipping is off: the kernel must step cycle by
+            # cycle through the (cheap) draw ticks.
+            return now + 1
+        if self._dirty_keys is not None:
+            # A deferred enqueue batch is waiting to be folded in at the
+            # next tick; the cached horizon does not cover the new
+            # request, so pin the skip there.  (Other queue mutations are
+            # covered by the calendar pin :meth:`enqueue` posts.)
+            return now + 1
         candidates = []
         if self._pending_reads:
             arrival = self._pending_reads[0][0]
@@ -421,6 +783,12 @@ class MemorySystem:
         ]
         #: True when the most recent :meth:`tick` issued any DRAM command.
         self.last_tick_issued = False
+        #: Calendar of controller wake-up cycles: controllers post into it
+        #: at the end of every event tick, and :meth:`next_skip_event`
+        #: reads the earliest live posting in O(1).
+        self.calendar = WakeCalendar(len(self.controllers))
+        for controller in self.controllers:
+            controller.calendar = self.calendar
 
     # -- processor-side interface ------------------------------------------------
     def controller_for(self, address: int) -> ChannelController:
@@ -499,10 +867,22 @@ class MemorySystem:
         """Cheap skip horizon for the event kernel.
 
         Only valid immediately after a :meth:`tick_event` in which no
-        controller issued a command: every controller then holds a fresh
-        (or still-valid) local horizon, so the earliest memory event is
-        the minimum of those horizons and the next pending read arrival —
-        no device rescan required.
+        controller issued a command: every controller then has posted a
+        fresh wake-up cycle into the shared :class:`WakeCalendar`, so the
+        earliest memory event is the calendar's earliest live posting —
+        an O(1) read instead of a per-controller rescan.  The scan-based
+        :meth:`ChannelController.skip_horizon` remains as the reference
+        the differential suite checks the calendar against.
+        """
+        return self.calendar.earliest(now)
+
+    def scan_skip_event(self, now: int) -> Optional[int]:
+        """Reference skip horizon: per-controller scan (no calendar).
+
+        Kept as the slow-but-obviously-correct counterpart of
+        :meth:`next_skip_event` for differential tests; the calendar may
+        legally be *tighter* pinned (return ``now + 1``) but must never
+        promise a later cycle than this scan allows.
         """
         candidates = []
         for controller in self.controllers:

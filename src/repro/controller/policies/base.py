@@ -61,6 +61,44 @@ class SchedulerPolicy(abc.ABC):
         #: skipped cycle (the candidate set and refresh state are frozen, so
         #: each skipped cycle would have recorded the identical conflicts).
         self.last_conflicts: list[Command] = []
+        #: Frozen-window analysis stashed by ``demand_window`` (schedulers
+        #: that implement it): the candidate schedule in exact probe order
+        #: as ``(ready, kind, request)`` tuples, the conflicts with their
+        #: probe position and expiry, the queue map in force, and the raw
+        #: ready/expiry minima.  The controller's fast-issue path replays
+        #: ``select``'s outcome from these without re-probing the device.
+        self.window_schedule: list = []
+        self.window_ready: list = []
+        self.window_conflicts: list = []
+        self.window_writes: bool = False
+        self.window_demand_ready: Optional[int] = None
+        self.window_conflict_expiry: Optional[int] = None
+        #: Per-bank memo of the frozen-window classification, keyed by
+        #: bank key; each slot holds ``(queue_version, bank_stamp, writes,
+        #: value)`` so only banks touched since the previous window are
+        #: re-analyzed.
+        self._window_memo: dict = {}
+        #: Persistent frozen candidate set in exact probe order (the hit
+        #: and row segments, each sorted by age), the per-bank index into
+        #: it, the queue map it was built from, and whether it is exact
+        #: (untruncated — splicing requires it).  Maintained by
+        #: ``_rebuild_entries`` / ``_splice_entry`` on schedulers that
+        #: implement ``demand_window``.
+        self._win_hits: list = []
+        self._win_rows: list = []
+        self._win_by_bank: dict = {}
+        self._win_writes_key: Optional[bool] = None
+        self._win_exact: bool = False
+
+    def note_issue(self, command: Command) -> None:
+        """Bookkeeping hook for every demand command this scheduler issues.
+
+        Called by :meth:`select` (via its implementations) and by the
+        controller's fast-issue path, so scheduler-internal per-issue state
+        (e.g. the capped variant's row-hit streaks) stays identical no
+        matter which path issued the command.  The base policy keeps no
+        such state.
+        """
 
     # -- per-cycle scheduling -------------------------------------------------
     @abc.abstractmethod

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.controller.policies.base import register_scheduler
-from repro.controller.policies.frfcfs import FRFCFSScheduler
+from repro.controller.policies.frfcfs import WIN_ACT, WIN_COL, WIN_PRE, FRFCFSScheduler
 from repro.controller.request import MemRequest
 from repro.dram.commands import Command, CommandType
 
@@ -91,6 +91,49 @@ class FCFSScheduler(FRFCFSScheduler):
                     device.record_subarray_conflict(command)
                     self.last_conflicts.append(command)
         return None
+
+    # -- exact demand window (cycle-skipping kernel) -----------------------------
+    combined_window = True
+
+    def _classify_bank(self, bank_key, queue, bank, writes: bool):
+        """FCFS classification: the head request alone decides the class."""
+        rank_i, bank_i = bank_key
+        device = self.controller.device
+        req = queue[0]
+        open_row = bank.open_row
+        if open_row == req.row:
+            return (
+                req.arrival_cycle, req.request_id, req,
+                WIN_COL, False, None, rank_i, bank_i,
+                bank.t_wr if writes else bank.t_rd, 0,
+            )
+        if open_row is not None:
+            ready = bank.t_pre
+            if not device.sarp_enabled and bank.refresh_until > ready:
+                ready = bank.refresh_until
+            return (
+                req.arrival_cycle, req.request_id, req,
+                WIN_PRE, False, None, rank_i, bank_i, ready, 0,
+            )
+        sub = bank.refreshing_subarray
+        match = sub is not None and sub == bank.subarray_of(req.row)
+        command = None
+        if match:
+            command = Command(
+                kind=CommandType.ACT,
+                channel=self.controller.channel_id,
+                rank=rank_i,
+                bank=bank_i,
+                row=req.row,
+                request=req,
+            )
+        ready = bank.t_act
+        if not device.sarp_enabled and bank.refresh_until > ready:
+            ready = bank.refresh_until
+        return (
+            req.arrival_cycle, req.request_id, req,
+            WIN_ACT, match, command, rank_i, bank_i, ready, bank.refresh_until,
+        )
 
     # -- event horizon (cycle-skipping kernel) ----------------------------------
     def _wants_column(self, bank_key: tuple[int, int], open_row: int, queue) -> bool:

@@ -16,11 +16,8 @@ candidate classification, keeping both kernels bit-identical.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.controller.policies.base import register_scheduler
 from repro.controller.policies.frfcfs import FRFCFSScheduler
-from repro.controller.request import MemRequest
 from repro.dram.commands import Command
 
 
@@ -41,15 +38,11 @@ class CappedRowHitScheduler(FRFCFSScheduler):
     def _hits_allowed(self, bank_key: tuple[int, int]) -> bool:
         return self._streak.get(bank_key, 0) < self._cap
 
-    def select(self, cycle: int) -> Optional[tuple[Command, Optional[MemRequest]]]:
-        selection = super().select(cycle)
-        if selection is not None:
-            command, _ = selection
-            key = (command.rank, command.bank)
-            if command.kind.is_column and not command.kind.autoprecharges:
-                self._streak[key] = self._streak.get(key, 0) + 1
-            else:
-                # ACT, PRE, or an auto-precharging column: the row closes
-                # (or a fresh one opens), so the streak restarts.
-                self._streak[key] = 0
-        return selection
+    def note_issue(self, command: Command) -> None:
+        key = (command.rank, command.bank)
+        if command.kind.is_column and not command.kind.autoprecharges:
+            self._streak[key] = self._streak.get(key, 0) + 1
+        else:
+            # ACT, PRE, or an auto-precharging column: the row closes
+            # (or a fresh one opens), so the streak restarts.
+            self._streak[key] = 0

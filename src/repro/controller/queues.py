@@ -37,6 +37,21 @@ class RequestQueues:
         #: Bumped on every enqueue/remove; the event kernel uses it to
         #: detect that a controller's scheduling inputs are unchanged.
         self.version = 0
+        #: Per-bank mutation counters (same events as :attr:`version`); the
+        #: schedulers' frozen window analysis memoizes per-bank work keyed
+        #: on these, so a retire only re-analyzes the bank it touched.
+        self.bank_versions: dict[tuple[int, int], int] = {
+            key: 0 for key in self.bank_keys
+        }
+        #: Per-bank total demand occupancy, and a version that bumps only
+        #: when some bank's occupancy crosses zero.  Consumers that depend
+        #: solely on bank *idleness* (DARP's refresh pools) key their
+        #: caches on this instead of :attr:`version`, so mid-queue churn
+        #: does not invalidate them.
+        self.demand_counts: dict[tuple[int, int], int] = {
+            key: 0 for key in self.bank_keys
+        }
+        self.idle_version = 0
 
     # -- capacity ---------------------------------------------------------
     def read_full(self) -> bool:
@@ -53,6 +68,11 @@ class RequestQueues:
         """Add a request; the caller must have checked :meth:`can_accept`."""
         key = request.bank_key
         self.version += 1
+        self.bank_versions[key] += 1
+        counts = self.demand_counts
+        if counts[key] == 0:
+            self.idle_version += 1
+        counts[key] += 1
         if request.is_write:
             self.writes[key].append(request)
             self.write_count += 1
@@ -64,6 +84,11 @@ class RequestQueues:
         """Remove a serviced request from its queue."""
         key = request.bank_key
         self.version += 1
+        self.bank_versions[key] += 1
+        counts = self.demand_counts
+        counts[key] -= 1
+        if counts[key] == 0:
+            self.idle_version += 1
         if request.is_write:
             self.writes[key].remove(request)
             self.write_count -= 1
@@ -74,7 +99,7 @@ class RequestQueues:
     # -- occupancy queries (used by FR-FCFS, DARP and Elastic refresh) -----
     def demand_count(self, bank_key: tuple[int, int]) -> int:
         """Pending demand (read + write) requests for one bank."""
-        return len(self.reads[bank_key]) + len(self.writes[bank_key])
+        return self.demand_counts[bank_key]
 
     def read_count_for(self, bank_key: tuple[int, int]) -> int:
         return len(self.reads[bank_key])

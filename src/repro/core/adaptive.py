@@ -28,6 +28,10 @@ FGR4X_TRFC_SCALE = 1.63
 class AdaptiveRefreshPolicy(RefreshPolicy):
     """All-bank refresh that adaptively switches between 1x and 4x granularity."""
 
+    #: The granularity mode is recomputed in ``pre_demand`` before use and
+    #: is idempotent under frozen queues, so post-issue freezing is safe.
+    supports_post_issue_freeze = True
+
     def __init__(self, config, channel_id: int):
         super().__init__(config, channel_id)
         interval = self.timings.tREFIab

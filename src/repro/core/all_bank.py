@@ -21,6 +21,10 @@ from repro.dram.commands import Command
 class AllBankRefreshPolicy(RefreshPolicy):
     """Rank-level refresh issued on schedule, with priority over demand."""
 
+    #: Pure function of (cycle, pending refreshes, device deadlines): a
+    #: frozen window may start right after an issuing tick.
+    supports_post_issue_freeze = True
+
     def __init__(self, config, channel_id: int):
         super().__init__(config, channel_id)
         interval = self.timings.tREFIab

@@ -54,6 +54,23 @@ class RefreshStats(StatsStruct):
 class RefreshPolicy(abc.ABC):
     """Interface every refresh mechanism implements."""
 
+    #: Whether the event kernel may install a frozen sleep window starting
+    #: at a tick that *issued* a command.  Safe for policies whose
+    #: per-cycle hooks are pure functions of (cycle, queues, refresh debt,
+    #: device deadlines): once ``pre_demand`` returned None at the issuing
+    #: tick, every action it could take stays illegal until a watched
+    #: deadline passes.  Policies with per-cycle internal side effects
+    #: (elastic refresh tracks busy-to-idle edges) must leave this False
+    #: so issuing ticks are always followed by a full reference tick.
+    supports_post_issue_freeze = False
+
+    #: Whether this policy consumes randomness on cycles where demand
+    #: scheduling idles (DARP's randomized idle-bank draw).  While true at
+    #: window install, the event kernel runs cheap *draw ticks* that call
+    #: the real :meth:`post_demand` every cycle, keeping the RNG stream
+    #: bit-identical to the reference kernel.
+    uses_draw_ticks = False
+
     def __init__(self, config: SystemConfig, channel_id: int):
         self.config = config
         self.channel_id = channel_id
@@ -64,11 +81,28 @@ class RefreshPolicy(abc.ABC):
         self.num_banks = self.organization.banks_per_rank
         self.stats = RefreshStats()
         self.controller = None
+        self._refpb_commands: dict[tuple[int, int], Command] = {}
 
     # -- wiring -------------------------------------------------------------
     def bind(self, controller) -> None:
         """Attach the policy to its channel controller."""
         self.controller = controller
+
+    def enqueue_preserves_window(self) -> bool:
+        """Whether a demand enqueue can be folded into a live frozen window.
+
+        True when new demand cannot *add* a pre-demand action for this
+        policy: arriving requests only make banks (and ranks) non-idle,
+        which removes refresh opportunities, so a ``pre_demand`` that was
+        provably idle through the window stays idle.  The default ties
+        this to :attr:`supports_post_issue_freeze` — per-cycle-stateful
+        policies (elastic refresh reacts to idle-counter edges an enqueue
+        resets) need the full reference tick a queue-version mismatch
+        forces.  DARP overrides this: in writeback mode its refresh
+        candidate is the bank with the *fewest* queued demands, which an
+        enqueue can move to an issuable bank.
+        """
+        return self.supports_post_issue_freeze
 
     @property
     def device(self):
@@ -105,6 +139,22 @@ class RefreshPolicy(abc.ABC):
         earliest = min(due)
         return earliest if earliest > now else None
 
+    def next_scheduled_event(self, now: int) -> Optional[int]:
+        """The purely time-driven part of :meth:`next_event_cycle`.
+
+        The sleep-window install uses this instead of
+        :meth:`next_event_cycle` so a policy whose horizon also reports
+        "I could act *right now*" triggers (DARP's idle-bank draw) does
+        not force one-cycle windows — those per-cycle draws run as draw
+        ticks inside the window instead (see :attr:`uses_draw_ticks`).
+        """
+        return self.next_event_cycle(now)
+
+    def wants_draw_ticks(self) -> bool:
+        """True when every window cycle must run :meth:`post_demand` to
+        keep the policy's RNG stream identical (see :attr:`uses_draw_ticks`)."""
+        return False
+
     def skip_cycles(self, count: int) -> None:
         """Replay the per-cycle side effects of ``count`` skipped no-op cycles.
 
@@ -137,9 +187,19 @@ class RefreshPolicy(abc.ABC):
         return Command(kind=CommandType.REFAB, channel=self.channel_id, rank=rank)
 
     def _per_bank_command(self, rank: int, bank: int) -> Command:
-        return Command(
-            kind=CommandType.REFPB, channel=self.channel_id, rank=rank, bank=bank
-        )
+        # Per-bank refresh commands are immutable once built (nothing sets
+        # issue-time fields on REFPB, and the tracer copies fields out), so
+        # one command per (rank, bank) is built lazily and reused across
+        # every probe and issue.  All-bank commands are NOT cached: the
+        # adaptive policy sets a per-issue ``duration`` on them.
+        key = (rank, bank)
+        command = self._refpb_commands.get(key)
+        if command is None:
+            command = Command(
+                kind=CommandType.REFPB, channel=self.channel_id, rank=rank, bank=bank
+            )
+            self._refpb_commands[key] = command
+        return command
 
     def _precharge_for_refresh(
         self, cycle: int, rank: int, bank: Optional[int] = None

@@ -36,6 +36,13 @@ from repro.dram.commands import Command
 class DARPPolicy(RefreshPolicy):
     """Out-of-order per-bank refresh plus write-refresh parallelization."""
 
+    # Every per-cycle decision is a pure function of the demand queues,
+    # the debt table and device deadlines — no busy/idle edge tracking —
+    # so frozen windows may start right after an issuing tick.  The
+    # randomized idle-bank draw is handled by draw ticks, not freezing.
+    supports_post_issue_freeze = True
+    uses_draw_ticks = True
+
     def __init__(self, config, channel_id: int):
         super().__init__(config, channel_id)
         interval = self.timings.tREFIpb
@@ -83,14 +90,30 @@ class DARPPolicy(RefreshPolicy):
                 self._next_due[rank] += interval
 
     def _issue_refresh(self, cycle: int, rank: int, bank: int) -> Optional[Command]:
-        """Try to issue a REFpb to (rank, bank); returns the command or None."""
+        """Try to issue a REFpb to (rank, bank); returns the command or None.
+
+        The legality test inlines ``DRAMDevice.can_issue``'s REFPB branch
+        (bank precharged, bank not refreshing, no all-bank or overlapping
+        per-bank refresh in the rank, activity window expired): this probe
+        runs on every draw tick in both kernels and fails on most of them,
+        so the inline form skips the command lookup and the dispatching
+        ``can_issue`` call on the failure path.
+        """
+        rank_obj = self.device.rank(self.channel_id, rank)
+        bank_obj = rank_obj.banks[bank]
+        if (
+            bank_obj.open_row is not None
+            or cycle < bank_obj.t_act
+            or cycle < bank_obj.refresh_until
+            or cycle < rank_obj.refab_until
+            or cycle < rank_obj.pb_refresh_until
+        ):
+            return None
         command = self._per_bank_command(rank, bank)
-        if self.device.can_issue(command, cycle):
-            self._debt[rank][bank] -= 1
-            self._debt_version += 1
-            self.stats.per_bank_issued += 1
-            return command
-        return None
+        self._debt[rank][bank] -= 1
+        self._debt_version += 1
+        self.stats.per_bank_issued += 1
+        return command
 
     # -- policy hooks ----------------------------------------------------------------
     def pre_demand(self, cycle: int) -> Optional[Command]:
@@ -184,27 +207,20 @@ class DARPPolicy(RefreshPolicy):
         return None
 
     def post_demand(self, cycle: int) -> Optional[Command]:
-        """Figure 8, step 3: refresh a random idle bank when demand is stalled."""
+        """Figure 8, step 3: refresh a random idle bank when demand is stalled.
+
+        Draws from the cached :meth:`_post_demand_pools` — the pools are a
+        pure function of the demand queues and the debt table, so the
+        (version-keyed) cache returns the exact lists this method used to
+        rebuild per call, and RNG consumption is unchanged.
+        """
         if not self.refresh_config.enable_out_of_order:
             return None
-        max_pullin = self.refresh_config.max_pullin
-        for rank in range(self.num_ranks):
-            debts = self._debt[rank]
-            idle_banks = [
-                bank
-                for bank in range(self.num_banks)
-                if self.controller.demand_count(rank, bank) == 0
-                and debts[bank] > -max_pullin
-            ]
-            if not idle_banks:
-                continue
-            # Prefer paying down postponed refreshes before pulling new ones in.
-            owed = [bank for bank in idle_banks if debts[bank] > 0]
-            pool = owed if owed else idle_banks
+        for rank, pool in self._post_demand_pools():
             bank = self._rng.choice(pool)
             command = self._issue_refresh(cycle, rank, bank)
             if command is not None:
-                if debts[bank] < 0:
+                if self._debt[rank][bank] < 0:
                     self.stats.pulled_in += 1
                 tracer = self.controller.tracer
                 if tracer is not None:
@@ -217,6 +233,16 @@ class DARPPolicy(RefreshPolicy):
     def blocks_demand(self, cycle: int, rank: int, bank: int) -> bool:
         """Quiesce only banks whose refresh can no longer be postponed."""
         return self._debt[rank][bank] >= self.refresh_config.max_postpone
+
+    def enqueue_preserves_window(self) -> bool:
+        """Enqueues only shrink DARP's idle pools — except in writeback
+        mode, where the write-refresh candidate (the bank with the fewest
+        queued demands, Algorithm 1) can *move* to an issuable bank when a
+        request arrives; a reference tick is then required."""
+        return not (
+            self.refresh_config.enable_write_refresh_parallelization
+            and self.controller.in_writeback_mode
+        )
 
     # -- cycle-skipping kernel hooks --------------------------------------------
     def refresh_candidate_banks(self, rank: int) -> tuple[int, ...]:
@@ -239,11 +265,13 @@ class DARPPolicy(RefreshPolicy):
         Built with exactly the same selection code as :meth:`post_demand`
         so a replayed ``choice`` consumes the RNG stream identically
         (consumption depends on the pool length).  The pools are a pure
-        function of the demand queues and the debt table, so they are
-        cached under those two versions — the event kernel queries them
-        every no-op tick and every replayed sleep cycle.
+        function of per-bank *idleness* and the debt table, so they are
+        cached under the queues' idle-transition version (which ignores
+        mid-queue churn) and the debt version — the event kernel queries
+        them every no-op tick and every replayed sleep cycle.
         """
-        version = self.controller.queues.version
+        queues = self.controller.queues
+        version = queues.idle_version
         cache = self._pool_cache
         if (
             cache is not None
@@ -252,14 +280,14 @@ class DARPPolicy(RefreshPolicy):
         ):
             return cache[2]
         max_pullin = self.refresh_config.max_pullin
+        counts = queues.demand_counts
         pools = []
         for rank in range(self.num_ranks):
             debts = self._debt[rank]
             idle_banks = [
                 bank
                 for bank in range(self.num_banks)
-                if self.controller.demand_count(rank, bank) == 0
-                and debts[bank] > -max_pullin
+                if counts[(rank, bank)] == 0 and debts[bank] > -max_pullin
             ]
             if not idle_banks:
                 continue
@@ -267,6 +295,20 @@ class DARPPolicy(RefreshPolicy):
             pools.append((rank, owed if owed else idle_banks))
         self._pool_cache = (version, self._debt_version, pools)
         return pools
+
+    def next_scheduled_event(self, now: int) -> Optional[int]:
+        """Only the next *due* refresh: the per-cycle randomized draw is
+        handled by draw ticks inside the window, not by collapsing the
+        window to one cycle (contrast :meth:`next_event_cycle`, the
+        conservative reference horizon)."""
+        return RefreshPolicy.next_event_cycle(self, now)
+
+    def wants_draw_ticks(self) -> bool:
+        """True while :meth:`post_demand` would draw every cycle (non-empty
+        pools): window cycles must each consume the same randomness."""
+        return self.refresh_config.enable_out_of_order and bool(
+            self._post_demand_pools()
+        )
 
     def next_event_cycle(self, now: int) -> Optional[int]:
         """Next due refresh — or "right now" when a random draw could issue.

@@ -14,6 +14,8 @@ from repro.core.base import RefreshPolicy
 class NoRefreshPolicy(RefreshPolicy):
     """Never refreshes; the upper bound on performance."""
 
+    supports_post_issue_freeze = True
+
     def pre_demand(self, cycle: int):
         return None
 

@@ -22,6 +22,10 @@ from repro.dram.commands import Command
 class PerBankRefreshPolicy(RefreshPolicy):
     """LPDDR-style per-bank refresh in strict round-robin order."""
 
+    #: Pure function of (cycle, owed refreshes, device deadlines): a
+    #: frozen window may start right after an issuing tick.
+    supports_post_issue_freeze = True
+
     def __init__(self, config, channel_id: int):
         super().__init__(config, channel_id)
         interval = self.timings.tREFIpb

@@ -41,6 +41,10 @@ class Bank:
     refreshing_subarray: Optional[int] = None
     #: Internal refresh row counter (next row to refresh in this bank).
     refresh_row_counter: int = 0
+    #: Bumped by every state transition (``do_*``); the schedulers' frozen
+    #: window analysis memoizes per-bank classification keyed on this, so
+    #: only banks touched since the last install are re-analyzed.
+    stamp: int = 0
 
     # -- statistics -------------------------------------------------------
     activations: int = 0
@@ -51,6 +55,14 @@ class Bank:
     rows_refreshed: int = 0
 
     subarrays: list[Subarray] = field(default_factory=list)
+
+    #: Struct-of-arrays mirror (:class:`~repro.dram.scoreboard.TimingScoreboard`)
+    #: and this bank's ``(channel, rank, bank)`` slot in it.  ``None`` for
+    #: standalone banks (unit tests); the device attaches the mirror at
+    #: construction, and every timing mutator writes through to it so the
+    #: event kernel's horizon reductions can run vectorized.
+    _sb: object = None
+    _sb_i: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.subarrays:
@@ -86,6 +98,7 @@ class Bank:
     # -- state transitions (invoked by the device) ------------------------
     def do_activate(self, cycle: int, row: int, timings) -> None:
         """Apply an ACTIVATE command's effects on the bank scoreboard."""
+        self.stamp += 1
         self.open_row = row
         self.t_rd = cycle + timings.tRCD
         self.t_wr = cycle + timings.tRCD
@@ -93,9 +106,17 @@ class Bank:
         self.t_act = max(self.t_act, cycle + timings.tRC)
         self.activations += 1
         self.subarrays[self.subarray_of(row)].record_activation()
+        sb = self._sb
+        if sb is not None:
+            i = self._sb_i
+            sb.t_rd[i] = self.t_rd
+            sb.t_wr[i] = self.t_wr
+            sb.t_pre[i] = self.t_pre
+            sb.t_act[i] = self.t_act
 
     def do_read(self, cycle: int, timings, autoprecharge: bool) -> int:
         """Apply a column read; returns the cycle the data burst completes."""
+        self.stamp += 1
         burst_end = cycle + timings.tCL + timings.tBL
         self.t_pre = max(self.t_pre, cycle + timings.tRTP)
         self.reads += 1
@@ -103,10 +124,17 @@ class Bank:
             self.open_row = None
             self.t_act = max(self.t_act, cycle + timings.tRTP + timings.tRP)
             self.precharges += 1
+        sb = self._sb
+        if sb is not None:
+            i = self._sb_i
+            sb.t_pre[i] = self.t_pre
+            if autoprecharge:
+                sb.t_act[i] = self.t_act
         return burst_end
 
     def do_write(self, cycle: int, timings, autoprecharge: bool) -> int:
         """Apply a column write; returns the cycle the data burst completes."""
+        self.stamp += 1
         burst_end = cycle + timings.tCWL + timings.tBL
         self.t_pre = max(self.t_pre, burst_end + timings.tWR)
         self.writes += 1
@@ -114,13 +142,23 @@ class Bank:
             self.open_row = None
             self.t_act = max(self.t_act, burst_end + timings.tWR + timings.tRP)
             self.precharges += 1
+        sb = self._sb
+        if sb is not None:
+            i = self._sb_i
+            sb.t_pre[i] = self.t_pre
+            if autoprecharge:
+                sb.t_act[i] = self.t_act
         return burst_end
 
     def do_precharge(self, cycle: int, timings) -> None:
         """Apply an explicit precharge."""
+        self.stamp += 1
         self.open_row = None
         self.t_act = max(self.t_act, cycle + timings.tRP)
         self.precharges += 1
+        sb = self._sb
+        if sb is not None:
+            sb.t_act[self._sb_i] = self.t_act
 
     def do_refresh(self, cycle: int, duration: int, sarp_enabled: bool) -> None:
         """Start a refresh operation of ``duration`` cycles on this bank.
@@ -129,6 +167,7 @@ class Bank:
         SARP only the subarray containing the refresh row counter is
         occupied and the bank may still activate rows in other subarrays.
         """
+        self.stamp += 1
         subarray = self.subarray_of(self.refresh_row_counter)
         self.refresh_until = cycle + duration
         self.refreshing_subarray = subarray
@@ -140,6 +179,12 @@ class Bank:
         self.subarrays[subarray].record_refresh()
         if not sarp_enabled:
             self.t_act = max(self.t_act, cycle + duration)
+        sb = self._sb
+        if sb is not None:
+            i = self._sb_i
+            sb.refresh_until[i] = self.refresh_until
+            if not sarp_enabled:
+                sb.t_act[i] = self.t_act
 
     def end_refresh_if_done(self, cycle: int) -> None:
         """Clear the refreshing-subarray marker once the refresh completes."""

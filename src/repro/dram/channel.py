@@ -144,13 +144,14 @@ class Channel:
         """Earliest cycle after ``now`` at which channel state can change:
         the bus deadlines plus every rank's timing windows.
 
-        ``tfaw_of_rank`` maps a rank to the tFAW window *currently in
-        force* (the device passes the SARP-inflated value while the rank
-        refreshes); it defaults to the base timing.
+        ``tfaw_of_rank`` maps ``(rank, now)`` to the tFAW window *currently
+        in force* (the device passes its bound accessor, which returns the
+        SARP-inflated value while the rank refreshes); it defaults to the
+        base timing.
         """
         candidates = self.bus_deadlines(now, timings)
         for rank in self.ranks:
-            tfaw = timings.tFAW if tfaw_of_rank is None else tfaw_of_rank(rank)
+            tfaw = timings.tFAW if tfaw_of_rank is None else tfaw_of_rank(rank, now)
             rank_event = rank.next_event_cycle(now, tfaw)
             if rank_event is not None:
                 candidates.append(rank_event)

@@ -24,6 +24,7 @@ from repro.dram.channel import Channel
 from repro.dram.commands import Command, CommandType
 from repro.dram.power_integrity import scaled_tfaw_trrd
 from repro.dram.rank import Rank
+from repro.dram.scoreboard import TimingScoreboard
 from repro.stats import StatsSchema, StatsStruct, register_schema
 
 
@@ -68,6 +69,17 @@ class DRAMDevice:
         self.timings = config.timings
         self.organization = config.organization
         self.sarp_enabled = sarp_enabled
+        #: Activation-window limits, precomputed per refresh context: the
+        #: base JEDEC pair and the two SARP-inflated variants (Equations
+        #: 2/3 are pure functions of the config, so the hot legality and
+        #: horizon paths just pick the pair in force).
+        self._base_tfaw_trrd = (config.timings.tFAW, config.timings.tRRD)
+        self._sarp_tfaw_trrd = {
+            all_bank: scaled_tfaw_trrd(
+                config.timings.tFAW, config.timings.tRRD, all_bank
+            )
+            for all_bank in (False, True)
+        }
         self.stats = DeviceStats()
         #: Optional :class:`~repro.obs.trace.CommandTracer`, installed by
         #: :class:`~repro.controller.memory_controller.MemorySystem` so
@@ -89,6 +101,13 @@ class DRAMDevice:
                 ]
                 ranks.append(Rank(index=rk, banks=banks))
             self.channels.append(Channel(index=ch, ranks=ranks))
+        #: Struct-of-arrays mirror of every timing deadline; the bank/rank
+        #: mutators write through to it, and the horizon queries below
+        #: reduce over it instead of walking the object hierarchy.
+        self.scoreboard = TimingScoreboard(
+            org.channels, org.ranks_per_channel, org.banks_per_rank
+        )
+        self.scoreboard.attach(self)
 
     # -- hierarchy accessors -----------------------------------------------
     def channel(self, index: int) -> Channel:
@@ -124,18 +143,29 @@ class DRAMDevice:
         """Earliest cycle after ``now`` at which one channel's timing state
         can change.
 
-        Passes each rank the tFAW window *currently in force* — the
-        SARP-inflated value while the rank refreshes — because a deadline
-        computed from the base window can already lie in the past while
-        the inflated window's expiry (the cycle an ACTIVATE actually
-        becomes legal) is still ahead.
+        The bank deadlines come from one vectorized min-reduction over the
+        struct-of-arrays scoreboard; only the rank-level windows need a
+        (tiny) per-rank walk, because the tFAW deadline depends on the
+        window *currently in force* — the SARP-inflated value while the
+        rank refreshes — so it cannot be precomputed into the mirror.
+        ``Channel.next_event_cycle`` remains the object-walking reference
+        this reduction is audited against.
         """
         channel = self.channels[index]
-        return channel.next_event_cycle(
-            now,
-            self.timings,
-            tfaw_of_rank=lambda rank: self._effective_tfaw_trrd(rank, now)[0],
-        )
+        candidates = channel.bus_deadlines(now, self.timings)
+        bank_event = self.scoreboard.min_bank_deadline_after(now, channel=index)
+        if bank_event is not None:
+            candidates.append(bank_event)
+        for rank in channel.ranks:
+            for deadline in (rank.next_act, rank.refab_until, rank.pb_refresh_until):
+                if deadline > now:
+                    candidates.append(deadline)
+            history = rank.act_history
+            if len(history) == history.maxlen:
+                deadline = history[0] + self.tfaw_in_force(rank, now)
+                if deadline > now:
+                    candidates.append(deadline)
+        return min(candidates) if candidates else None
 
     def next_event_cycle(self, now: int) -> "int | None":
         """Earliest cycle after ``now`` at which any timing window expires.
@@ -145,23 +175,46 @@ class DRAMDevice:
         function of the cycle number that can only flip when one of the
         bank/rank/channel scoreboard deadlines passes.  The minimum over
         those deadlines therefore bounds how far the event kernel may
-        advance in one jump without missing a state change.
+        advance in one jump without missing a state change.  The bank
+        deadlines of *all* channels reduce in one vectorized pass.
         """
         candidates = []
-        for index in range(len(self.channels)):
-            channel_event = self.next_event_cycle_for_channel(index, now)
-            if channel_event is not None:
-                candidates.append(channel_event)
+        bank_event = self.scoreboard.min_bank_deadline_after(now)
+        if bank_event is not None:
+            candidates.append(bank_event)
+        for channel in self.channels:
+            candidates.extend(channel.bus_deadlines(now, self.timings))
+            for rank in channel.ranks:
+                for deadline in (
+                    rank.next_act,
+                    rank.refab_until,
+                    rank.pb_refresh_until,
+                ):
+                    if deadline > now:
+                        candidates.append(deadline)
+                history = rank.act_history
+                if len(history) == history.maxlen:
+                    deadline = history[0] + self.tfaw_in_force(rank, now)
+                    if deadline > now:
+                        candidates.append(deadline)
         return min(candidates) if candidates else None
 
     # -- effective activation-rate limits ------------------------------------
-    def _effective_tfaw_trrd(self, rank: Rank, cycle: int) -> tuple[int, int]:
-        """tFAW/tRRD in force, inflated under SARP while a refresh runs."""
-        timings = self.timings
+    def effective_tfaw_trrd(self, rank: Rank, cycle: int) -> tuple[int, int]:
+        """tFAW/tRRD in force at ``cycle``, inflated under SARP while a
+        refresh runs in ``rank``.
+
+        Public single owner of the SARP activation-window inflation: the
+        scheduler's demand horizon and the device's own legality checks
+        must agree on the window in force, so both call this accessor.
+        """
         if self.sarp_enabled and rank.is_refreshing(cycle):
-            all_bank = rank.is_under_all_bank_refresh(cycle)
-            return scaled_tfaw_trrd(timings.tFAW, timings.tRRD, all_bank)
-        return timings.tFAW, timings.tRRD
+            return self._sarp_tfaw_trrd[rank.is_under_all_bank_refresh(cycle)]
+        return self._base_tfaw_trrd
+
+    def tfaw_in_force(self, rank: Rank, cycle: int) -> int:
+        """Just the tFAW half of :meth:`effective_tfaw_trrd` (horizon walks)."""
+        return self.effective_tfaw_trrd(rank, cycle)[0]
 
     # -- legality -------------------------------------------------------------
     def can_issue(self, command: Command, cycle: int) -> bool:
@@ -188,7 +241,7 @@ class DRAMDevice:
                     return False
                 if bank.refresh_conflicts_with(cycle, command.row):
                     return False
-            tfaw, trrd = self._effective_tfaw_trrd(rank, cycle)
+            tfaw, trrd = self.effective_tfaw_trrd(rank, cycle)
             return rank.can_activate(cycle, trrd, tfaw)
 
         if kind.is_column:
@@ -250,7 +303,7 @@ class DRAMDevice:
 
         if kind is CommandType.ACT:
             bank = rank.banks[command.bank]
-            tfaw, trrd = self._effective_tfaw_trrd(rank, cycle)
+            tfaw, trrd = self.effective_tfaw_trrd(rank, cycle)
             bank.do_activate(cycle, command.row, timings)
             rank.record_activate(cycle, trrd)
             self.stats.activates += 1

@@ -36,6 +36,12 @@ class Rank:
     refab_count: int = 0
     refpb_count: int = 0
 
+    #: Struct-of-arrays mirror and this rank's ``(channel, rank)`` slot in
+    #: it (see :class:`~repro.dram.scoreboard.TimingScoreboard`); ``None``
+    #: for standalone ranks built by unit tests.
+    _sb: object = None
+    _sb_i: tuple = ()
+
     def bank(self, index: int) -> Bank:
         return self.banks[index]
 
@@ -67,6 +73,12 @@ class Rank:
         """Record an issued ACTIVATE for tRRD/tFAW accounting."""
         self.next_act = max(self.next_act, cycle + trrd)
         self.act_history.append(cycle)
+        sb = self._sb
+        if sb is not None:
+            i = self._sb_i
+            sb.next_act[i] = self.next_act
+            if len(self.act_history) == self.act_history.maxlen:
+                sb.faw_start[i] = self.act_history[0]
 
     # -- refresh transitions ----------------------------------------------
     def start_all_bank_refresh(
@@ -78,6 +90,8 @@ class Rank:
         """Begin an all-bank refresh: every bank refreshes concurrently."""
         self.refab_until = cycle + duration
         self.refab_count += 1
+        if self._sb is not None:
+            self._sb.refab_until[self._sb_i] = self.refab_until
         for bank in self.banks:
             bank.do_refresh(cycle, duration, sarp_enabled)
 
@@ -87,6 +101,8 @@ class Rank:
         """Begin a per-bank refresh on one bank."""
         self.pb_refresh_until = cycle + duration
         self.refpb_count += 1
+        if self._sb is not None:
+            self._sb.pb_until[self._sb_i] = self.pb_refresh_until
         self.banks[bank_index].do_refresh(cycle, duration, sarp_enabled)
 
     def tick(self, cycle: int) -> None:

@@ -1,0 +1,158 @@
+"""Struct-of-arrays timing scoreboard mirroring the bank/rank deadlines.
+
+The event kernel's horizon reductions ("earliest deadline after ``now``
+anywhere in the device") used to walk every :class:`~repro.dram.bank.Bank`
+and :class:`~repro.dram.rank.Rank` object per query, paying Python
+attribute/loop overhead per bank.  The scoreboard keeps the same deadlines
+in dense numpy arrays so a horizon query is one vectorized min-reduction.
+
+Ownership: the per-object scalar fields remain authoritative — ``can_issue``
+and the schedulers read single deadlines far more often than the horizon
+reduces over all of them, and a Python attribute load beats a numpy scalar
+index.  Every bank/rank mutator *writes through* to its mirror slot, so the
+arrays are exact copies by construction (pinned by a sync audit in the test
+suite).  Standalone banks/ranks built by unit tests have no scoreboard
+attached and skip the mirror writes entirely.
+
+Array layout: one ``(BANK_FIELDS, channels, ranks, banks)`` block for the
+bank deadlines (field views are aliases into it, so the reduction scans a
+single contiguous block) and a ``(RANK_FIELDS, channels, ranks)`` block for
+the rank-level activation/refresh windows.  The tFAW rolling window is
+mirrored as ``faw_start`` — the oldest timestamp of a *full* four-ACT
+history, or ``FAW_EMPTY`` while the window cannot constrain — because the
+deadline it implies depends on the tFAW in force at query time (SARP
+inflates it while the rank refreshes), so the addition happens per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bank-deadline field indices within the bank block.
+BANK_T_ACT, BANK_T_RD, BANK_T_WR, BANK_T_PRE, BANK_REFRESH_UNTIL = range(5)
+BANK_FIELDS = 5
+
+#: Rank-field indices within the rank block.
+RANK_NEXT_ACT, RANK_REFAB_UNTIL, RANK_PB_UNTIL, RANK_FAW_START = range(4)
+RANK_FIELDS = 4
+
+#: ``faw_start`` value while the activation history is not yet full: far
+#: enough in the past that ``FAW_EMPTY + tFAW`` can never exceed ``now``.
+FAW_EMPTY = np.int64(-(2**40))
+
+
+class TimingScoreboard:
+    """Dense mirror of every bank/rank timing deadline in one device."""
+
+    def __init__(self, channels: int, ranks: int, banks: int):
+        self.shape = (channels, ranks, banks)
+        self._bank = np.zeros((BANK_FIELDS, channels, ranks, banks), dtype=np.int64)
+        self._rank = np.zeros((RANK_FIELDS, channels, ranks), dtype=np.int64)
+        self._rank[RANK_FAW_START].fill(FAW_EMPTY)
+        # Field views (aliases into the blocks) for the write-through paths.
+        self.t_act = self._bank[BANK_T_ACT]
+        self.t_rd = self._bank[BANK_T_RD]
+        self.t_wr = self._bank[BANK_T_WR]
+        self.t_pre = self._bank[BANK_T_PRE]
+        self.refresh_until = self._bank[BANK_REFRESH_UNTIL]
+        self.next_act = self._rank[RANK_NEXT_ACT]
+        self.refab_until = self._rank[RANK_REFAB_UNTIL]
+        self.pb_until = self._rank[RANK_PB_UNTIL]
+        self.faw_start = self._rank[RANK_FAW_START]
+
+    # -- attachment ---------------------------------------------------------
+    def attach(self, device) -> None:
+        """Wire every bank/rank of ``device`` to its mirror slot."""
+        for ch, rk, rank in device.iter_ranks():
+            rank._sb = self
+            rank._sb_i = (ch, rk)
+            for bank in rank.banks:
+                bank._sb = self
+                bank._sb_i = (ch, rk, bank.index)
+
+    # -- vectorized horizon reductions --------------------------------------
+    def min_bank_deadline_after(self, now: int, channel: "int | None" = None):
+        """Earliest bank-scoreboard deadline strictly after ``now``.
+
+        Returns ``None`` when every deadline has already passed.  The five
+        deadline fields live in one contiguous block, so this is a single
+        masked min-reduction regardless of bank count.
+        """
+        block = self._bank if channel is None else self._bank[:, channel]
+        ahead = block[block > now]
+        if ahead.size == 0:
+            return None
+        return int(ahead.min())
+
+    def rank_deadlines_after(self, now: int, channel: int) -> list[int]:
+        """Rank-level ``next_act``/refresh-completion deadlines after ``now``
+        for one channel (the tFAW window is handled by the caller, which
+        knows the per-rank window in force)."""
+        block = self._rank[:RANK_FAW_START, channel]
+        ahead = block[block > now]
+        return [int(v) for v in ahead]
+
+    def resync(self, device) -> None:
+        """Recopy every authoritative deadline into the mirrors.
+
+        The simulation never needs this — the mutators write through — but
+        tests (and debugging sessions) that poke bank/rank fields directly
+        must call it before querying a vectorized horizon.
+        """
+        for ch, rk, bk, bank in device.iter_banks():
+            i = (ch, rk, bk)
+            self.t_act[i] = bank.t_act
+            self.t_rd[i] = bank.t_rd
+            self.t_wr[i] = bank.t_wr
+            self.t_pre[i] = bank.t_pre
+            self.refresh_until[i] = bank.refresh_until
+        for ch, rk, rank in device.iter_ranks():
+            i = (ch, rk)
+            self.next_act[i] = rank.next_act
+            self.refab_until[i] = rank.refab_until
+            self.pb_until[i] = rank.pb_refresh_until
+            history = rank.act_history
+            self.faw_start[i] = (
+                history[0] if len(history) == history.maxlen else FAW_EMPTY
+            )
+
+    # -- audit --------------------------------------------------------------
+    def verify_against(self, device) -> list[str]:
+        """Mismatches between the mirrors and the authoritative objects.
+
+        Returns human-readable descriptions (empty when in sync); used by
+        the differential test suite to pin the write-through invariant.
+        """
+        problems = []
+        for ch, rk, bk, bank in device.iter_banks():
+            expected = {
+                "t_act": bank.t_act,
+                "t_rd": bank.t_rd,
+                "t_wr": bank.t_wr,
+                "t_pre": bank.t_pre,
+                "refresh_until": bank.refresh_until,
+            }
+            for name, value in expected.items():
+                mirrored = int(getattr(self, name)[ch, rk, bk])
+                if mirrored != value:
+                    problems.append(
+                        f"bank ({ch},{rk},{bk}) {name}: object={value} mirror={mirrored}"
+                    )
+        for ch, rk, rank in device.iter_ranks():
+            history = rank.act_history
+            faw = (
+                history[0] if len(history) == history.maxlen else int(FAW_EMPTY)
+            )
+            expected = {
+                "next_act": rank.next_act,
+                "refab_until": rank.refab_until,
+                "pb_until": rank.pb_refresh_until,
+                "faw_start": faw,
+            }
+            for name, value in expected.items():
+                mirrored = int(getattr(self, name)[ch, rk])
+                if mirrored != value:
+                    problems.append(
+                        f"rank ({ch},{rk}) {name}: object={value} mirror={mirrored}"
+                    )
+        return problems

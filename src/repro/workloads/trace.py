@@ -30,10 +30,19 @@ class TraceEntry:
 
 
 def take(trace: Iterator[TraceEntry], count: int) -> list[TraceEntry]:
-    """Materialize the first ``count`` entries of a trace (for testing)."""
+    """Materialize the first ``count`` entries of a trace (for testing).
+
+    A trace shorter than ``count`` yields its materialized prefix rather
+    than letting the generator's bare ``StopIteration`` escape into the
+    caller (where, inside another generator, PEP 479 would turn it into a
+    ``RuntimeError`` far from the truncated source).
+    """
     result = []
     for _ in range(count):
-        result.append(next(trace))
+        try:
+            result.append(next(trace))
+        except StopIteration:
+            break
     return result
 
 

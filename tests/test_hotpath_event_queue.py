@@ -1,0 +1,237 @@
+"""Hot-path event-queue tests: the wake calendar, deferred enqueue
+batching, stale-conflict replay, and boundary differentials.
+
+PR 8 replaced :meth:`MemorySystem.next_skip_event`'s per-controller scan
+with a :class:`~repro.controller.calendar.WakeCalendar` (controllers post
+their wake-up cycle at the end of every event tick) and deferred in-window
+enqueue updates into a dirty-key batch drained at the next tick.  These
+tests pin the calendar's semantics, the soundness invariants the deferral
+relies on, and the bit-identity of the event kernel at the boundaries the
+optimisations skate closest to: a saturated tFAW window, SARP-inflated
+windows during subarray refresh, and calendar wakes landing exactly on an
+epoch boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import paper_system
+from repro.controller.calendar import WakeCalendar
+from repro.controller.memory_controller import MemorySystem
+from repro.controller.request import MemRequest
+from repro.sim.simulator import Simulator
+from repro.workloads.benchmark_suite import get_benchmark
+from repro.workloads.mixes import make_workload
+
+
+class TestWakeCalendar:
+    def test_starts_fully_pinned(self):
+        calendar = WakeCalendar(3)
+        # No controller has posted yet, so the calendar never promises
+        # more than one cycle of sleep.
+        assert calendar.earliest(0) == 1
+        assert calendar.earliest(100) == 101
+
+    def test_post_unpins_and_earliest_aggregates(self):
+        calendar = WakeCalendar(2)
+        calendar.post(0, 40)
+        calendar.post(1, 25)
+        assert calendar.earliest(0) == 25
+
+    def test_pin_forces_next_cycle(self):
+        calendar = WakeCalendar(2)
+        calendar.post(0, 40)
+        calendar.post(1, 25)
+        calendar.pin(1)
+        assert calendar.earliest(0) == 1
+
+    def test_reposting_supersedes_stale_heap_entries(self):
+        calendar = WakeCalendar(1)
+        calendar.post(0, 10)
+        calendar.post(0, 50)  # the (10, 0) heap entry is now stale
+        assert calendar.earliest(0) == 50
+        calendar.post(0, 30)  # moving earlier works too
+        assert calendar.earliest(0) == 30
+
+    def test_post_none_removes_slot_from_aggregation(self):
+        calendar = WakeCalendar(2)
+        calendar.post(0, 10)
+        calendar.post(1, 20)
+        calendar.post(0, None)
+        assert calendar.earliest(0) == 20
+        calendar.post(1, None)
+        # Every slot reports "no self-scheduled event": the system is
+        # fully quiescent until an external enqueue pins a slot again.
+        assert calendar.earliest(0) is None
+
+    def test_live_or_past_posting_degrades_to_single_step(self):
+        calendar = WakeCalendar(1)
+        calendar.post(0, 10)
+        # A posting at or before "now" can never license a skip; the
+        # calendar answers one cycle, which is always sound.
+        assert calendar.earliest(10) == 11
+        assert calendar.earliest(37) == 38
+
+    def test_duplicate_post_is_idempotent(self):
+        calendar = WakeCalendar(1)
+        calendar.post(0, 10)
+        for _ in range(5):
+            calendar.post(0, 10)
+        assert len(calendar._heap) == 1
+        assert calendar.earliest(0) == 10
+
+
+def _memory(**kwargs) -> MemorySystem:
+    return MemorySystem(paper_system(mechanism="none", **kwargs))
+
+
+def _request(memory: MemorySystem, address: int = 0, cycle: int = 0) -> MemRequest:
+    location = memory.mapper.decode(address)
+    return MemRequest(
+        address=address, is_write=False, location=location, arrival_cycle=cycle
+    )
+
+
+class TestDeferredEnqueueBatch:
+    def test_enqueue_into_live_window_defers_and_pins(self):
+        memory = _memory()
+        controller = memory.controllers[0]
+        # Establish a live (installed) window on an empty queue.
+        controller.tick_event(0)
+        assert controller._sleep_until != 0
+        request = _request(memory, cycle=1)
+        controller.enqueue(request)
+        # The update was deferred into the dirty batch rather than
+        # recomputed inline...
+        assert controller._dirty_keys == [request.bank_key]
+        assert controller._dirty_version == controller.queues.version
+        # ... and both skip mechanisms pin the very next cycle so the
+        # kernel cannot sleep past the new request.
+        assert controller.skip_horizon(1) == 2
+        assert memory.next_skip_event(1) == 2
+
+    def test_next_tick_drains_batch(self):
+        memory = _memory()
+        controller = memory.controllers[0]
+        controller.tick_event(0)
+        request = _request(memory, cycle=1)
+        controller.enqueue(request)
+        controller.tick_event(1)
+        assert controller._dirty_keys is None
+        # The drained window sees the request: the demand horizon is live
+        # again (non-zero sleep state, no pin).
+        assert controller._sleep_until != 0 or controller._draw_mode
+
+    def test_stale_batch_is_discarded_on_version_mismatch(self):
+        memory = _memory()
+        controller = memory.controllers[0]
+        controller.tick_event(0)
+        request = _request(memory, cycle=1)
+        controller.enqueue(request)
+        # A second mutation bumps the queue version out from under the
+        # batch; the drain must fall back to a full recompute path rather
+        # than splice against a stale queue map.
+        controller._dirty_version -= 1
+        controller.tick_event(1)
+        assert controller._dirty_keys is None
+
+
+class TestStaleConflictReplay:
+    """``skip_idle_cycles`` replays ``scheduler.last_conflicts`` per skipped
+    cycle; the replay set must always be the one belonging to the window
+    being skipped, never a leftover from an older ``select``."""
+
+    def test_window_install_owns_replay_set(self):
+        memory = _memory()
+        controller = memory.controllers[0]
+        sentinel = object()
+        controller.scheduler.last_conflicts = [sentinel]
+        # Installing a window (here: empty queue, no conflicts) must
+        # replace the stale set — a skip after this install replays the
+        # window's own conflicts, not the sentinel.
+        controller.tick_event(0)
+        assert controller.scheduler.last_conflicts == []
+
+    def test_no_skip_replay_while_batch_pending(self):
+        memory = _memory()
+        controller = memory.controllers[0]
+        controller.tick_event(0)
+        controller.scheduler.last_conflicts = [object()]
+        controller.enqueue(_request(memory, cycle=1))
+        # With the dirty batch pending the conflict set may be stale with
+        # respect to the new request; the horizon pins so no multi-cycle
+        # replay can happen before the drain.
+        assert controller.skip_horizon(1) == 2
+
+    def test_skip_replays_installed_conflicts_per_cycle(self):
+        config = paper_system(density_gb=32, mechanism="dsarp", num_cores=2)
+        workload = make_workload(
+            [get_benchmark("stream_copy"), get_benchmark("stream_triad")],
+            name="conflicts",
+            seed=0,
+        )
+        reference = Simulator(config.with_kernel("cycle"), workload)
+        fast = Simulator(config.with_kernel("event"), workload)
+        assert (
+            fast.run(1500, warmup=200).to_dict()
+            == reference.run(1500, warmup=200).to_dict()
+        )
+
+
+def _differential(config, cycles=1500, warmup=200, mix=("stream_copy", "stream_triad")):
+    """Run the same simulation under both kernels; return the result dicts."""
+    workload = make_workload(
+        [get_benchmark(name) for name in mix], name="x".join(mix), seed=0
+    )
+    reference = Simulator(config.with_kernel("cycle"), workload)
+    fast = Simulator(config.with_kernel("event"), workload)
+    return (
+        reference.run(cycles, warmup=warmup).to_dict(),
+        fast.run(cycles, warmup=warmup).to_dict(),
+        reference,
+        fast,
+    )
+
+
+class TestBoundaryDifferentials:
+    def test_saturated_tfaw_window(self):
+        # Inflate tFAW until the four-activate window is the binding
+        # constraint on a bandwidth-bound mix: the scheduler's rank-level
+        # activation gate (and its prefolded per-bank ready times) must
+        # still match the reference cycle kernel bit for bit.
+        base = paper_system(density_gb=32, mechanism="none", num_cores=2)
+        config = replace(base, dram=base.dram.with_tfaw(96, 12))
+        reference, fast, _, _ = _differential(config)
+        assert fast == reference
+
+    def test_sarp_inflated_windows_during_subarray_refresh(self):
+        # Under SARP a refresh occupies one subarray; commands to the
+        # refreshing bank stay legal but tFAW/tRRD are inflated while the
+        # refresh overlaps the window.  Pair the inflated timings with a
+        # per-bank SARP mechanism so the piecewise window arithmetic in
+        # the frozen-window evaluator is exercised against the reference.
+        for mechanism in ("sarppb", "dsarp"):
+            base = paper_system(density_gb=32, mechanism=mechanism, num_cores=2)
+            config = replace(base, dram=base.dram.with_tfaw(96, 12))
+            reference, fast, _, _ = _differential(config)
+            assert fast == reference, mechanism
+
+    @pytest.mark.parametrize("interval", (64, 500))
+    def test_calendar_wake_on_epoch_boundary(self, interval):
+        # The event kernel clamps every skip to the current epoch's end,
+        # so calendar wakes landing exactly on (or straddling) an epoch
+        # boundary must neither lose a sample nor perturb the simulation.
+        # A 64-cycle interval forces many boundaries to land mid-skip; a
+        # 500-cycle interval aligns some boundaries with refresh wakes.
+        config = paper_system(density_gb=32, mechanism="darp", num_cores=2).with_obs(
+            epoch_interval=interval
+        )
+        reference, fast, ref_sim, fast_sim = _differential(
+            config, mix=("random_access", "mcf_like")
+        )
+        assert fast == reference
+        assert fast_sim.epoch_samples == ref_sim.epoch_samples
+        assert len(fast_sim.epoch_samples) >= 2

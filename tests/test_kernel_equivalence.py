@@ -230,6 +230,9 @@ class TestEventHorizons:
         assert device.next_event_cycle(0) is None
         device.bank(0, 0, 0).t_act = 70
         device.bank(1, 1, 3).refresh_until = 55
+        # Direct field pokes bypass the write-through mutators, so the
+        # struct-of-arrays mirror must be resynced before horizon queries.
+        device.scoreboard.resync(device)
         assert device.next_event_cycle_for_channel(0, 0) == 70
         assert device.next_event_cycle_for_channel(1, 0) == 55
         assert device.next_event_cycle(0) == 55
@@ -255,6 +258,7 @@ class TestEventHorizons:
         assert memory.next_event_cycle(0) == 33
         # Device deadlines win when earlier.
         memory.device.bank(0, 0, 0).t_pre = 12
+        memory.device.scoreboard.resync(memory.device)
         assert memory.next_event_cycle(0) == 12
 
     def test_core_horizon_tracks_pure_gap_run(self):

@@ -473,7 +473,23 @@ class TestSkipHorizonAccessor:
         assert controller.skip_horizon(0) == 25
         # ... past events are filtered ...
         assert controller.skip_horizon(30) == 40
-        # ... and the memory system aggregates across controllers.
+        # ... and the memory system's reference scan aggregates across
+        # controllers (the calendar-backed next_skip_event is covered by
+        # its own suite).
         other = memory.controllers[1]
         other._sleep_until = 10
+        assert memory.scan_skip_event(0) == 10
+        # The calendar starts fully pinned — with no controller having
+        # posted yet, next_skip_event never promises more than one cycle.
+        assert memory.next_skip_event(0) == 1
+        # Once every controller posts its horizon, the calendar answers
+        # with the earliest live posting.
+        controller._post_wake()
+        other._post_wake()
+        assert memory.next_skip_event(0) == 1  # other: _sleep_until==10 but
+        # version mismatch pins it (fresh queues were never synced)
+        other._sleep_queue_version = other.queues.version
+        other._post_wake()
+        controller._sleep_queue_version = controller.queues.version
+        controller._post_wake()
         assert memory.next_skip_event(0) == 10

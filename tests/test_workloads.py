@@ -25,6 +25,26 @@ from repro.workloads.mixes import (
 from repro.workloads.trace import summarize, take
 
 
+class TestTake:
+    def test_truncated_trace_yields_prefix(self):
+        # A finite trace shorter than the requested count returns what it
+        # has instead of letting StopIteration escape (which PEP 479 would
+        # turn into a RuntimeError inside a consuming generator).
+        short = iter(["a", "b", "c"])
+        assert take(short, 10) == ["a", "b", "c"]
+
+    def test_exhausted_trace_yields_empty(self):
+        trace = iter(())
+        assert take(trace, 5) == []
+        assert take(trace, 5) == []
+
+    def test_inside_consuming_generator(self):
+        def consumer():
+            yield take(iter([1, 2]), 4)
+
+        assert list(consumer()) == [[1, 2]]
+
+
 class TestGenerators:
     def test_streaming_is_sequential_within_runs(self):
         trace = streaming_trace(1 << 20, 0.2, 0.0, seed=1, run_length=16)
