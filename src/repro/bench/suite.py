@@ -699,10 +699,13 @@ ENGINE_SCALING_WORKERS = (1, 2, 4)
 def _engine_scaling(context: BenchContext):
     """Engine scaling: a figure12-style sweep, serial versus 1/2/4 workers.
 
-    Every parallel leg uses a fresh runner with no store, so each worker
-    count actually simulates the full sweep — a silently-cached leg would
-    report a bogus near-infinite speedup.  The per-leg ``simulated`` count
-    is asserted against the serial leg to guard exactly that.
+    The parallel legs exercise the work-stealing shard dispatcher end to
+    end: jobs are chunked into cost-balanced shards and idle workers steal
+    shards planned for their peers.  Every leg uses a fresh runner with no
+    store, so each worker count actually simulates the full sweep — a
+    silently-cached leg would report a bogus near-infinite speedup.  The
+    per-leg ``simulated`` count is asserted against the serial leg to
+    guard exactly that.
     """
     available = os.cpu_count() or 1
 
@@ -712,17 +715,20 @@ def _engine_scaling(context: BenchContext):
         result = experiments.figure12_workload_sweep(
             runner=runner, scale=ENGINE_SCALING_SCALE
         )
-        return result, perf_counter() - start, runner.summary()["simulated"]
+        return result, perf_counter() - start, runner.summary()
 
-    serial_result, serial_s, serial_simulated = sweep(SerialExecutor())
+    serial_result, serial_s, serial_summary = sweep(SerialExecutor())
+    serial_simulated = serial_summary["simulated"]
     rows = []
     for workers in ENGINE_SCALING_WORKERS:
-        result, parallel_s, simulated = sweep(ParallelExecutor(workers=workers))
+        result, parallel_s, summary = sweep(ParallelExecutor(workers=workers))
         rows.append(
             {
                 "workers": workers,
                 "parallel_s": parallel_s,
-                "simulated": simulated,
+                "simulated": summary["simulated"],
+                "shards": summary["shards"],
+                "steals": summary["steals"],
                 "identical": result == serial_result,
             }
         )
@@ -779,21 +785,38 @@ def _engine_scaling_checks(payload, context: BenchContext) -> None:
             if row["workers"] <= payload["available_cpus"]
         )
         assert best > 0.9
+        if payload["available_cpus"] >= 4:
+            # With 4 workers on >=4 CPUs the shard queue should deliver a
+            # real speedup, not just parity; 1.3x leaves headroom for
+            # loaded runners while still catching a serialized dispatcher.
+            assert best > 1.3, f"best speedup {best:.2f}x on a multi-core host"
+    for row in payload["rows"]:
+        # Every parallel leg must flow through the shard planner; a
+        # zero shard count means the dispatcher was bypassed.
+        assert row["shards"] >= row["workers"], (
+            f"{row['workers']}-worker leg planned only {row['shards']} shards"
+        )
 
 
 def _engine_scaling_format(payload) -> str:
     lines = [
         "Engine scaling (figure12-style sweep, 1 density x 5 workloads; "
-        f"{payload['available_cpus']} CPUs available)",
+        f"{payload['available_cpus']} CPUs available; "
+        "work-stealing shard dispatcher)",
         f"  serial   (1 worker):   {payload['serial_s']:8.2f} s "
         f"({payload['serial_simulated']} simulations)",
     ]
     for row in payload["rows"]:
         speedup = payload["serial_s"] / row["parallel_s"]
+        shards = (
+            f", {row['shards']} shards/{row['steals']} stolen"
+            if "shards" in row
+            else ""
+        )
         lines.append(
             f"  parallel ({row['workers']} worker{'s' if row['workers'] != 1 else ''}):"
             f"  {row['parallel_s']:8.2f} s  ({speedup:4.2f}x, "
-            f"{'identical' if row['identical'] else 'DIVERGED'})"
+            f"{'identical' if row['identical'] else 'DIVERGED'}{shards})"
         )
     return "\n".join(lines)
 

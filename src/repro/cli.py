@@ -41,9 +41,9 @@ from typing import Callable, Optional, TextIO
 
 from repro.config.controller_config import PAGE_POLICIES, PAGE_POLICY_DESCRIPTIONS
 from repro.controller.policies import scheduler_descriptions, scheduler_names
-from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.executor import JobExecutor, ParallelExecutor, SerialExecutor
 from repro.engine.progress import ProgressPrinter
-from repro.engine.store import JsonlStore
+from repro.engine.store import STORE_BACKENDS, open_store
 from repro.sim import experiments
 from repro.sim.experiments import ExperimentScale
 from repro.sim.runner import ExperimentRunner
@@ -228,6 +228,23 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
 def _density_list(text: str) -> tuple[int, ...]:
     try:
         densities = tuple(int(part) for part in text.split(",") if part.strip())
@@ -252,7 +269,45 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--store",
         metavar="PATH",
         default=None,
-        help="JSONL result store shared across runs (created if missing)",
+        help="result store shared across runs (created if missing)",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        default="auto",
+        help=(
+            "result store format: 'jsonl' (append-only lines), 'sqlite' "
+            "(WAL mode, concurrent-safe), or 'auto' to infer from the "
+            "--store extension (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume a killed or partial run from --store: completed jobs "
+            "are replayed from the store and only missing jobs simulate"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        metavar="N",
+        help=(
+            "times a failed or timed-out job is retried with exponential "
+            "backoff before the run fails (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill and retry any single job running longer than this "
+            "(default: no timeout)"
+        ),
     )
     parser.add_argument(
         "--cycles", type=int, default=None, help="measured window in DRAM cycles"
@@ -671,12 +726,32 @@ def _build_runner(
     ``scheduler``/``page_policy`` axis is never silently clobbered by a
     blanket per-job override.
     """
-    store = JsonlStore(args.store) if args.store else None
-    if store is not None:
-        stderr.write(f"store: {store.path} ({len(store)} cached results)\n")
-    executor = (
-        ParallelExecutor(workers=args.workers) if args.workers > 1 else SerialExecutor()
+    if getattr(args, "resume", False) and not args.store:
+        stderr.write("error: --resume requires --store (nothing to resume from)\n")
+        raise SystemExit(2)
+    store = (
+        open_store(args.store, backend=getattr(args, "store_backend", "auto"))
+        if args.store
+        else None
     )
+    if store is not None:
+        cached = len(store)
+        stderr.write(f"store: {store.path} ({cached} cached results)\n")
+        if getattr(args, "resume", False):
+            stderr.write(
+                f"resume: replaying {cached} completed jobs from the store; "
+                "only missing jobs will simulate\n"
+            )
+    max_retries = getattr(args, "max_retries", 2)
+    job_timeout = getattr(args, "job_timeout", None)
+    if args.workers > 1 or job_timeout is not None:
+        executor: JobExecutor = ParallelExecutor(
+            workers=args.workers,
+            max_retries=max_retries,
+            job_timeout=job_timeout,
+        )
+    else:
+        executor = SerialExecutor()
     obs = None
     if getattr(args, "trace", None) or getattr(args, "epoch_interval", None):
         from repro.config.obs_config import ObsConfig
@@ -713,6 +788,16 @@ def _write_run_summary(
         f"({summary['elapsed_s']:.2f}s in engine"
         f", {args.workers} worker{'s' if args.workers != 1 else ''})\n"
     )
+    failures = summary.get("worker_failures", 0)
+    timeouts = summary.get("timeouts", 0)
+    retries = summary.get("retries", 0)
+    if failures or timeouts or retries:
+        stderr.write(
+            f"warning: run completed with degradation — {failures} worker "
+            f"failure{'s' if failures != 1 else ''}, {timeouts} "
+            f"timeout{'s' if timeouts != 1 else ''}, {retries} retried "
+            f"job{'s' if retries != 1 else ''}\n"
+        )
     if runner.store is not None:
         stderr.write(
             f"store: {runner.store.path} now holds {len(runner.store)} results\n"

@@ -10,9 +10,16 @@ executed and *where* their results live:
   :class:`ParallelExecutor`, which run job batches deterministically (the
   parallel fan-out produces results identical to serial execution for any
   worker count),
+* :mod:`repro.engine.queue` — the work-stealing shard queue behind the
+  parallel executor: cost-balanced shard planning, per-job timeout and
+  bounded retry with exponential backoff, and worker-death recovery (an
+  in-flight shard is re-queued and a replacement worker spawned, so the
+  run completes with a warning instead of crashing),
 * :mod:`repro.engine.store` — :class:`ResultStore` implementations
-  (:class:`InMemoryStore`, :class:`JsonlStore`) keyed by job fingerprint,
-  so results persist across processes, benchmarks and CI runs,
+  (:class:`InMemoryStore`, :class:`JsonlStore`, and the WAL-mode
+  concurrent-safe :class:`SqliteStore`) keyed by job fingerprint, so
+  results persist across processes, benchmarks and CI runs and a killed
+  run resumes from the store with zero re-simulation,
 * :mod:`repro.engine.progress` — job-level progress events and callbacks.
 
 The :class:`~repro.sim.runner.ExperimentRunner` plans job batches and
@@ -34,7 +41,20 @@ from repro.engine.progress import (
     ProgressCollector,
     ProgressPrinter,
 )
-from repro.engine.store import InMemoryStore, JsonlStore, ResultStore
+from repro.engine.queue import (
+    JobFailedError,
+    Shard,
+    ShardDispatcher,
+    plan_shards,
+)
+from repro.engine.sqlite_store import SqliteStore, copy_store
+from repro.engine.store import (
+    STORE_BACKENDS,
+    InMemoryStore,
+    JsonlStore,
+    ResultStore,
+    open_store,
+)
 
 __all__ = [
     "SimulationJob",
@@ -43,6 +63,10 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "ExecutorStats",
+    "JobFailedError",
+    "Shard",
+    "ShardDispatcher",
+    "plan_shards",
     "JobEvent",
     "ProgressCallback",
     "ProgressCollector",
@@ -50,4 +74,8 @@ __all__ = [
     "ResultStore",
     "InMemoryStore",
     "JsonlStore",
+    "SqliteStore",
+    "copy_store",
+    "open_store",
+    "STORE_BACKENDS",
 ]

@@ -9,14 +9,18 @@ inside a batch, so a job is never simulated twice.
 Because each simulation is a pure function of its job spec (the simulator
 is deterministic given the seed), the :class:`ParallelExecutor` produces
 results identical to the :class:`SerialExecutor` for any worker count —
-parallelism changes wall-clock time, never outcomes.
+parallelism changes wall-clock time, never outcomes.  The parallel
+fan-out is a work-stealing shard queue (:mod:`repro.engine.queue`): job
+batches are chunked into cost-balanced shards, idle workers steal queued
+shards, hung jobs are killed on a per-job timeout, failing jobs retry
+with exponential backoff, and a worker death re-queues its in-flight
+shard so the run completes with a warning instead of crashing.
 """
 
 from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
@@ -28,6 +32,11 @@ from repro.engine.progress import (
     SOURCE_STORE,
     JobEvent,
     ProgressCallback,
+)
+from repro.engine.queue import (
+    RETRY_BACKOFF_S,
+    SHARDS_PER_WORKER,
+    ShardDispatcher,
 )
 from repro.engine.store import ResultStore
 from repro.stats import StatsSchema, StatsStruct, register_schema
@@ -42,7 +51,18 @@ class ExecutorStats(StatsStruct):
 
     SCHEMA = register_schema(
         StatsSchema(
-            "executor", fields=("jobs", "store_hits", "simulated", "elapsed_s")
+            "executor",
+            fields=(
+                "jobs",
+                "store_hits",
+                "simulated",
+                "elapsed_s",
+                "shards",
+                "steals",
+                "retries",
+                "timeouts",
+                "worker_failures",
+            ),
         )
     )
 
@@ -50,6 +70,16 @@ class ExecutorStats(StatsStruct):
     store_hits: int = 0
     simulated: int = 0
     elapsed_s: float = 0.0
+    #: Shards planned for work-stealing dispatch (parallel executor only).
+    shards: int = 0
+    #: Shards executed by a worker other than the planner's preferred one.
+    steals: int = 0
+    #: Job re-executions scheduled after an error, crash or timeout.
+    retries: int = 0
+    #: Jobs killed for exceeding the per-job timeout.
+    timeouts: int = 0
+    #: Worker processes that died mid-run and were replaced.
+    worker_failures: int = 0
 
     def snapshot(self) -> "ExecutorStats":
         """Immutable copy, for before/after delta accounting."""
@@ -174,53 +204,82 @@ def _record_job_span(job: SimulationJob, elapsed_s: float) -> None:
         profiler.add(f"engine.job:{job.describe()}", elapsed_s)
 
 
-def _timed_execute_job(job: SimulationJob) -> tuple["SimulationResult", float]:
-    """Worker entry point that measures the in-worker simulation time."""
-    start = perf_counter()
-    result = execute_job(job)
-    return result, perf_counter() - start
-
-
 class ParallelExecutor(JobExecutor):
-    """Fans a batch out over a :class:`ProcessPoolExecutor`.
+    """Fans a batch out over a work-stealing shard queue of workers.
 
     Jobs and results cross the process boundary by pickling; results are
     reassembled in batch order, so the outcome is byte-identical to the
-    serial executor regardless of ``workers`` or completion order.
+    serial executor regardless of ``workers``, shard plan or completion
+    order.  Resilience knobs:
+
+    ``max_retries``
+        Per-job retry budget.  A job whose worker crashes, whose
+        execution raises, or which exceeds ``job_timeout`` is re-queued
+        with exponential backoff up to this many times; exhausting the
+        budget raises :class:`~repro.engine.queue.JobFailedError` after
+        the rest of the batch drains.
+    ``job_timeout``
+        Optional per-job wall-clock limit in seconds.  A hung simulation
+        no longer stalls the batch forever: its worker is killed and the
+        job retried.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_retries: int = 2,
+        job_timeout: Optional[float] = None,
+        shards_per_worker: int = SHARDS_PER_WORKER,
+        retry_backoff_s: float = RETRY_BACKOFF_S,
+    ) -> None:
         super().__init__()
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+        self.shards_per_worker = shards_per_worker
+        self.retry_backoff_s = retry_backoff_s
+        self._dispatcher: Optional[ShardDispatcher] = None
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live workers while a batch is running (else [])."""
+        dispatcher = self._dispatcher
+        return dispatcher.worker_pids() if dispatcher is not None else []
 
     def _execute_pending(self, pending, total, progress, store):
-        results: list[Optional[SimulationResult]] = [None] * len(pending)
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {
-                pool.submit(_timed_execute_job, job): (slot, index, job)
-                for slot, (index, job) in enumerate(pending)
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    slot, index, job = futures[future]
-                    result, elapsed_s = future.result()
-                    _record_job_span(job, elapsed_s)
-                    results[slot] = result
-                    if store is not None:
-                        store.put(job.key(), result)
-                    if progress is not None:
-                        progress(
-                            JobEvent(
-                                index=index,
-                                total=total,
-                                key=job.key(),
-                                label=job.describe(),
-                                source=SOURCE_SIMULATED,
-                                elapsed_s=elapsed_s,
-                            )
-                        )
-        return results
+        jobs = [job for _, job in pending]
+        indexes = [index for index, _ in pending]
+
+        def on_result(slot, result, elapsed_s, attempts):
+            job = jobs[slot]
+            _record_job_span(job, elapsed_s)
+            if store is not None:
+                store.put(job.key(), result)
+            if progress is not None:
+                progress(
+                    JobEvent(
+                        index=indexes[slot],
+                        total=total,
+                        key=job.key(),
+                        label=job.describe(),
+                        source=SOURCE_SIMULATED,
+                        elapsed_s=elapsed_s,
+                        attempts=attempts,
+                    )
+                )
+
+        dispatcher = ShardDispatcher(
+            workers=self.workers,
+            stats=self.stats,
+            on_result=on_result,
+            max_retries=self.max_retries,
+            job_timeout=self.job_timeout,
+            shards_per_worker=self.shards_per_worker,
+            retry_backoff_s=self.retry_backoff_s,
+        )
+        self._dispatcher = dispatcher
+        try:
+            return dispatcher.run(jobs)
+        finally:
+            self._dispatcher = None

@@ -69,6 +69,19 @@ class SimulationJob:
             f"@{self.config.dram.density_gb}Gb"
         )
 
+    def estimated_cost(self) -> float:
+        """Relative wall-clock estimate, for shard planning.
+
+        Simulated cycles (warmup plus the measured window) times the core
+        count tracks the per-cycle work the kernel performs; the shard
+        planner (:func:`repro.engine.queue.plan_shards`) balances shards
+        by this so an 8-core full-window cell does not share a shard with
+        a dozen cheap single-core alone runs.
+        """
+        return float(max(1, self.cycles + self.warmup)) * float(
+            max(1, self.config.cpu.num_cores)
+        )
+
     def run(self) -> "SimulationResult":
         """Execute the simulation this job describes.
 

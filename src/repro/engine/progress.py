@@ -30,6 +30,9 @@ class JobEvent:
     #: One of ``"simulated"``, ``"store"`` or ``"memory"``.
     source: str
     elapsed_s: float = 0.0
+    #: Execution attempts the job took (``> 1`` after a retry recovered
+    #: it from a worker crash, an exception or a timeout).
+    attempts: int = 1
 
 
 ProgressCallback = Callable[[JobEvent], None]
@@ -43,9 +46,10 @@ class ProgressPrinter:
 
     def __call__(self, event: JobEvent) -> None:
         mark = "*" if event.source == SOURCE_SIMULATED else "."
+        retry = f", attempt {event.attempts}" if event.attempts > 1 else ""
         self.stream.write(
             f"  [{event.index + 1:>4d}/{event.total}] {mark} "
-            f"{event.label} ({event.source}, {event.elapsed_s:.2f}s)\n"
+            f"{event.label} ({event.source}, {event.elapsed_s:.2f}s{retry})\n"
         )
         self.stream.flush()
 

@@ -11,6 +11,12 @@ provided:
   appends one self-contained record, so concurrent runs warming the same
   cache cannot corrupt previously written results, and a store can be
   re-opened by a later process (or CI run) to skip completed simulations.
+
+A third, the WAL-mode :class:`~repro.engine.sqlite_store.SqliteStore`,
+lives in its own module; :func:`open_store` picks a backend by name or by
+file extension (``.sqlite`` / ``.sqlite3`` / ``.db`` open as SQLite,
+everything else as JSONL), which is what the CLI's ``--store-backend``
+flag feeds.
 """
 
 from __future__ import annotations
@@ -58,6 +64,39 @@ class InMemoryStore(ResultStore):
 
     def __len__(self) -> int:
         return len(self._results)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._results)
+
+
+#: Backend names ``open_store`` (and the CLI's ``--store-backend``) accept.
+STORE_BACKENDS = ("auto", "jsonl", "sqlite")
+
+#: File extensions the ``auto`` backend opens as SQLite.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def open_store(path: str | os.PathLike, backend: str = "auto") -> ResultStore:
+    """Open a persistent result store, choosing the backend.
+
+    ``backend="auto"`` infers from the file extension; ``"jsonl"`` and
+    ``"sqlite"`` force a format regardless of name.  Both backends share
+    the same fingerprint-digest keys, so a path always reopens with the
+    backend that created it as long as the extension is kept.
+    """
+    if backend not in STORE_BACKENDS:
+        raise ValueError(
+            f"unknown store backend {backend!r}; expected one of "
+            f"{', '.join(STORE_BACKENDS)}"
+        )
+    if backend == "auto":
+        suffix = Path(path).suffix.lower()
+        backend = "sqlite" if suffix in _SQLITE_SUFFIXES else "jsonl"
+    if backend == "sqlite":
+        from repro.engine.sqlite_store import SqliteStore
+
+        return SqliteStore(path)
+    return JsonlStore(path)
 
 
 class JsonlStore(ResultStore):

@@ -165,10 +165,25 @@ def _profile_markdown(profile: dict) -> list[str]:
         lines.append(f"- experiment: `{experiment}`")
     engine = profile.get("engine", {})
     if engine:
-        lines.append(
+        engine_line = (
             f"- engine: {engine.get('jobs', 0)} jobs, "
             f"{engine.get('simulated', 0)} simulated"
         )
+        shards = engine.get("shards", 0)
+        if shards:
+            engine_line += f", {shards} shards ({engine.get('steals', 0)} stolen)"
+        degradation = [
+            f"{engine.get(field, 0)} {label}"
+            for field, label in (
+                ("worker_failures", "worker failures"),
+                ("timeouts", "timeouts"),
+                ("retries", "retries"),
+            )
+            if engine.get(field, 0)
+        ]
+        if degradation:
+            engine_line += " — degraded: " + ", ".join(degradation)
+        lines.append(engine_line)
     lines.append("")
     lines.append(
         Table.build(

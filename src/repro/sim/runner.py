@@ -375,6 +375,11 @@ class ExperimentRunner:
             "store_hits": stats.store_hits,
             "simulated": stats.simulated,
             "elapsed_s": stats.elapsed_s,
+            "shards": stats.shards,
+            "steals": stats.steals,
+            "retries": stats.retries,
+            "timeouts": stats.timeouts,
+            "worker_failures": stats.worker_failures,
         }
 
 

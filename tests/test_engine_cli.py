@@ -109,6 +109,80 @@ class TestRunCommand:
         assert json.loads(second_out) == json.loads(first_out)
 
 
+class TestResilienceFlags:
+    ARGV = [
+        "run",
+        "figure7",
+        "--densities",
+        "32",
+        "--workloads-per-category",
+        "1",
+        "--cycles",
+        "1200",
+        "--warmup",
+        "200",
+    ]
+
+    def test_sqlite_backend_end_to_end(self, tmp_path):
+        store = tmp_path / "cache.sqlite"
+        code, first_out, err = run_cli(
+            self.ARGV + ["--store", str(store), "--workers", "2"]
+        )
+        assert code == 0
+        assert store.exists()
+        # The file really is a SQLite database, not JSON lines.
+        assert store.read_bytes()[:15] == b"SQLite format 3"
+
+        code, second_out, err = run_cli(self.ARGV + ["--store", str(store)])
+        assert code == 0
+        assert "— 0 simulated" in err
+        assert json.loads(second_out) == json.loads(first_out)
+
+    def test_explicit_backend_flag(self, tmp_path):
+        store = tmp_path / "cache.dat"  # extension says nothing
+        code, _, _ = run_cli(
+            self.ARGV + ["--store", str(store), "--store-backend", "sqlite"]
+        )
+        assert code == 0
+        assert store.read_bytes()[:15] == b"SQLite format 3"
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["run", "figure5", "--resume"])
+        assert excinfo.value.code == 2
+
+    def test_resume_replays_from_store(self, tmp_path):
+        store = tmp_path / "cache.sqlite"
+        code, first_out, _ = run_cli(self.ARGV + ["--store", str(store)])
+        assert code == 0
+
+        code, second_out, err = run_cli(
+            self.ARGV + ["--store", str(store), "--resume"]
+        )
+        assert code == 0
+        assert "resume: replaying" in err
+        assert "— 0 simulated" in err
+        assert json.loads(second_out) == json.loads(first_out)
+
+    def test_retry_and_timeout_flags_accepted(self, tmp_path):
+        # --job-timeout forces the parallel engine even at one worker, so
+        # the timeout machinery guards serial-sized runs too.
+        code, _, err = run_cli(
+            self.ARGV + ["--max-retries", "0", "--job-timeout", "120"]
+        )
+        assert code == 0
+        assert "warning: run completed with degradation" not in err
+
+    def test_invalid_knob_values_rejected(self):
+        for argv in (
+            ["run", "figure5", "--max-retries", "-1"],
+            ["run", "figure5", "--job-timeout", "0"],
+            ["run", "figure5", "--store-backend", "parquet"],
+        ):
+            with pytest.raises(SystemExit):
+                run_cli(argv)
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         env = dict(os.environ)

@@ -102,6 +102,21 @@ class TestParallelExecutor:
         assert executor.stats.simulated == len(MECHANISMS)
         assert len(store) == len(MECHANISMS)
 
+    def test_shard_stats_after_clean_run(self):
+        executor = ParallelExecutor(workers=2)
+        executor.run(job_batch())
+        # The batch flowed through the shard planner, and a clean run
+        # records no degradation of any kind.
+        assert executor.stats.shards == len(MECHANISMS)
+        assert executor.stats.retries == 0
+        assert executor.stats.timeouts == 0
+        assert executor.stats.worker_failures == 0
+
+    def test_progress_events_carry_attempts(self):
+        collector = ProgressCollector()
+        ParallelExecutor(workers=2).run(job_batch(), progress=collector)
+        assert {event.attempts for event in collector.events} == {1}
+
 
 class TestRunnerEngineIntegration:
     def runner(self, **kwargs) -> ExperimentRunner:

@@ -1,0 +1,100 @@
+"""End-to-end resilience: worker death mid-run, then a free resume.
+
+These tests exercise the two halves of the engine's degradation story on
+real simulation jobs (small measured windows keep them fast):
+
+* a worker SIGKILLed mid-batch must not lose the run — its shard is
+  re-queued, a replacement spawns, and results stay bit-identical to a
+  serial execution;
+* because every completed result was committed to the store immediately,
+  a follow-up run replays the whole batch with zero new simulations.
+"""
+
+import os
+import signal
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.jobs import SimulationJob
+from repro.engine.progress import SOURCE_SIMULATED
+from repro.engine.sqlite_store import SqliteStore
+
+from tests.conftest import small_system, small_workload
+
+CYCLES = 1200
+WARMUP = 200
+
+MECHANISMS = ("refab", "refpb", "darp", "dsarp")
+SEEDS = (0, 1)
+
+
+def job_batch() -> list[SimulationJob]:
+    return [
+        SimulationJob(
+            config=small_system(mechanism),
+            workload=small_workload(),
+            cycles=CYCLES,
+            warmup=WARMUP,
+            seed=seed,
+        )
+        for seed in SEEDS
+        for mechanism in MECHANISMS
+    ]
+
+
+def test_killed_worker_degrades_gracefully_and_resume_is_free(tmp_path):
+    serial = SerialExecutor().run(job_batch())
+
+    store = SqliteStore(tmp_path / "resilience.sqlite")
+    executor = ParallelExecutor(workers=2)
+    victim = {"pid": None}
+
+    def assassin(event) -> None:
+        # SIGKILL a live worker the moment the first simulation lands.
+        if victim["pid"] is None and event.source == SOURCE_SIMULATED:
+            pids = executor.worker_pids()
+            if pids:
+                victim["pid"] = pids[0]
+                os.kill(victim["pid"], signal.SIGKILL)
+
+    survived = executor.run(job_batch(), store=store, progress=assassin)
+
+    assert victim["pid"] is not None, "assassin never fired"
+    assert executor.stats.worker_failures >= 1
+    assert survived == serial
+
+    # Resume path: everything the degraded run finished was committed
+    # incrementally, so a fresh executor replays it all from the store.
+    resumed = SerialExecutor()
+    replayed = resumed.run(job_batch(), store=SqliteStore(store.path))
+    assert replayed == serial
+    assert resumed.stats.simulated == 0
+    assert resumed.stats.store_hits == len(job_batch())
+
+
+def test_degradation_is_reported_in_runner_summary(tmp_path):
+    from repro.sim.runner import ExperimentRunner
+
+    executor = ParallelExecutor(workers=2)
+    victim = {"pid": None}
+
+    def assassin(event) -> None:
+        if victim["pid"] is None and event.source == SOURCE_SIMULATED:
+            pids = executor.worker_pids()
+            if pids:
+                victim["pid"] = pids[0]
+                os.kill(victim["pid"], signal.SIGKILL)
+
+    runner = ExperimentRunner(
+        cycles=CYCLES,
+        warmup=WARMUP,
+        executor=executor,
+        store=SqliteStore(tmp_path / "cache.sqlite"),
+        progress=assassin,
+    )
+    runner.compare(small_workload(), small_system("refab"), MECHANISMS)
+
+    summary = runner.summary()
+    assert victim["pid"] is not None
+    assert summary["worker_failures"] >= 1
+    assert summary["shards"] > 0
+    assert summary["simulated"] == summary["jobs"]

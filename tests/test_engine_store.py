@@ -1,12 +1,14 @@
 """Tests for the engine result stores and result serialization."""
 
 import json
+import multiprocessing
 import pickle
 
 import pytest
 
 from repro.engine.jobs import SimulationJob, execute_job, fingerprint_digest
-from repro.engine.store import InMemoryStore, JsonlStore
+from repro.engine.sqlite_store import SqliteStore, copy_store
+from repro.engine.store import InMemoryStore, JsonlStore, open_store
 from repro.sim.results import SimulationResult
 from repro.workloads.mixes import Workload, make_workload_category
 
@@ -127,3 +129,146 @@ class TestStores:
         assert reopened.get("key1") == result
         assert reopened.get("key2") is None
         assert len(reopened) == 1
+
+    def test_jsonl_store_survives_corrupted_middle_record(self, result, tmp_path):
+        # Corruption anywhere in the file (disk error, manual edit) must
+        # only lose the damaged record, never the records around it.
+        path = tmp_path / "cache.jsonl"
+        store = JsonlStore(path)
+        store.put("key1", result)
+        store.put("key2", result)
+        store.put("key3", result)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2] + "<<GARBAGE>>"
+        path.write_text("\n".join(lines) + "\n")
+        reopened = JsonlStore(path)
+        assert reopened.get("key1") == result
+        assert reopened.get("key2") is None
+        assert reopened.get("key3") == result
+        assert len(reopened) == 2
+
+
+def _sqlite_writer(path, prefix, count, result_dict):
+    """Child-process entry: hammer one SQLite store with upserts."""
+    result = SimulationResult.from_dict(result_dict)
+    store = SqliteStore(path)
+    for index in range(count):
+        store.put(f"{prefix}-{index:03d}", result)
+    store.close()
+
+
+class TestSqliteStore:
+    def test_round_trip_and_reopen(self, result, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        store = SqliteStore(path)
+        assert len(store) == 0
+        assert store.get("key1") is None
+        store.put("key1", result)
+        assert store.get("key1") == result
+        assert "key1" in store
+        store.close()
+
+        with SqliteStore(path) as reopened:
+            assert len(reopened) == 1
+            assert reopened.get("key1") == result
+
+    def test_last_write_wins(self, result, tmp_path):
+        store = SqliteStore(tmp_path / "cache.sqlite")
+        store.put("key1", result)
+        updated = SimulationResult.from_dict(result.to_dict())
+        updated.workload = "other"
+        store.put("key1", updated)
+        assert len(store) == 1
+        assert store.get("key1").workload == "other"
+
+    def test_creates_parent_directories(self, result, tmp_path):
+        path = tmp_path / "nested" / "dir" / "cache.sqlite"
+        SqliteStore(path).put("key1", result)
+        assert SqliteStore(path).get("key1") == result
+
+    def test_keys_are_ordered(self, result, tmp_path):
+        store = SqliteStore(tmp_path / "cache.sqlite")
+        for key in ("zebra", "alpha", "mango"):
+            store.put(key, result)
+        assert list(store.keys()) == ["alpha", "mango", "zebra"]
+
+    def test_unreadable_record_is_a_miss(self, result, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        store = SqliteStore(path)
+        store.put("key1", result)
+        store._conn.execute(
+            "UPDATE results SET result = ? WHERE key = ?", ("not json", "key1")
+        )
+        assert store.get("key1") is None
+
+    def test_concurrent_writers_do_not_corrupt(self, result, tmp_path):
+        # Several processes upserting into one WAL-mode database must all
+        # land: this is the property that lets parallel workers (and even
+        # parallel CI jobs) share one store safely.
+        path = tmp_path / "cache.sqlite"
+        writers, per_writer = 4, 25
+        processes = [
+            multiprocessing.Process(
+                target=_sqlite_writer,
+                args=(path, f"writer{index}", per_writer, result.to_dict()),
+            )
+            for index in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        store = SqliteStore(path)
+        assert len(store) == writers * per_writer
+        for index in range(writers):
+            assert store.get(f"writer{index}-000") == result
+
+
+class TestOpenStore:
+    def test_auto_infers_backend_from_extension(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "cache.jsonl"), JsonlStore)
+        for suffix in ("sqlite", "sqlite3", "db"):
+            assert isinstance(open_store(tmp_path / f"cache.{suffix}"), SqliteStore)
+
+    def test_explicit_backend_overrides_extension(self, tmp_path):
+        assert isinstance(
+            open_store(tmp_path / "cache.dat", backend="sqlite"), SqliteStore
+        )
+        assert isinstance(
+            open_store(tmp_path / "cache.db2", backend="jsonl"), JsonlStore
+        )
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            open_store(tmp_path / "cache.jsonl", backend="parquet")
+
+
+class TestCopyStore:
+    def test_jsonl_sqlite_round_trip_equivalence(self, result, tmp_path):
+        # Both backends share fingerprint keys, so a cache migrates between
+        # them losslessly in either direction.
+        jsonl = JsonlStore(tmp_path / "cache.jsonl")
+        updated = SimulationResult.from_dict(result.to_dict())
+        updated.workload = "other"
+        jsonl.put("key1", result)
+        jsonl.put("key2", updated)
+
+        sqlite = SqliteStore(tmp_path / "cache.sqlite")
+        assert copy_store(jsonl, sqlite) == 2
+        assert sqlite.get("key1") == result
+        assert sqlite.get("key2") == updated
+
+        back = JsonlStore(tmp_path / "roundtrip.jsonl")
+        assert copy_store(sqlite, back) == 2
+        assert sorted(back.keys()) == sorted(jsonl.keys())
+        for key in back.keys():
+            assert back.get(key) == jsonl.get(key)
+
+    def test_source_without_key_enumeration_rejected(self, result, tmp_path):
+        class Opaque:
+            def get(self, key):
+                return None
+
+        with pytest.raises(TypeError, match="does not enumerate keys"):
+            copy_store(Opaque(), InMemoryStore())
