@@ -1,0 +1,18 @@
+"""Remote dispatch overhead: loopback TCP coordinator versus in-process.
+
+Runs the same eight-job batch twice through the shard dispatcher -- once
+with a single in-process worker, once serve-only with one ``repro
+worker`` subprocess on loopback TCP -- and gates the coordinator's tax
+(pickling, framing, heartbeats, result decode) at 15 % once the batch is
+long enough to measure.  Results must be bit-identical across the wire.
+
+Thin shim over the ``remote_dispatch`` entry of the declarative benchmark
+registry (:mod:`repro.bench.suite`), which owns the target, the trend
+checks and the text artifact; see ``benchmarks/conftest.py``.
+"""
+
+from conftest import run_registered
+
+
+def test_remote_dispatch(benchmark, record_result):
+    run_registered(benchmark, record_result, "remote_dispatch")

@@ -18,6 +18,8 @@ documents diff cleanly; only deterministic simulation outputs go into
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 import tempfile
 from pathlib import Path
 from time import perf_counter
@@ -27,6 +29,7 @@ from repro.bench.run import BenchContext
 from repro.bench.spec import BenchSpec, register
 from repro.config.presets import paper_system
 from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.jobs import SimulationJob
 from repro.engine.store import JsonlStore
 from repro.metrics.speedup import geometric_mean
 from repro.sim import experiments
@@ -696,6 +699,33 @@ ENGINE_SCALING_SCALE = experiments.ExperimentScale(
 ENGINE_SCALING_WORKERS = (1, 2, 4)
 
 
+def _spawn_loopback_worker(port: int, workers: int) -> subprocess.Popen:
+    """Start a ``repro worker`` subprocess against a loopback coordinator."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else os.pathsep.join([src_dir, existing])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--workers",
+            str(workers),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
 def _engine_scaling(context: BenchContext):
     """Engine scaling: a figure12-style sweep, serial versus 1/2/4 workers.
 
@@ -732,17 +762,45 @@ def _engine_scaling(context: BenchContext):
                 "identical": result == serial_result,
             }
         )
+    # Remote loopback leg: the same sweep dispatched over the TCP
+    # coordinator to one ``repro worker`` subprocess running two local
+    # processes.  The worker registers before the timer starts, so the
+    # leg measures shard dispatch over the wire, not interpreter boot.
+    remote_executor = ParallelExecutor(
+        workers=0, serve=("127.0.0.1", 0), min_workers=1
+    )
+    worker_proc = _spawn_loopback_worker(remote_executor.coordinator.port, 2)
+    try:
+        if not remote_executor.coordinator.wait_for_workers(1, 120.0):
+            raise RuntimeError("loopback worker never registered")
+        remote_result, remote_s, remote_summary = sweep(remote_executor)
+    finally:
+        remote_executor.shutdown_remote()
+        worker_proc.wait(timeout=30)
+    remote = {
+        "parallel_s": remote_s,
+        "simulated": remote_summary["simulated"],
+        "identical": remote_result == serial_result,
+        "remote_workers": remote_summary["remote_workers"],
+        "bytes_sent": remote_summary["bytes_sent"],
+        "bytes_received": remote_summary["bytes_received"],
+    }
     return {
         "available_cpus": available,
         "serial_s": serial_s,
         "serial_simulated": serial_simulated,
         "rows": rows,
+        "remote": remote,
     }
 
 
 def _engine_scaling_metrics(payload) -> dict:
-    # Parallel fan-out must never change results: gate the identity bit.
+    # Parallel fan-out must never change results: gate the identity bit
+    # for the in-process legs and the remote loopback leg alike.
     identical = all(row["identical"] for row in payload["rows"])
+    remote = payload.get("remote")
+    if remote is not None:
+        identical = identical and remote["identical"]
     return {"results_identical": 1.0 if identical else 0.0}
 
 
@@ -756,6 +814,10 @@ def _engine_scaling_timings(payload) -> dict:
         timings[f"speedup_{row['workers']}w"] = (
             payload["serial_s"] / row["parallel_s"]
         )
+    remote = payload.get("remote")
+    if remote is not None:
+        timings["remote_s"] = remote["parallel_s"]
+        timings["speedup_remote"] = payload["serial_s"] / remote["parallel_s"]
     return timings
 
 
@@ -796,6 +858,15 @@ def _engine_scaling_checks(payload, context: BenchContext) -> None:
         assert row["shards"] >= row["workers"], (
             f"{row['workers']}-worker leg planned only {row['shards']} shards"
         )
+    remote = payload.get("remote")
+    if remote is not None:
+        assert remote["identical"], "remote loopback leg changed results"
+        assert remote["simulated"] == payload["serial_simulated"], (
+            f"remote leg simulated {remote['simulated']} jobs, "
+            f"serial leg simulated {payload['serial_simulated']}"
+        )
+        assert remote["remote_workers"] >= 1, "no remote worker registered"
+        assert remote["bytes_sent"] > 0 and remote["bytes_received"] > 0
 
 
 def _engine_scaling_format(payload) -> str:
@@ -818,6 +889,16 @@ def _engine_scaling_format(payload) -> str:
             f"  {row['parallel_s']:8.2f} s  ({speedup:4.2f}x, "
             f"{'identical' if row['identical'] else 'DIVERGED'}{shards})"
         )
+    remote = payload.get("remote")
+    if remote is not None:
+        speedup = payload["serial_s"] / remote["parallel_s"]
+        lines.append(
+            f"  remote   (1 host x 2 procs): {remote['parallel_s']:6.2f} s  "
+            f"({speedup:4.2f}x, "
+            f"{'identical' if remote['identical'] else 'DIVERGED'}, "
+            f"{remote['bytes_sent']} B out / {remote['bytes_received']} B in "
+            "over loopback TCP)"
+        )
     return "\n".join(lines)
 
 
@@ -831,6 +912,139 @@ register(
         format=_engine_scaling_format,
         # Wall-clock depends on the machine's core count and load; gate
         # loosely and rely on the timings trend instead.
+        max_regression=1.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Remote dispatch: loopback TCP coordinator overhead versus in-process
+# ---------------------------------------------------------------------------
+REMOTE_DISPATCH_MECHANISMS = ("refab", "refpb", "darp", "dsarp")
+
+#: Loopback framing + pickling must stay cheap relative to simulation.
+REMOTE_DISPATCH_MAX_OVERHEAD = 0.15
+
+#: Below this in-process wall clock the batch is too short for the ratio
+#: to measure dispatch (fixed per-shard costs dominate); the overhead
+#: gate self-skips, mirroring the window-sensitive engine-scaling gates.
+REMOTE_DISPATCH_NOISE_FLOOR_S = 1.0
+
+
+def _remote_dispatch_jobs(context: BenchContext) -> list:
+    benchmarks = [get_benchmark("stream_copy"), get_benchmark("random_access")]
+    jobs = []
+    for mechanism in REMOTE_DISPATCH_MECHANISMS:
+        for seed in (0, 1):
+            jobs.append(
+                SimulationJob(
+                    config=paper_system(
+                        density_gb=32, mechanism=mechanism, num_cores=2
+                    ),
+                    workload=make_workload(
+                        benchmarks, name=f"remote_{mechanism}_{seed}", seed=seed
+                    ),
+                    cycles=context.cycles,
+                    warmup=context.warmup,
+                    seed=seed,
+                )
+            )
+    return jobs
+
+
+def _remote_dispatch(context: BenchContext):
+    """Remote dispatch: the same batch in-process versus over loopback TCP.
+
+    Eight two-core jobs (four mechanisms, two seeds) run twice through the
+    same shard dispatcher: once with one in-process worker, once serve-only
+    with one ``repro worker`` subprocess on loopback.  Both legs run one
+    simulation at a time, so the ratio isolates what the coordinator adds —
+    job pickling, length-prefixed framing, heartbeats, and result decode —
+    and the check gates that tax at 15 %.  The worker registers before the
+    remote timer starts, so interpreter boot is excluded by construction.
+    """
+    jobs = _remote_dispatch_jobs(context)
+
+    inproc = ParallelExecutor(workers=1)
+    start = perf_counter()
+    inproc_results = inproc.run(jobs)
+    inproc_s = perf_counter() - start
+
+    remote = ParallelExecutor(workers=0, serve=("127.0.0.1", 0), min_workers=1)
+    worker_proc = _spawn_loopback_worker(remote.coordinator.port, 1)
+    try:
+        if not remote.coordinator.wait_for_workers(1, 120.0):
+            raise RuntimeError("loopback worker never registered")
+        start = perf_counter()
+        remote_results = remote.run(jobs)
+        remote_s = perf_counter() - start
+        stats = remote.stats
+        payload = {
+            "jobs": len(jobs),
+            "inproc_s": inproc_s,
+            "remote_s": remote_s,
+            "overhead": remote_s / inproc_s - 1.0,
+            "identical": [r.to_dict() for r in remote_results]
+            == [r.to_dict() for r in inproc_results],
+            "remote_workers": stats.remote_workers,
+            "bytes_sent": stats.bytes_sent,
+            "bytes_received": stats.bytes_received,
+        }
+    finally:
+        remote.shutdown_remote()
+        worker_proc.wait(timeout=30)
+    return payload
+
+
+def _remote_dispatch_metrics(payload) -> dict:
+    return {"results_identical": 1.0 if payload["identical"] else 0.0}
+
+
+def _remote_dispatch_timings(payload) -> dict:
+    return {
+        "inproc_s": payload["inproc_s"],
+        "remote_s": payload["remote_s"],
+        "overhead": payload["overhead"],
+        "bytes_sent": float(payload["bytes_sent"]),
+        "bytes_received": float(payload["bytes_received"]),
+    }
+
+
+def _remote_dispatch_checks(payload, context: BenchContext) -> None:
+    assert payload["identical"], "remote dispatch changed results"
+    assert payload["remote_workers"] == 1, "expected exactly one remote worker"
+    assert payload["bytes_sent"] > 0 and payload["bytes_received"] > 0, (
+        "no traffic crossed the loopback coordinator"
+    )
+    if payload["inproc_s"] >= REMOTE_DISPATCH_NOISE_FLOOR_S:
+        assert payload["overhead"] <= REMOTE_DISPATCH_MAX_OVERHEAD, (
+            f"loopback dispatch overhead {payload['overhead']:.1%} exceeds "
+            f"{REMOTE_DISPATCH_MAX_OVERHEAD:.0%}"
+        )
+
+
+def _remote_dispatch_format(payload) -> str:
+    return (
+        f"Remote dispatch overhead ({payload['jobs']} jobs; loopback TCP "
+        "coordinator + 1 worker vs in-process dispatcher)\n"
+        f"  in-process (1 worker): {payload['inproc_s']:8.2f} s\n"
+        f"  remote     (1 worker): {payload['remote_s']:8.2f} s  "
+        f"({payload['overhead']:+.1%} overhead, "
+        f"{'identical' if payload['identical'] else 'DIVERGED'}; "
+        f"{payload['bytes_sent']} B out / {payload['bytes_received']} B in)"
+    )
+
+
+register(
+    BenchSpec(
+        name="remote_dispatch",
+        target=_remote_dispatch,
+        metrics=_remote_dispatch_metrics,
+        timings=_remote_dispatch_timings,
+        checks=_remote_dispatch_checks,
+        format=_remote_dispatch_format,
+        # Wall-clock spans two full legs and a subprocess; the real gate
+        # is the 15 % overhead check, not the suite-level elapsed time.
         max_regression=1.0,
     )
 )

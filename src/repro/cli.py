@@ -10,6 +10,10 @@ drives the performance-benchmark suite and its regression gate::
     python -m repro run table3 --cycles 8000 --output table3.json
     python -m repro sweep examples/sweep_spec.json --workers 4 \
         --store results/cache.jsonl --out results/sweeps/example
+    python -m repro sweep examples/sweep_spec.json --serve 0.0.0.0:7351 \
+        --min-workers 2 --store results/cache.sqlite
+    python -m repro worker --connect coordinator-host:7351 --workers 8
+    python -m repro store compact results/cache.jsonl
     python -m repro bench run --tier quick --workers 4 --json bench.json
     python -m repro bench compare benchmarks/baseline.json bench.json \
         --max-regression 25%
@@ -245,6 +249,15 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _hostport(text: str) -> tuple[str, int]:
+    from repro.engine.remote import parse_hostport
+
+    try:
+        return parse_hostport(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _density_list(text: str) -> tuple[int, ...]:
     try:
         densities = tuple(int(part) for part in text.split(",") if part.strip())
@@ -261,9 +274,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """Options shared by every simulating subcommand (``run``, ``sweep``)."""
     parser.add_argument(
         "--workers",
-        type=_positive_int,
+        type=_nonnegative_int,
         default=1,
-        help="worker processes for the simulation fan-out (default: 1, serial)",
+        help=(
+            "worker processes for the simulation fan-out (default: 1, "
+            "serial; 0 is allowed only with --serve and means serve-only)"
+        ),
     )
     parser.add_argument(
         "--store",
@@ -307,6 +323,27 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "kill and retry any single job running longer than this "
             "(default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--serve",
+        type=_hostport,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "open a TCP coordinator so remote 'repro worker' processes "
+            "can join the shard queue (port 0 picks an ephemeral port; "
+            "--workers 0 runs every job remotely)"
+        ),
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=_nonnegative_int,
+        default=0,
+        metavar="K",
+        help=(
+            "with --serve: wait for K remote workers to connect before "
+            "dispatching the first batch (default: 0, start immediately)"
         ),
     )
     parser.add_argument(
@@ -553,6 +590,101 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the markdown regression report to a file",
     )
 
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="serve this host's cores to a remote sweep coordinator",
+        description=(
+            "Connect to a coordinator started with 'repro run/sweep ... "
+            "--serve HOST:PORT' and execute its shards on local worker "
+            "processes.  Results stream back over the same length-prefixed "
+            "JSON protocol and are committed by the coordinator, so the "
+            "sweep output is bit-identical to a local run.  The worker "
+            "exits when the coordinator shuts down or the link drops."
+        ),
+    )
+    worker_parser.add_argument(
+        "--connect",
+        type=_hostport,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (the --serve address of the sweep)",
+    )
+    worker_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="simulation processes to serve from this host (default: 1)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat interval to the coordinator (default: 2)",
+    )
+    worker_parser.add_argument(
+        "--connect-timeout",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "keep retrying the TCP connect this long, so workers may "
+            "start before the coordinator (default: 30)"
+        ),
+    )
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect, copy and compact result stores",
+        description=(
+            "Maintain the fingerprint-keyed result stores behind --store: "
+            "'stat' summarizes a store, 'copy' migrates results between "
+            "stores/backends, and 'compact' rewrites a JSONL store keeping "
+            "only the latest record per key (or checkpoints and VACUUMs a "
+            "SQLite store)."
+        ),
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    store_stat = store_subparsers.add_parser(
+        "stat", help="summarize a result store"
+    )
+    store_stat.add_argument("path", help="store file (JSONL or SQLite)")
+    store_stat.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        default="auto",
+        help="store format (default: auto, infer from the extension)",
+    )
+    store_copy = store_subparsers.add_parser(
+        "copy", help="copy every result from one store into another"
+    )
+    store_copy.add_argument("source", help="store to read")
+    store_copy.add_argument("destination", help="store to write (created if missing)")
+    store_copy.add_argument(
+        "--source-backend",
+        choices=STORE_BACKENDS,
+        default="auto",
+        help="source format (default: auto)",
+    )
+    store_copy.add_argument(
+        "--destination-backend",
+        choices=STORE_BACKENDS,
+        default="auto",
+        help="destination format (default: auto)",
+    )
+    store_compact = store_subparsers.add_parser(
+        "compact",
+        help="drop stale JSONL records / VACUUM a SQLite store in place",
+    )
+    store_compact.add_argument("path", help="store file (JSONL or SQLite)")
+    store_compact.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        default="auto",
+        help="store format (default: auto, infer from the extension)",
+    )
+
     trace_parser = subparsers.add_parser(
         "trace",
         help="analyze command-stream traces written with --trace",
@@ -744,12 +876,33 @@ def _build_runner(
             )
     max_retries = getattr(args, "max_retries", 2)
     job_timeout = getattr(args, "job_timeout", None)
-    if args.workers > 1 or job_timeout is not None:
+    serve = getattr(args, "serve", None)
+    min_workers = getattr(args, "min_workers", 0)
+    if serve is None and args.workers == 0:
+        stderr.write("error: --workers 0 (serve-only) requires --serve\n")
+        raise SystemExit(2)
+    if serve is None and min_workers > 0:
+        stderr.write("error: --min-workers requires --serve\n")
+        raise SystemExit(2)
+    if serve is not None or args.workers > 1 or job_timeout is not None:
         executor: JobExecutor = ParallelExecutor(
             workers=args.workers,
             max_retries=max_retries,
             job_timeout=job_timeout,
+            serve=serve,
+            min_workers=min_workers,
         )
+        if executor.coordinator is not None:
+            stderr.write(
+                f"serving shards on "
+                f"{executor.coordinator.host}:{executor.coordinator.port}"
+                + (
+                    f" (waiting for {min_workers} worker"
+                    f"{'s' if min_workers != 1 else ''})\n"
+                    if min_workers
+                    else "\n"
+                )
+            )
     else:
         executor = SerialExecutor()
     obs = None
@@ -788,20 +941,35 @@ def _write_run_summary(
         f"({summary['elapsed_s']:.2f}s in engine"
         f", {args.workers} worker{'s' if args.workers != 1 else ''})\n"
     )
+    remote_workers = summary.get("remote_workers", 0)
+    reassignments = summary.get("reassignments", 0)
+    if remote_workers or getattr(args, "serve", None) is not None:
+        stderr.write(
+            f"remote: {remote_workers} worker"
+            f"{'s' if remote_workers != 1 else ''} joined, "
+            f"{summary.get('bytes_sent', 0)} bytes sent / "
+            f"{summary.get('bytes_received', 0)} received, "
+            f"{reassignments} shard reassignment"
+            f"{'s' if reassignments != 1 else ''}\n"
+        )
     failures = summary.get("worker_failures", 0)
     timeouts = summary.get("timeouts", 0)
     retries = summary.get("retries", 0)
-    if failures or timeouts or retries:
+    if failures or timeouts or retries or reassignments:
         stderr.write(
             f"warning: run completed with degradation — {failures} worker "
             f"failure{'s' if failures != 1 else ''}, {timeouts} "
             f"timeout{'s' if timeouts != 1 else ''}, {retries} retried "
-            f"job{'s' if retries != 1 else ''}\n"
+            f"job{'s' if retries != 1 else ''}, {reassignments} reassigned "
+            f"shard{'s' if reassignments != 1 else ''}\n"
         )
     if runner.store is not None:
         stderr.write(
             f"store: {runner.store.path} now holds {len(runner.store)} results\n"
         )
+    shutdown = getattr(runner.executor, "shutdown_remote", None)
+    if callable(shutdown):
+        shutdown()
 
 
 def _run_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
@@ -1147,6 +1315,74 @@ def _report_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) ->
     return _report_run_command(args, stdout, stderr)
 
 
+def _worker_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    """``repro worker``: serve local cores to a remote coordinator."""
+    from repro.engine.remote import HEARTBEAT_S, run_worker
+
+    host, port = args.connect
+    return run_worker(
+        host,
+        port,
+        workers=args.workers,
+        heartbeat_s=args.heartbeat if args.heartbeat is not None else HEARTBEAT_S,
+        connect_timeout_s=args.connect_timeout,
+        stderr=stderr,
+    )
+
+
+def _describe_store(path: str, store) -> str:
+    backend = type(store).__name__
+    size = sum(
+        os.path.getsize(path + suffix)
+        for suffix in ("", "-wal", "-shm")
+        if os.path.exists(path + suffix)
+    )
+    line = f"{path}: {backend}, {len(store)} result(s), {size} bytes on disk"
+    record_count = getattr(store, "record_count", None)
+    if callable(record_count):
+        records = record_count()
+        stale = records - len(store)
+        line += f"; {records} record line(s), {stale} stale"
+    return line
+
+
+def _store_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
+    """``repro store stat|copy|compact``: result-store maintenance."""
+    from repro.engine.sqlite_store import copy_store
+
+    if args.store_command == "copy":
+        if not os.path.exists(args.source):
+            stderr.write(f"error: {args.source} does not exist\n")
+            return 2
+        source = open_store(args.source, backend=args.source_backend)
+        destination = open_store(args.destination, backend=args.destination_backend)
+        copied = copy_store(source, destination)
+        stdout.write(
+            f"copied {copied} result(s) from {args.source} to "
+            f"{args.destination}\n"
+        )
+        stdout.write(_describe_store(args.destination, destination) + "\n")
+        return 0
+    if not os.path.exists(args.path):
+        stderr.write(f"error: {args.path} does not exist\n")
+        return 2
+    store = open_store(args.path, backend=args.store_backend)
+    if args.store_command == "stat":
+        stdout.write(_describe_store(args.path, store) + "\n")
+        return 0
+    compact = getattr(store, "compact", None)
+    if not callable(compact):
+        stderr.write(f"error: {type(store).__name__} cannot be compacted\n")
+        return 2
+    outcome = compact()
+    stdout.write(
+        f"compacted {args.path}: {outcome['records_before']} -> "
+        f"{outcome['records_after']} record(s), {outcome['bytes_before']} -> "
+        f"{outcome['bytes_after']} bytes\n"
+    )
+    return 0
+
+
 def _bench_command(args: argparse.Namespace, stdout: TextIO, stderr: TextIO) -> int:
     if args.bench_command == "list":
         return _bench_list_command(stdout)
@@ -1189,6 +1425,10 @@ def main(
         return _sweep_command(args, stdout, stderr)
     if args.command == "bench":
         return _bench_command(args, stdout, stderr)
+    if args.command == "worker":
+        return _worker_command(args, stdout, stderr)
+    if args.command == "store":
+        return _store_command(args, stdout, stderr)
     if args.command == "trace":
         return _trace_command(args, stdout, stderr)
     if args.command == "profile":

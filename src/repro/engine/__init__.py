@@ -20,6 +20,10 @@ executed and *where* their results live:
   concurrent-safe :class:`SqliteStore`) keyed by job fingerprint, so
   results persist across processes, benchmarks and CI runs and a killed
   run resumes from the store with zero re-simulation,
+* :mod:`repro.engine.remote` — multi-host fan-out: a TCP shard-dispatch
+  coordinator (``--serve HOST:PORT``) and the ``repro worker`` runtime,
+  speaking a length-prefixed JSON protocol, so sweep throughput scales
+  with hosts while results stay bit-identical to a serial run,
 * :mod:`repro.engine.progress` — job-level progress events and callbacks.
 
 The :class:`~repro.sim.runner.ExperimentRunner` plans job batches and
@@ -42,10 +46,19 @@ from repro.engine.progress import (
     ProgressPrinter,
 )
 from repro.engine.queue import (
+    CostModel,
     JobFailedError,
     Shard,
     ShardDispatcher,
     plan_shards,
+)
+from repro.engine.remote import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    RemoteCoordinator,
+    parse_hostport,
+    run_worker,
 )
 from repro.engine.sqlite_store import SqliteStore, copy_store
 from repro.engine.store import (
@@ -66,7 +79,14 @@ __all__ = [
     "JobFailedError",
     "Shard",
     "ShardDispatcher",
+    "CostModel",
     "plan_shards",
+    "RemoteCoordinator",
+    "FrameDecoder",
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "parse_hostport",
+    "run_worker",
     "JobEvent",
     "ProgressCallback",
     "ProgressCollector",

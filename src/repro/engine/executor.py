@@ -36,8 +36,10 @@ from repro.engine.progress import (
 from repro.engine.queue import (
     RETRY_BACKOFF_S,
     SHARDS_PER_WORKER,
+    CostModel,
     ShardDispatcher,
 )
+from repro.engine.remote import RemoteCoordinator
 from repro.engine.store import ResultStore
 from repro.stats import StatsSchema, StatsStruct, register_schema
 
@@ -62,6 +64,11 @@ class ExecutorStats(StatsStruct):
                 "retries",
                 "timeouts",
                 "worker_failures",
+                "remote_workers",
+                "bytes_sent",
+                "bytes_received",
+                "reassignments",
+                "calibrated_jobs",
             ),
         )
     )
@@ -80,6 +87,16 @@ class ExecutorStats(StatsStruct):
     timeouts: int = 0
     #: Worker processes that died mid-run and were replaced.
     worker_failures: int = 0
+    #: Remote workers that completed the TCP handshake (``--serve`` runs).
+    remote_workers: int = 0
+    #: Protocol bytes streamed to / received from remote workers.
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: Shards pulled back from a dead remote worker and re-queued.
+    reassignments: int = 0
+    #: Jobs whose shard-planning cost came from the calibrated EWMA
+    #: table rather than the static cycles x cores estimate.
+    calibrated_jobs: int = 0
 
     def snapshot(self) -> "ExecutorStats":
         """Immutable copy, for before/after delta accounting."""
@@ -222,6 +239,24 @@ class ParallelExecutor(JobExecutor):
         Optional per-job wall-clock limit in seconds.  A hung simulation
         no longer stalls the batch forever: its worker is killed and the
         job retried.
+    ``serve``
+        Optional ``(host, port)``: open a TCP coordinator
+        (:mod:`repro.engine.remote`) so remote ``repro worker``
+        processes can join the shard queue.  ``workers=0`` is then
+        allowed and means serve-only — every job runs on remote hosts
+        unless they all die, in which case a local worker finishes the
+        batch.  The coordinator outlives batches (workers stay
+        connected across a sweep); call :meth:`shutdown_remote` to send
+        the shutdown frame and release the port.
+    ``min_workers``
+        With ``serve``, block before the first batch until this many
+        remote workers have joined (bounded by
+        ``min_workers_timeout_s``).
+
+    Every finished job's wall-clock feeds a calibrated
+    :class:`~repro.engine.queue.CostModel`, so later batches on the same
+    executor plan shards from measured seconds instead of the static
+    cycles x cores estimate.
     """
 
     def __init__(
@@ -231,15 +266,32 @@ class ParallelExecutor(JobExecutor):
         job_timeout: Optional[float] = None,
         shards_per_worker: int = SHARDS_PER_WORKER,
         retry_backoff_s: float = RETRY_BACKOFF_S,
+        serve: Optional[tuple[str, int]] = None,
+        min_workers: int = 0,
+        min_workers_timeout_s: float = 300.0,
     ) -> None:
         super().__init__()
-        if workers is not None and workers < 1:
+        if workers is not None and workers < 1 and serve is None:
             raise ValueError(f"workers must be positive, got {workers}")
+        if workers is not None and workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if min_workers > 0 and serve is None:
+            raise ValueError("min_workers requires serve=(host, port)")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.max_retries = max_retries
         self.job_timeout = job_timeout
         self.shards_per_worker = shards_per_worker
         self.retry_backoff_s = retry_backoff_s
+        self.min_workers = min_workers
+        self.min_workers_timeout_s = min_workers_timeout_s
+        self.cost_model = CostModel()
+        self.coordinator: Optional[RemoteCoordinator] = None
+        if serve is not None:
+            host, port = serve
+            self.coordinator = RemoteCoordinator(
+                stats=self.stats, host=host, port=port, job_timeout=job_timeout
+            )
+        self._waited_for_workers = False
         self._dispatcher: Optional[ShardDispatcher] = None
 
     def worker_pids(self) -> list[int]:
@@ -247,13 +299,35 @@ class ParallelExecutor(JobExecutor):
         dispatcher = self._dispatcher
         return dispatcher.worker_pids() if dispatcher is not None else []
 
+    def shutdown_remote(self) -> None:
+        """Send remote workers the shutdown frame and close the port."""
+        if self.coordinator is not None:
+            self.coordinator.close()
+            self.coordinator = None
+
     def _execute_pending(self, pending, total, progress, store):
         jobs = [job for _, job in pending]
         indexes = [index for index, _ in pending]
 
+        if (
+            self.coordinator is not None
+            and self.min_workers > 0
+            and not self._waited_for_workers
+        ):
+            if not self.coordinator.wait_for_workers(
+                self.min_workers, self.min_workers_timeout_s
+            ):
+                raise RuntimeError(
+                    f"timed out after {self.min_workers_timeout_s:.0f}s waiting "
+                    f"for {self.min_workers} remote worker(s) on "
+                    f"{self.coordinator.host}:{self.coordinator.port}"
+                )
+            self._waited_for_workers = True
+
         def on_result(slot, result, elapsed_s, attempts):
             job = jobs[slot]
             _record_job_span(job, elapsed_s)
+            self.cost_model.observe(job, elapsed_s)
             if store is not None:
                 store.put(job.key(), result)
             if progress is not None:
@@ -277,6 +351,8 @@ class ParallelExecutor(JobExecutor):
             job_timeout=self.job_timeout,
             shards_per_worker=self.shards_per_worker,
             retry_backoff_s=self.retry_backoff_s,
+            remote=self.coordinator,
+            cost_model=self.cost_model,
         )
         self._dispatcher = dispatcher
         try:

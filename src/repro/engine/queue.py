@@ -85,6 +85,88 @@ def estimate_cost(job) -> float:
         return 1.0
 
 
+#: Weight of the newest observation in the calibrated cost model.
+COST_EWMA_ALPHA = 0.3
+
+
+class CostModel:
+    """Calibrated per-job cost estimates from observed wall-clock.
+
+    The static :func:`estimate_cost` (cycles x cores) ranks jobs but
+    knows nothing about how mechanisms actually differ in work per
+    cycle.  This model records each finished job's measured seconds into
+    an EWMA table keyed by the fingerprint fields that determine runtime
+    — (mechanism, cores, density, window length) — and feeds the
+    calibrated figure back into :func:`plan_shards`, so repeat sweeps
+    balance on measured cost.  Keys never observed fall back to the
+    static estimate scaled by the global seconds-per-unit EWMA, keeping
+    mixed batches in one consistent unit (seconds).
+    """
+
+    def __init__(self, alpha: float = COST_EWMA_ALPHA) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.observations = 0
+        self._measured: dict[tuple, float] = {}
+        self._seconds_per_unit: Optional[float] = None
+
+    @staticmethod
+    def job_key(job) -> Optional[tuple]:
+        """Fingerprint fields that determine a job's runtime, or None
+        for jobs without a full config (test doubles)."""
+        try:
+            config = job.config
+            return (
+                config.refresh.mechanism.value,
+                config.cpu.num_cores,
+                config.dram.density_gb,
+                job.cycles + job.warmup,
+            )
+        except AttributeError:
+            return None
+
+    def is_calibrated(self, job) -> bool:
+        return CostModel.job_key(job) in self._measured
+
+    def observe(self, job, elapsed_s: float) -> None:
+        if elapsed_s <= 0:
+            return
+        key = CostModel.job_key(job)
+        if key is None:
+            return
+        self.observations += 1
+        previous = self._measured.get(key)
+        if previous is None:
+            self._measured[key] = elapsed_s
+        else:
+            self._measured[key] = previous + self.alpha * (elapsed_s - previous)
+        static = estimate_cost(job)
+        if static > 0:
+            ratio = elapsed_s / static
+            if self._seconds_per_unit is None:
+                self._seconds_per_unit = ratio
+            else:
+                self._seconds_per_unit += self.alpha * (
+                    ratio - self._seconds_per_unit
+                )
+
+    def estimate(self, job) -> float:
+        """Calibrated seconds when the key was observed; scaled static
+        cost otherwise."""
+        key = CostModel.job_key(job)
+        if key is not None and key in self._measured:
+            return self._measured[key]
+        static = estimate_cost(job)
+        if self._seconds_per_unit is not None:
+            return static * self._seconds_per_unit
+        return static
+
+    def snapshot(self) -> dict[tuple, float]:
+        """The current EWMA table, for diagnostics and tests."""
+        return dict(self._measured)
+
+
 @dataclass(frozen=True)
 class Shard:
     """A contiguous unit of dispatch: several jobs bound for one worker."""
@@ -106,6 +188,7 @@ def plan_shards(
     jobs: Sequence,
     workers: int,
     shards_per_worker: int = SHARDS_PER_WORKER,
+    cost_fn: Callable[[object], float] = estimate_cost,
 ) -> list[Shard]:
     """Chunk a job batch into cost-balanced shards, heaviest first.
 
@@ -113,14 +196,16 @@ def plan_shards(
     into the currently lightest shard, which bounds the heaviest shard at
     ~4/3 of optimal while staying deterministic.  The plan produces up to
     ``workers * shards_per_worker`` shards so the tail of the run is made
-    of small units that idle workers can steal.
+    of small units that idle workers can steal.  ``cost_fn`` defaults to
+    the static estimate; the executor passes a calibrated
+    :class:`CostModel` once wall-clock observations exist.
     """
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
     if not jobs:
         return []
     count = max(1, min(len(jobs), workers * shards_per_worker))
-    costs = [estimate_cost(job) for job in jobs]
+    costs = [cost_fn(job) for job in jobs]
     bins: list[tuple[list[int], float]] = [([], 0.0) for _ in range(count)]
     order = sorted(range(len(jobs)), key=lambda slot: (-costs[slot], slot))
     for slot in order:
@@ -141,8 +226,18 @@ def plan_shards(
     ]
 
 
-def _worker_main(worker_id: int, tasks, results) -> None:
-    """Child-process loop: execute shards until the ``None`` sentinel."""
+def _worker_main(worker_id: int, tasks, results, close_fds=()) -> None:
+    """Child-process loop: execute shards until the ``None`` sentinel.
+
+    ``close_fds`` lists parent-side fds the fork start method leaks into
+    this child — notably the write end of its own task pipe, which would
+    stop ``tasks.recv()`` from ever reporting EOF once the parent dies.
+    """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
     while True:
         try:
             shard = tasks.recv()
@@ -214,6 +309,16 @@ class ShardDispatcher:
     :class:`~repro.engine.executor.ExecutorStats`): the dispatcher
     increments ``shards``, ``steals``, ``retries``, ``timeouts`` and
     ``worker_failures`` on it.
+
+    ``remote`` is an optional
+    :class:`~repro.engine.remote.RemoteCoordinator`: its connected
+    workers join the same shard plan, pulled from the same ready queue
+    as the local pool, and a remote death re-queues its shards to any
+    survivor.  ``workers=0`` is allowed only with a coordinator
+    (serve-only mode); if every remote worker dies after at least one
+    had joined, a local worker is spawned so the batch still finishes.
+    ``cost_model`` is an optional :class:`CostModel` used for shard
+    planning in place of the static estimate.
     """
 
     def __init__(
@@ -225,9 +330,13 @@ class ShardDispatcher:
         job_timeout: Optional[float] = None,
         shards_per_worker: int = SHARDS_PER_WORKER,
         retry_backoff_s: float = RETRY_BACKOFF_S,
+        remote=None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
-        if workers < 1:
+        if workers < 1 and remote is None:
             raise ValueError(f"workers must be positive, got {workers}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if job_timeout is not None and job_timeout <= 0:
@@ -239,6 +348,9 @@ class ShardDispatcher:
         self.job_timeout = job_timeout
         self.shards_per_worker = shards_per_worker
         self.retry_backoff_s = retry_backoff_s
+        self.remote = remote
+        self.cost_model = cost_model
+        self._cost_fn = cost_model.estimate if cost_model is not None else estimate_cost
         self._mp = multiprocessing.get_context()
         self._live: dict[int, _Worker] = {}
         self._next_worker_id = 0
@@ -259,9 +371,16 @@ class ShardDispatcher:
         result_recv, result_send = self._mp.Pipe(duplex=False)
         worker_id = self._next_worker_id
         self._next_worker_id += 1
+        close_fds = ()
+        if self._mp.get_start_method() == "fork":
+            inherited = [task_send.fileno(), result_recv.fileno()]
+            for sibling in self._live.values():
+                inherited.append(sibling.task_conn.fileno())
+                inherited.append(sibling.result_conn.fileno())
+            close_fds = tuple(inherited)
         process = self._mp.Process(
             target=_worker_main,
-            args=(worker_id, task_recv, result_send),
+            args=(worker_id, task_recv, result_send, close_fds),
             name=f"repro-worker-{worker_id}",
             daemon=True,
         )
@@ -291,9 +410,17 @@ class ShardDispatcher:
         failed: dict[int, str] = {}
         attempts: dict[int, int] = {}
 
-        shards = plan_shards(jobs, self.workers, self.shards_per_worker)
+        remote = self.remote
+        capacity = self.workers + (remote.total_capacity() if remote else 0)
+        shards = plan_shards(
+            jobs, max(1, capacity), self.shards_per_worker, cost_fn=self._cost_fn
+        )
         self._next_shard_id = len(shards)
         self.stats.shards += len(shards)
+        if self.cost_model is not None:
+            self.stats.calibrated_jobs += sum(
+                1 for job in jobs if self.cost_model.is_calibrated(job)
+            )
         ready: list[Shard] = list(shards)
         delayed: list[tuple[float, Shard]] = []
 
@@ -313,8 +440,8 @@ class ShardDispatcher:
                 shard_id=self._next_shard_id,
                 jobs=tuple(jobs[slot] for slot in pending_slots),
                 slots=pending_slots,
-                cost=sum(estimate_cost(jobs[slot]) for slot in pending_slots),
-                preferred_worker=self._next_shard_id % self.workers,
+                cost=sum(self._cost_fn(jobs[slot]) for slot in pending_slots),
+                preferred_worker=self._next_shard_id % max(1, self.workers),
             )
             self._next_shard_id += 1
             if delay_s > 0:
@@ -415,10 +542,15 @@ class ShardDispatcher:
                         (when, shard) for when, shard in delayed if when > now
                     ]
                     ready.extend(due)
-                if not self._live and (ready or delayed):
+                remote_alive = remote is not None and remote.live_count() > 0
+                if not self._live and not remote_alive and (ready or delayed):
                     # Every worker died while work remains (possible when
                     # respawns were skipped at the very end of the drain).
-                    self._spawn_worker()
+                    # In serve-only mode, hold off until the first remote
+                    # worker has ever joined: before that, the queue is
+                    # simply waiting for connections, not degraded.
+                    if remote is None or remote.ever_registered > 0:
+                        self._spawn_worker()
                 for worker in list(self._live.values()):
                     if worker.idle() and ready:
                         shard = ready.pop(0)
@@ -439,8 +571,22 @@ class ShardDispatcher:
                             worker.shard = shard  # reap() re-queues it whole
                             reap(worker, "died before dispatch", False)
 
+                if remote is not None:
+                    while ready:
+                        target = remote.next_idle_worker()
+                        if target is None:
+                            break
+                        shard = ready.pop(0)
+                        if not remote.dispatch(target, shard):
+                            ready.insert(0, shard)  # worker reaped on send
+                            break
+
                 watch = [worker.result_conn for worker in self._live.values()]
                 watch += [worker.process.sentinel for worker in self._live.values()]
+                if remote is not None:
+                    # Wake immediately on remote traffic too; otherwise a
+                    # serve-only run pays up to a tick of latency per frame.
+                    watch += remote.wait_channels()
                 if watch:
                     connection_wait(watch, timeout=_TICK_S)
                 else:
@@ -482,6 +628,35 @@ class ShardDispatcher:
                             f"timed out after {self.job_timeout:.2f}s",
                             in_flight_failed=True,
                         )
+
+                if remote is not None:
+                    for event in remote.poll():
+                        if event[0] == "done":
+                            _, slot, result, elapsed_s = event
+                            if slot in resolved:
+                                continue  # a presumed-lost job that finished
+                            resolved.add(slot)
+                            failed.pop(slot, None)
+                            results[slot] = result
+                            self.on_result(
+                                slot, result, elapsed_s, attempts.get(slot, 0) + 1
+                            )
+                        elif event[0] == "error":
+                            _, slot, reason = event
+                            if slot not in resolved:
+                                retry_or_fail(slot, reason)
+                    for shard, pending, running, reason in remote.take_orphans():
+                        for slot in running:
+                            if slot not in resolved and slot not in failed:
+                                retry_or_fail(slot, reason)
+                        if pending:
+                            log.warning(
+                                "re-queuing %d job(s) of shard %d after remote %s",
+                                len(pending),
+                                shard.shard_id,
+                                reason,
+                            )
+                            requeue(pending)
         finally:
             self._shutdown()
 

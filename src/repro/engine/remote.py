@@ -1,0 +1,996 @@
+"""Multi-host shard dispatch: TCP coordinator + remote worker runtime.
+
+PR 9 made the engine a resilient *single-host* service; this module adds
+the multi-node fan-out from the roadmap.  A sweep started with
+``repro run/sweep ... --serve HOST:PORT`` opens a listening socket next
+to its local worker pool; any machine that can reach it runs
+``repro worker --connect HOST:PORT --workers N`` to advertise ``N``
+local simulation processes and pull cost-balanced shards from the very
+same :func:`~repro.engine.queue.plan_shards` plan the in-process
+dispatcher uses.  Results flow back as
+:class:`~repro.sim.results.SimulationResult` dicts and are committed
+through the coordinator's fingerprint-keyed store, so ``--resume`` and
+warm-cache semantics are unchanged across hosts and the merged output is
+bit-identical to a serial run.
+
+Wire protocol
+-------------
+Length-prefixed JSON over TCP, stdlib ``socket``/``selectors`` only:
+every frame is a 4-byte big-endian payload length followed by a UTF-8
+JSON object with a ``type`` field.  Oversized frames are rejected on
+both ends (:data:`MAX_FRAME_BYTES`), and a connection that closes
+mid-frame surfaces as a :class:`FrameError`, never a hang.
+
+============  =========== ==========================================
+direction     type        payload
+============  =========== ==========================================
+worker → coo  hello       version, capacity, host, pid
+coo → worker  welcome     version, job_timeout
+coo → worker  reject      reason (version mismatch, bad capacity)
+coo → worker  shard       shard, slots, jobs (base64 pickles)
+worker → coo  started     shard, slot
+worker → coo  done        shard, slot, result, elapsed_s
+worker → coo  error       shard, slot, reason, elapsed_s
+worker → coo  shard_done  shard
+worker → coo  heartbeat   --
+coo → worker  shutdown    --
+============  =========== ==========================================
+
+Job specs cross the wire as pickles (they embed full simulator
+configs), so the protocol is for *trusted* networks — the lab cluster
+the paper's sweeps were sized for — not the open internet.
+
+Failure semantics mirror the local dispatcher: a worker that drops its
+connection or misses heartbeats is reaped, its finished slots are kept,
+its in-flight job re-enters the bounded-retry path, and the rest of its
+shards are re-queued to any surviving worker (local or remote).  The
+run completes with a degradation warning instead of crashing.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import multiprocessing
+import os
+import pickle
+import select
+import socket
+import struct
+from dataclasses import dataclass, field
+from time import monotonic, perf_counter
+from typing import Optional
+
+from repro.engine.queue import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_SHARD_DONE,
+    MSG_STARTED,
+    Shard,
+    _worker_main,
+)
+from repro.obs.log import get_logger
+
+log = get_logger(__name__)
+
+#: Bump on any incompatible wire change; workers with a different
+#: version are refused at the handshake.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload, enforced by sender and receiver.
+#: Generous for shards of pickled jobs and result dicts; small enough
+#: that a corrupt length header cannot balloon into an OOM.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: How often an idle worker pings the coordinator.
+HEARTBEAT_S = 2.0
+
+#: Silence longer than this marks a remote worker dead and reassigns
+#: its shards.  A SIGKILL is usually seen much sooner as a socket EOF;
+#: the timeout catches partitioned networks and frozen hosts.
+HEARTBEAT_TIMEOUT_S = 15.0
+
+#: Selector tick for both event loops, matching the local dispatcher.
+_TICK_S = 0.05
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(RuntimeError):
+    """A frame violated the protocol (truncated, oversized, not JSON)."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its on-wire form (header + JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder for the non-blocking receive paths.
+
+    Feed it raw ``recv`` chunks; it returns every complete message and
+    buffers the rest, raising :class:`FrameError` on oversized or
+    malformed frames.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        messages = []
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if length > self.max_frame_bytes:
+                raise FrameError(
+                    f"frame payload of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            payload = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+            del self._buffer[: _HEADER.size + length]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                raise FrameError(f"frame payload is not valid JSON: {error}")
+            if not isinstance(message, dict):
+                raise FrameError("frame payload must be a JSON object")
+            messages.append(message)
+        return messages
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def send_frame(sock: socket.socket, message: dict, timeout_s: float = 30.0) -> int:
+    """Send one frame, tolerating a non-blocking socket; returns bytes sent."""
+    data = encode_frame(message)
+    total = len(data)
+    deadline = monotonic() + timeout_s
+    view = memoryview(data)
+    while view:
+        try:
+            sent = sock.send(view)
+        except (BlockingIOError, InterruptedError):
+            if monotonic() > deadline:
+                raise FrameError(f"send stalled for {timeout_s:.0f}s")
+            select.select([], [sock], [], _TICK_S)
+            continue
+        if sent == 0:
+            raise FrameError("connection closed mid-send")
+        view = view[sent:]
+    return total
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Blocking receive of exactly one frame (tests, simple clients)."""
+
+    def recv_exact(count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            if not chunk:
+                raise FrameError(
+                    f"truncated frame: connection closed after "
+                    f"{len(chunks)} of {count} bytes"
+                )
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    (length,) = _HEADER.unpack(recv_exact(_HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    decoder = FrameDecoder()
+    messages = decoder.feed(_HEADER.pack(length) + recv_exact(length))
+    return messages[0]
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (port 0 binds an ephemeral port when serving)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"port must be an integer, got {port_text!r}")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port must be in [0, 65535], got {port}")
+    return host, port
+
+
+# ---------------------------------------------------------------------------
+# Payload encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_job(job) -> str:
+    return base64.b64encode(pickle.dumps(job)).decode("ascii")
+
+
+def decode_job(text: str):
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def encode_result(result) -> dict:
+    """JSON-safe envelope for one result.
+
+    :class:`~repro.sim.results.SimulationResult` travels as its
+    ``to_dict()`` form (the same schema as ``results.jsonl``, so remote
+    completions are bit-identical to local ones); anything else — test
+    doubles, plain values — falls back to a pickle.
+    """
+    to_dict = getattr(result, "to_dict", None)
+    if callable(to_dict):
+        return {"kind": "simulation", "data": to_dict()}
+    return {
+        "kind": "pickle",
+        "data": base64.b64encode(pickle.dumps(result)).decode("ascii"),
+    }
+
+
+def decode_result(payload: dict):
+    if payload.get("kind") == "simulation":
+        from repro.sim.results import SimulationResult  # lazy: import cycle
+
+        return SimulationResult.from_dict(payload["data"])
+    return pickle.loads(base64.b64decode(payload["data"].encode("ascii")))
+
+
+def _configure(sock: socket.socket) -> None:
+    sock.setblocking(False)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # not a TCP socket (tests use socketpairs)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RemoteShardState:
+    shard: Shard
+    finished: set = field(default_factory=set)
+    running: Optional[int] = None
+
+
+class RemoteWorkerHandle:
+    """Coordinator-side state for one connected worker."""
+
+    def __init__(self, remote_id: int, sock: socket.socket, address) -> None:
+        self.remote_id = remote_id
+        self.sock = sock
+        self.address = address
+        self.decoder = FrameDecoder()
+        self.capacity = 0
+        self.registered = False
+        self.alive = True
+        self.last_seen = monotonic()
+        self.label = f"{address[0]}:{address[1]}" if address else "?"
+        self.shards: dict[int, _RemoteShardState] = {}
+
+    def idle_capacity(self) -> int:
+        return self.capacity - len(self.shards)
+
+
+class RemoteCoordinator:
+    """Accepts workers and streams shards to them; driven by ``poll()``.
+
+    The coordinator owns no event loop of its own: the shard dispatcher
+    calls :meth:`poll` every tick, right next to its local-pipe
+    handling, so remote completions interleave with local ones and land
+    in the same ``on_result``/store path.  ``stats`` is the executor's
+    :class:`~repro.engine.executor.ExecutorStats`; the coordinator
+    increments ``remote_workers``, ``bytes_sent``, ``bytes_received``,
+    ``reassignments`` and ``worker_failures``.
+    """
+
+    def __init__(
+        self,
+        stats,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        job_timeout: Optional[float] = None,
+        heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
+    ) -> None:
+        self.stats = stats
+        self.job_timeout = job_timeout
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._workers: dict[int, RemoteWorkerHandle] = {}
+        self._orphans: list[tuple[Shard, list[int], list[int], str]] = []
+        self._next_id = 0
+        self.ever_registered = 0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(64)
+        listener.setblocking(False)
+        self._listener: Optional[socket.socket] = listener
+        self.host, self.port = listener.getsockname()[:2]
+        log.info("coordinator listening on %s:%d", self.host, self.port)
+
+    # -- introspection -----------------------------------------------------
+    def live_workers(self) -> list[RemoteWorkerHandle]:
+        return [
+            worker
+            for _, worker in sorted(self._workers.items())
+            if worker.alive and worker.registered
+        ]
+
+    def live_count(self) -> int:
+        return len(self.live_workers())
+
+    def total_capacity(self) -> int:
+        return sum(worker.capacity for worker in self.live_workers())
+
+    def wait_channels(self) -> list:
+        """Waitable objects (listener + live links) for the dispatcher.
+
+        The shard dispatcher multiplexes these into its tick wait so a
+        remote completion wakes it immediately instead of costing up to a
+        full tick of latency per message.
+        """
+        channels: list = []
+        if self._listener is not None:
+            channels.append(self._listener)
+        channels.extend(
+            worker.sock for worker in self._workers.values() if worker.alive
+        )
+        return channels
+
+    # -- event pump --------------------------------------------------------
+    def poll(self) -> list[tuple]:
+        """Pump the sockets once; returns completion events for the
+        dispatcher as ``("done", slot, result, elapsed_s)`` and
+        ``("error", slot, reason)`` tuples.  Dead workers' shards are
+        collected for :meth:`take_orphans`.
+        """
+        events: list[tuple] = []
+        self._accept_new()
+        for worker in list(self._workers.values()):
+            if worker.alive:
+                self._read(worker, events)
+        now = monotonic()
+        for worker in list(self._workers.values()):
+            if worker.alive and now - worker.last_seen > self.heartbeat_timeout_s:
+                self._disconnect(
+                    worker,
+                    f"missed heartbeats for {self.heartbeat_timeout_s:.0f}s",
+                )
+        return events
+
+    def take_orphans(self) -> list[tuple[Shard, list[int], list[int], str]]:
+        """Shards lost to dead workers since the last call, as
+        ``(shard, pending_slots, running_slots, reason)``; the caller
+        re-queues pending slots and retries the in-flight ones.
+        """
+        orphans, self._orphans = self._orphans, []
+        return orphans
+
+    # -- dispatch ----------------------------------------------------------
+    def next_idle_worker(self) -> Optional[RemoteWorkerHandle]:
+        """The live worker with the most spare capacity, if any."""
+        best = None
+        for worker in self.live_workers():
+            spare = worker.idle_capacity()
+            if spare > 0 and (best is None or spare > best.idle_capacity()):
+                best = worker
+        return best
+
+    def dispatch(self, worker: RemoteWorkerHandle, shard: Shard) -> bool:
+        """Stream one shard to a worker; False if the send failed (the
+        worker is reaped and the caller keeps the shard).
+        """
+        message = {
+            "type": "shard",
+            "shard": shard.shard_id,
+            "slots": list(shard.slots),
+            "jobs": [encode_job(job) for job in shard.jobs],
+        }
+        try:
+            self.stats.bytes_sent += send_frame(worker.sock, message)
+        except (OSError, FrameError) as error:
+            self._disconnect(worker, f"send failed: {error}")
+            return False
+        worker.shards[shard.shard_id] = _RemoteShardState(shard=shard)
+        log.debug(
+            "dispatched shard %d (%d jobs) to remote worker %s",
+            shard.shard_id,
+            len(shard),
+            worker.label,
+        )
+        return True
+
+    def wait_for_workers(self, count: int, timeout_s: float) -> bool:
+        """Block until ``count`` workers finished the handshake."""
+        deadline = monotonic() + timeout_s
+        while self.live_count() < count:
+            if monotonic() > deadline:
+                return False
+            self.poll()
+            select.select([], [], [], _TICK_S)
+        return True
+
+    def close(self, send_shutdown: bool = True) -> None:
+        for worker in list(self._workers.values()):
+            if worker.alive and send_shutdown:
+                try:
+                    send_frame(worker.sock, {"type": "shutdown"}, timeout_s=2.0)
+                except (OSError, FrameError):
+                    pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+        self._workers.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+
+    # -- internals ---------------------------------------------------------
+    def _accept_new(self) -> None:
+        if self._listener is None:
+            return
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            _configure(sock)
+            handle = RemoteWorkerHandle(self._next_id, sock, address)
+            self._next_id += 1
+            self._workers[handle.remote_id] = handle
+            log.info("connection from %s awaiting handshake", handle.label)
+
+    def _read(self, worker: RemoteWorkerHandle, events: list) -> None:
+        while worker.alive:
+            try:
+                data = worker.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as error:
+                self._disconnect(worker, f"connection error: {error}")
+                return
+            if not data:
+                self._disconnect(worker, "connection closed")
+                return
+            self.stats.bytes_received += len(data)
+            worker.last_seen = monotonic()
+            try:
+                messages = worker.decoder.feed(data)
+            except FrameError as error:
+                self._disconnect(worker, f"protocol error: {error}")
+                return
+            for message in messages:
+                self._handle(worker, message, events)
+
+    def _handle(self, worker: RemoteWorkerHandle, message: dict, events: list) -> None:
+        kind = message.get("type")
+        if not worker.registered:
+            if kind != "hello":
+                self._reject(worker, f"expected hello, got {kind!r}")
+            elif message.get("version") != PROTOCOL_VERSION:
+                self._reject(
+                    worker,
+                    f"protocol version mismatch: coordinator speaks "
+                    f"v{PROTOCOL_VERSION}, worker sent "
+                    f"{message.get('version')!r}",
+                )
+            elif not isinstance(message.get("capacity"), int) or message["capacity"] < 1:
+                self._reject(
+                    worker, f"capacity must be a positive int, got "
+                    f"{message.get('capacity')!r}"
+                )
+            else:
+                worker.capacity = message["capacity"]
+                worker.label = (
+                    f"{message.get('host', worker.label)}"
+                    f"#{message.get('pid', '?')}"
+                )
+                worker.registered = True
+                self.ever_registered += 1
+                self.stats.remote_workers += 1
+                try:
+                    self.stats.bytes_sent += send_frame(
+                        worker.sock,
+                        {
+                            "type": "welcome",
+                            "version": PROTOCOL_VERSION,
+                            "job_timeout": self.job_timeout,
+                        },
+                    )
+                except (OSError, FrameError) as error:
+                    self._disconnect(worker, f"welcome failed: {error}")
+                    return
+                log.info(
+                    "remote worker %s joined with capacity %d",
+                    worker.label,
+                    worker.capacity,
+                )
+            return
+        if kind == "heartbeat":
+            return
+        shard_state = worker.shards.get(message.get("shard"))
+        if kind == "started":
+            if shard_state is not None:
+                shard_state.running = message.get("slot")
+        elif kind == "done":
+            slot = message["slot"]
+            if shard_state is not None:
+                shard_state.finished.add(slot)
+                if shard_state.running == slot:
+                    shard_state.running = None
+            try:
+                result = decode_result(message["result"])
+            except Exception as error:  # noqa: BLE001 - surfaces as retry
+                events.append(("error", slot, f"undecodable result: {error}"))
+            else:
+                events.append(("done", slot, result, message.get("elapsed_s", 0.0)))
+        elif kind == "error":
+            slot = message["slot"]
+            if shard_state is not None:
+                shard_state.finished.add(slot)
+                if shard_state.running == slot:
+                    shard_state.running = None
+            events.append(("error", slot, message.get("reason", "remote error")))
+        elif kind == "shard_done":
+            worker.shards.pop(message.get("shard"), None)
+        else:
+            log.warning("ignoring unknown frame %r from %s", kind, worker.label)
+
+    def _reject(self, worker: RemoteWorkerHandle, reason: str) -> None:
+        log.warning("refusing worker %s: %s", worker.label, reason)
+        try:
+            send_frame(worker.sock, {"type": "reject", "reason": reason}, timeout_s=2.0)
+        except (OSError, FrameError):
+            pass
+        self._disconnect(worker, reason, count_failure=False)
+
+    def _disconnect(
+        self, worker: RemoteWorkerHandle, reason: str, count_failure: bool = True
+    ) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        self._workers.pop(worker.remote_id, None)
+        if not worker.registered:
+            return
+        if count_failure:
+            self.stats.worker_failures += 1
+            log.warning("remote worker %s lost: %s", worker.label, reason)
+        for state in worker.shards.values():
+            pending = [
+                slot
+                for slot in state.shard.slots
+                if slot not in state.finished and slot != state.running
+            ]
+            running = [] if state.running is None else [state.running]
+            self.stats.reassignments += 1
+            self._orphans.append((state.shard, pending, running, reason))
+        worker.shards.clear()
+
+
+# ---------------------------------------------------------------------------
+# Worker runtime
+# ---------------------------------------------------------------------------
+
+
+def _proc_main(worker_id: int, tasks, results, close_fds=()) -> None:
+    """Child entry: drop inherited coordinator fds, then run shards.
+
+    Under the fork start method the simulation child inherits the
+    worker's TCP socket; left open, a SIGKILLed worker would only be
+    noticed by the coordinator at the heartbeat timeout instead of as an
+    immediate EOF.
+    """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _worker_main(worker_id, tasks, results)
+
+
+@dataclass
+class _LocalProc:
+    """One simulation process on the remote host, mirroring queue._Worker."""
+
+    proc_id: int
+    process: multiprocessing.Process
+    task_conn: object
+    result_conn: object
+    shard: Optional[Shard] = None
+    finished: set = field(default_factory=set)
+    running_slot: Optional[int] = None
+    running_since: float = 0.0
+
+    def idle(self) -> bool:
+        return self.shard is None
+
+
+class _WorkerRuntime:
+    """State machine behind :func:`run_worker`."""
+
+    def __init__(self, sock, workers, heartbeat_s, job_timeout, stderr):
+        self.sock = sock
+        self.workers = workers
+        self.heartbeat_s = heartbeat_s
+        self.job_timeout = job_timeout
+        self.stderr = stderr
+        self.decoder = FrameDecoder()
+        self._mp = multiprocessing.get_context()
+        self._procs: dict[int, _LocalProc] = {}
+        self._next_proc_id = 0
+        self._backlog: list[Shard] = []
+        self._last_heartbeat = monotonic()
+        self.jobs_done = 0
+        self.shards_done = 0
+
+    def _say(self, text: str) -> None:
+        print(text, file=self.stderr)
+
+    def _spawn(self) -> _LocalProc:
+        task_recv, task_send = self._mp.Pipe(duplex=False)
+        result_recv, result_send = self._mp.Pipe(duplex=False)
+        proc_id = self._next_proc_id
+        self._next_proc_id += 1
+        close_fds = ()
+        if self._mp.get_start_method() == "fork":
+            # Besides the TCP socket, the forked child inherits every
+            # parent-side pipe end — including the write end of its own
+            # task pipe, which would keep ``tasks.recv()`` from ever
+            # seeing EOF once this parent dies (e.g. SIGKILL), leaving
+            # an orphaned child blocked forever.
+            inherited = [self.sock.fileno(), task_send.fileno(), result_recv.fileno()]
+            for sibling in self._procs.values():
+                inherited.append(sibling.task_conn.fileno())
+                inherited.append(sibling.result_conn.fileno())
+            close_fds = tuple(inherited)
+        process = self._mp.Process(
+            target=_proc_main,
+            args=(proc_id, task_recv, result_send, close_fds),
+            name=f"repro-remote-proc-{proc_id}",
+            daemon=True,
+        )
+        process.start()
+        task_recv.close()
+        result_send.close()
+        proc = _LocalProc(
+            proc_id=proc_id,
+            process=process,
+            task_conn=task_send,
+            result_conn=result_recv,
+        )
+        self._procs[proc_id] = proc
+        return proc
+
+    def _send(self, message: dict) -> None:
+        send_frame(self.sock, message)
+
+    def _assign(self, proc: _LocalProc, shard: Shard) -> None:
+        proc.shard = shard
+        proc.finished = set()
+        proc.running_slot = None
+        try:
+            proc.task_conn.send(shard)
+        except (OSError, BrokenPipeError):
+            self._reap_proc(proc, "died before dispatch")
+
+    def _take_shard(self, shard: Shard) -> None:
+        for proc in self._procs.values():
+            if proc.idle():
+                self._assign(proc, shard)
+                return
+        self._backlog.append(shard)
+
+    def _drain_backlog(self) -> None:
+        for proc in self._procs.values():
+            if not self._backlog:
+                return
+            if proc.idle():
+                self._assign(proc, self._backlog.pop(0))
+
+    def _reap_proc(self, proc: _LocalProc, reason: str) -> None:
+        """Replace a dead child; report its in-flight job, keep the rest.
+
+        The running slot goes back to the coordinator as an ``error``
+        frame (entering the bounded-retry path there); the unstarted
+        remainder of the shard re-runs locally on the replacement under
+        the *same* shard id, so the coordinator's bookkeeping holds.
+        """
+        self._procs.pop(proc.proc_id, None)
+        for conn in (proc.task_conn, proc.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if proc.process.is_alive():
+            proc.process.kill()
+        proc.process.join(timeout=5.0)
+        shard = proc.shard
+        replacement = self._spawn()
+        self._say(f"repro worker: simulation process {reason}; respawned")
+        if shard is None:
+            self._drain_backlog()
+            return
+        running = proc.running_slot
+        if running is not None:
+            self._send(
+                {
+                    "type": "error",
+                    "shard": shard.shard_id,
+                    "slot": running,
+                    "reason": f"simulation process {reason} on remote worker",
+                    "elapsed_s": perf_counter() - proc.running_since,
+                }
+            )
+        remaining = tuple(
+            slot
+            for slot in shard.slots
+            if slot not in proc.finished and slot != running
+        )
+        if remaining:
+            remainder = Shard(
+                shard_id=shard.shard_id,
+                jobs=tuple(
+                    job
+                    for slot, job in zip(shard.slots, shard.jobs)
+                    if slot in remaining
+                ),
+                slots=remaining,
+                cost=0.0,
+                preferred_worker=0,
+            )
+            self._assign(replacement, remainder)
+        else:
+            self._send({"type": "shard_done", "shard": shard.shard_id})
+            self.shards_done += 1
+            self._drain_backlog()
+
+    def _forward(self, proc: _LocalProc, message: tuple) -> None:
+        kind = message[0]
+        if kind == MSG_STARTED:
+            slot = message[3]
+            proc.running_slot = slot
+            proc.running_since = perf_counter()
+            self._send({"type": "started", "shard": message[2], "slot": slot})
+        elif kind == MSG_DONE:
+            _, _, shard_id, slot, result, elapsed_s = message
+            proc.finished.add(slot)
+            proc.running_slot = None
+            self.jobs_done += 1
+            self._send(
+                {
+                    "type": "done",
+                    "shard": shard_id,
+                    "slot": slot,
+                    "result": encode_result(result),
+                    "elapsed_s": elapsed_s,
+                }
+            )
+        elif kind == MSG_ERROR:
+            _, _, shard_id, slot, reason, elapsed_s = message
+            proc.finished.add(slot)
+            proc.running_slot = None
+            self._send(
+                {
+                    "type": "error",
+                    "shard": shard_id,
+                    "slot": slot,
+                    "reason": reason,
+                    "elapsed_s": elapsed_s,
+                }
+            )
+        elif kind == MSG_SHARD_DONE:
+            proc.shard = None
+            proc.finished = set()
+            proc.running_slot = None
+            self.shards_done += 1
+            self._send({"type": "shard_done", "shard": message[2]})
+            self._drain_backlog()
+
+    def _tick_children(self) -> None:
+        now = perf_counter()
+        for proc in list(self._procs.values()):
+            try:
+                while proc.result_conn.poll():
+                    self._forward(proc, proc.result_conn.recv())
+            except (EOFError, OSError):
+                self._reap_proc(proc, "died mid-run")
+                continue
+            if not proc.process.is_alive():
+                self._reap_proc(
+                    proc, f"died (exit code {proc.process.exitcode})"
+                )
+                continue
+            if (
+                self.job_timeout is not None
+                and proc.running_slot is not None
+                and now - proc.running_since > self.job_timeout
+            ):
+                proc.process.kill()
+                self._reap_proc(
+                    proc, f"timed out after {self.job_timeout:.2f}s"
+                )
+
+    def _handle_frame(self, message: dict) -> bool:
+        """React to one coordinator frame; False means shut down."""
+        kind = message.get("type")
+        if kind == "shard":
+            shard = Shard(
+                shard_id=message["shard"],
+                jobs=tuple(decode_job(text) for text in message["jobs"]),
+                slots=tuple(message["slots"]),
+                cost=0.0,
+                preferred_worker=0,
+            )
+            self._take_shard(shard)
+            return True
+        if kind == "shutdown":
+            self._say("repro worker: coordinator asked for shutdown")
+            return False
+        log.warning("ignoring unknown frame %r from coordinator", kind)
+        return True
+
+    def serve(self) -> int:
+        for _ in range(self.workers):
+            self._spawn()
+        try:
+            while True:
+                readable, _, _ = select.select([self.sock], [], [], _TICK_S)
+                if readable:
+                    try:
+                        data = self.sock.recv(65536)
+                    except (BlockingIOError, InterruptedError):
+                        data = None
+                    except OSError:
+                        self._say("repro worker: connection lost")
+                        return 0
+                    if data is not None:
+                        if not data:
+                            self._say("repro worker: coordinator closed the link")
+                            return 0
+                        for message in self.decoder.feed(data):
+                            if not self._handle_frame(message):
+                                return 0
+                self._tick_children()
+                now = monotonic()
+                if now - self._last_heartbeat >= self.heartbeat_s:
+                    self._last_heartbeat = now
+                    self._send({"type": "heartbeat"})
+        except (OSError, FrameError) as error:
+            self._say(f"repro worker: connection lost ({error})")
+            return 0
+        finally:
+            self._shutdown_children()
+            self._say(
+                f"repro worker: executed {self.jobs_done} job(s) over "
+                f"{self.shards_done} shard(s)"
+            )
+
+    def _shutdown_children(self) -> None:
+        for proc in list(self._procs.values()):
+            try:
+                proc.task_conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in list(self._procs.values()):
+            proc.process.join(timeout=5.0)
+            if proc.process.is_alive():
+                proc.process.kill()
+                proc.process.join(timeout=5.0)
+            for conn in (proc.task_conn, proc.result_conn):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._procs.clear()
+
+
+def run_worker(
+    host: str,
+    port: int,
+    workers: int = 1,
+    heartbeat_s: float = HEARTBEAT_S,
+    connect_timeout_s: float = 30.0,
+    stderr=None,
+) -> int:
+    """Connect to a coordinator and execute shards until it shuts down.
+
+    Retries the TCP connect for ``connect_timeout_s`` so workers may be
+    launched before (or while) the coordinator binds its port.  Returns
+    0 on a clean shutdown or lost coordinator, 2 when the handshake is
+    refused or never answered.
+    """
+    import sys
+
+    if stderr is None:
+        stderr = sys.stderr
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    deadline = monotonic() + connect_timeout_s
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            break
+        except OSError as error:
+            if monotonic() > deadline:
+                print(
+                    f"repro worker: cannot reach {host}:{port} after "
+                    f"{connect_timeout_s:.0f}s ({error})",
+                    file=stderr,
+                )
+                return 2
+            select.select([], [], [], 0.5)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+    sock.settimeout(30.0)
+    try:
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "capacity": workers,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+            },
+        )
+        reply = recv_frame(sock)
+    except (OSError, FrameError) as error:
+        print(f"repro worker: handshake failed ({error})", file=stderr)
+        sock.close()
+        return 2
+    if reply.get("type") != "welcome":
+        print(
+            f"repro worker: refused by {host}:{port} — "
+            f"{reply.get('reason', reply)}",
+            file=stderr,
+        )
+        sock.close()
+        return 2
+    job_timeout = reply.get("job_timeout")
+    _configure(sock)
+    print(
+        f"repro worker: serving {workers} process(es) to {host}:{port} "
+        f"(protocol v{reply.get('version')})",
+        file=stderr,
+    )
+    runtime = _WorkerRuntime(sock, workers, heartbeat_s, job_timeout, stderr)
+    try:
+        return runtime.serve()
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -148,3 +148,38 @@ class JsonlStore(ResultStore):
 
     def keys(self) -> Iterator[str]:
         return iter(self._results)
+
+    def record_count(self) -> int:
+        """Lines currently in the file, stale duplicates included."""
+        if not self.path.exists():
+            return 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())
+
+    def compact(self) -> dict:
+        """Rewrite the file keeping only the latest record per key.
+
+        Append-only last-write-wins means re-put keys accumulate stale
+        lines forever; compaction rewrites the live in-memory index to a
+        temporary file and atomically replaces the original, so a crash
+        mid-compact leaves the old store intact.  Returns before/after
+        record and byte counts.
+        """
+        records_before = self.record_count()
+        bytes_before = self.path.stat().st_size if self.path.exists() else 0
+        if self._results:
+            tmp_path = self.path.with_name(self.path.name + ".compact.tmp")
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                for key, result in self._results.items():
+                    record = {"key": key, "result": result.to_dict()}
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp_path, self.path)
+        elif self.path.exists():
+            self.path.write_text("", encoding="utf-8")
+        bytes_after = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "records_before": records_before,
+            "records_after": len(self._results),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+        }

@@ -380,6 +380,11 @@ class ExperimentRunner:
             "retries": stats.retries,
             "timeouts": stats.timeouts,
             "worker_failures": stats.worker_failures,
+            "remote_workers": stats.remote_workers,
+            "bytes_sent": stats.bytes_sent,
+            "bytes_received": stats.bytes_received,
+            "reassignments": stats.reassignments,
+            "calibrated_jobs": stats.calibrated_jobs,
         }
 
 

@@ -183,6 +183,87 @@ class TestResilienceFlags:
                 run_cli(argv)
 
 
+class TestRemoteFlags:
+    def test_serve_only_requires_serve(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["run", "figure7", "--workers", "0"])
+        assert excinfo.value.code == 2
+
+    def test_min_workers_requires_serve(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["run", "figure7", "--min-workers", "2"])
+        assert excinfo.value.code == 2
+
+    def test_malformed_serve_address_rejected(self):
+        for address in ("localhost", "host:banana", "host:70000"):
+            with pytest.raises(SystemExit):
+                run_cli(["run", "figure7", "--serve", address])
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            run_cli(["worker"])
+
+    def test_worker_gives_up_when_nobody_listens(self):
+        # Nothing listens on this port; a tight connect timeout must turn
+        # into a clean non-zero exit, not a hang.
+        code, _, err = run_cli(
+            ["worker", "--connect", "127.0.0.1:1", "--connect-timeout", "0.2"]
+        )
+        assert code == 2
+        assert "cannot reach" in err
+
+
+class TestStoreCommand:
+    @pytest.fixture()
+    def seeded_jsonl(self, tmp_path):
+        from repro.engine.store import JsonlStore
+
+        from tests.conftest import quick_run
+
+        path = tmp_path / "cache.jsonl"
+        store = JsonlStore(path)
+        result = quick_run("refab", cycles=1200, warmup=200)
+        store.put("key1", result)
+        store.put("key1", result)  # stale duplicate line
+        store.put("key2", result)
+        return path
+
+    def test_stat_reports_records_and_stale_lines(self, seeded_jsonl):
+        code, out, _ = run_cli(["store", "stat", str(seeded_jsonl)])
+        assert code == 0
+        assert "JsonlStore, 2 result(s)" in out
+        assert "3 record line(s), 1 stale" in out
+
+    def test_stat_missing_file_fails(self, tmp_path):
+        code, _, err = run_cli(["store", "stat", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_copy_migrates_between_backends(self, seeded_jsonl, tmp_path):
+        destination = tmp_path / "cache.sqlite"
+        code, out, _ = run_cli(
+            ["store", "copy", str(seeded_jsonl), str(destination)]
+        )
+        assert code == 0
+        assert "copied 2 result(s)" in out
+        assert destination.read_bytes()[:15] == b"SQLite format 3"
+
+    def test_compact_drops_stale_jsonl_records(self, seeded_jsonl):
+        before = len(seeded_jsonl.read_text().strip().splitlines())
+        code, out, _ = run_cli(["store", "compact", str(seeded_jsonl)])
+        assert code == 0
+        assert "3 -> 2 record(s)" in out
+        after = len(seeded_jsonl.read_text().strip().splitlines())
+        assert (before, after) == (3, 2)
+
+    def test_compact_sqlite_store(self, seeded_jsonl, tmp_path):
+        destination = tmp_path / "cache.sqlite"
+        run_cli(["store", "copy", str(seeded_jsonl), str(destination)])
+        code, out, _ = run_cli(["store", "compact", str(destination)])
+        assert code == 0
+        assert "compacted" in out
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         env = dict(os.environ)

@@ -225,6 +225,53 @@ class TestSqliteStore:
             assert store.get(f"writer{index}-000") == result
 
 
+class TestCompaction:
+    def test_jsonl_compact_drops_stale_duplicates(self, result, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        store = JsonlStore(path)
+        updated = SimulationResult.from_dict(result.to_dict())
+        updated.workload = "other"
+        for _ in range(3):
+            store.put("key1", result)
+        store.put("key1", updated)
+        store.put("key2", result)
+        assert store.record_count() == 5
+
+        summary = store.compact()
+        assert summary["records_before"] == 5
+        assert summary["records_after"] == 2
+        assert summary["bytes_after"] < summary["bytes_before"]
+        assert store.record_count() == 2
+
+        # Compaction keeps exactly the latest record per key.
+        reopened = JsonlStore(path)
+        assert len(reopened) == 2
+        assert reopened.get("key1").workload == "other"
+        assert reopened.get("key2") == result
+
+    def test_jsonl_compact_of_empty_store_is_a_no_op(self, tmp_path):
+        store = JsonlStore(tmp_path / "cache.jsonl")
+        summary = store.compact()
+        assert summary["records_before"] == 0
+        assert summary["records_after"] == 0
+
+    def test_sqlite_compact_reports_counts_and_keeps_data(self, result, tmp_path):
+        store = SqliteStore(tmp_path / "cache.sqlite")
+        for index in range(20):
+            store.put(f"key{index:02d}", result)
+        for index in range(20):
+            store.put(f"key{index:02d}", result)  # upserts churn the WAL
+        summary = store.compact()
+        assert summary["records_before"] == 20
+        assert summary["records_after"] == 20
+        assert summary["bytes_after"] <= summary["bytes_before"]
+        assert store.get("key00") == result
+        store.close()
+        reopened = SqliteStore(store.path)
+        assert len(reopened) == 20
+        reopened.close()
+
+
 class TestOpenStore:
     def test_auto_infers_backend_from_extension(self, tmp_path):
         assert isinstance(open_store(tmp_path / "cache.jsonl"), JsonlStore)

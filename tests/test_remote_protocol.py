@@ -1,0 +1,244 @@
+"""Wire-protocol tests for the multi-host shard dispatch layer.
+
+Covers the framing codec (partial feeds, oversized rejection, truncated
+connections), ``HOST:PORT`` parsing, the job/result envelopes, and the
+coordinator's handshake discipline — version mismatches and malformed
+hellos must be refused with a ``reject`` frame, never accepted or hung.
+"""
+
+import select
+import socket
+from time import monotonic
+
+import pytest
+
+from repro.engine.executor import ExecutorStats
+from repro.engine.jobs import SimulationJob
+from repro.engine.remote import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    RemoteCoordinator,
+    decode_job,
+    decode_result,
+    encode_frame,
+    encode_job,
+    encode_result,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
+
+from tests.conftest import quick_run, small_system, small_workload
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"type": "hello", "capacity": 3, "nested": {"a": [1, 2]}}
+        assert FrameDecoder().feed(encode_frame(message)) == [message]
+
+    def test_byte_at_a_time_feed(self):
+        message = {"type": "heartbeat"}
+        decoder = FrameDecoder()
+        wire = encode_frame(message)
+        for byte in wire[:-1]:
+            assert decoder.feed(bytes([byte])) == []
+        assert decoder.feed(wire[-1:]) == [message]
+        assert decoder.pending_bytes() == 0
+
+    def test_multiple_frames_in_one_chunk(self):
+        frames = [{"type": "started", "slot": n} for n in range(5)]
+        wire = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(wire) == frames
+
+    def test_partial_second_frame_is_buffered(self):
+        first, second = {"type": "a"}, {"type": "b"}
+        wire = encode_frame(first) + encode_frame(second)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-3]) == [first]
+        assert decoder.pending_bytes() > 0
+        assert decoder.feed(wire[-3:]) == [second]
+
+    def test_oversized_frame_rejected_by_decoder(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(FrameError, match="exceeds"):
+            decoder.feed(encode_frame({"type": "x" * 64}))
+
+    def test_oversized_header_rejected_before_payload_arrives(self):
+        # A corrupt length header must be refused from the header alone,
+        # not after buffering (up to) 4 GiB.
+        import struct
+
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="exceeds"):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_non_json_payload_rejected(self):
+        import struct
+
+        payload = b"\xff\xfenot json"
+        with pytest.raises(FrameError, match="not valid JSON"):
+            FrameDecoder().feed(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_rejected(self):
+        import struct
+
+        payload = b"[1, 2, 3]"
+        with pytest.raises(FrameError, match="JSON object"):
+            FrameDecoder().feed(struct.pack(">I", len(payload)) + payload)
+
+
+class TestSocketFraming:
+    def test_send_recv_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"type": "done", "slot": 7, "elapsed_s": 0.25}
+            sent = send_frame(left, message)
+            assert sent == len(encode_frame(message))
+            assert recv_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_frame_raises_not_hangs(self):
+        left, right = socket.socketpair()
+        try:
+            wire = encode_frame({"type": "shard", "jobs": ["x" * 256]})
+            left.sendall(wire[: len(wire) // 2])
+            left.close()
+            with pytest.raises(FrameError, match="truncated"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+class TestParseHostport:
+    def test_host_and_port(self):
+        assert parse_hostport("10.0.0.5:4242") == ("10.0.0.5", 4242)
+
+    def test_ephemeral_port_zero_allowed(self):
+        assert parse_hostport("127.0.0.1:0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize(
+        "text", ["localhost", ":9000", "host:", "host:banana", "host:70000"]
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_hostport(text)
+
+
+class TestPayloadEnvelopes:
+    def test_job_round_trip(self):
+        job = SimulationJob(
+            config=small_system("darp"),
+            workload=small_workload(),
+            cycles=900,
+            warmup=100,
+            seed=3,
+        )
+        clone = decode_job(encode_job(job))
+        assert clone == job
+        assert clone.key() == job.key()
+
+    def test_simulation_result_travels_as_canonical_dict(self):
+        result = quick_run("refab", cycles=1200, warmup=200)
+        envelope = encode_result(result)
+        assert envelope["kind"] == "simulation"
+        assert decode_result(envelope) == result
+
+    def test_plain_values_fall_back_to_pickle(self):
+        envelope = encode_result(("fake", 42))
+        assert envelope["kind"] == "pickle"
+        assert decode_result(envelope) == ("fake", 42)
+
+
+def _await_reply(coordinator, client, timeout_s=10.0):
+    """Pump the coordinator until it answers on ``client``."""
+    deadline = monotonic() + timeout_s
+    while monotonic() < deadline:
+        coordinator.poll()
+        readable, _, _ = select.select([client], [], [], 0.05)
+        if readable:
+            client.setblocking(True)
+            return recv_frame(client)
+    raise AssertionError("coordinator never replied")
+
+
+@pytest.fixture
+def coordinator():
+    stats = ExecutorStats()
+    coordinator = RemoteCoordinator(stats)
+    yield coordinator
+    coordinator.close()
+
+
+def _connect(coordinator) -> socket.socket:
+    return socket.create_connection(
+        (coordinator.host, coordinator.port), timeout=10
+    )
+
+
+class TestHandshake:
+    def test_matching_version_is_welcomed(self, coordinator):
+        client = _connect(coordinator)
+        try:
+            send_frame(
+                client,
+                {
+                    "type": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "capacity": 2,
+                    "host": "testhost",
+                    "pid": 1234,
+                },
+            )
+            reply = _await_reply(coordinator, client)
+            assert reply["type"] == "welcome"
+            assert reply["version"] == PROTOCOL_VERSION
+            assert coordinator.live_count() == 1
+            assert coordinator.total_capacity() == 2
+            assert coordinator.stats.remote_workers == 1
+        finally:
+            client.close()
+
+    def test_version_mismatch_is_refused(self, coordinator):
+        client = _connect(coordinator)
+        try:
+            send_frame(
+                client,
+                {"type": "hello", "version": PROTOCOL_VERSION + 1, "capacity": 1},
+            )
+            reply = _await_reply(coordinator, client)
+            assert reply["type"] == "reject"
+            assert "version mismatch" in reply["reason"]
+            assert coordinator.live_count() == 0
+            # A refused handshake is not a worker failure: nothing was
+            # ever dispatched to it.
+            assert coordinator.stats.worker_failures == 0
+        finally:
+            client.close()
+
+    def test_bad_capacity_is_refused(self, coordinator):
+        client = _connect(coordinator)
+        try:
+            send_frame(
+                client,
+                {"type": "hello", "version": PROTOCOL_VERSION, "capacity": 0},
+            )
+            reply = _await_reply(coordinator, client)
+            assert reply["type"] == "reject"
+            assert "capacity" in reply["reason"]
+            assert coordinator.live_count() == 0
+        finally:
+            client.close()
+
+    def test_first_frame_must_be_hello(self, coordinator):
+        client = _connect(coordinator)
+        try:
+            send_frame(client, {"type": "heartbeat"})
+            reply = _await_reply(coordinator, client)
+            assert reply["type"] == "reject"
+            assert "hello" in reply["reason"]
+        finally:
+            client.close()
